@@ -1,0 +1,352 @@
+(* The benchmark entry point: regenerates every figure of the paper's
+   evaluation (scaled to this machine; see DESIGN.md section 3) plus a
+   Bechamel micro suite for the read-path costs (the paper's section
+   2.1.2 claim) and ablation sweeps over the design knobs.
+
+   Default run: micro suite + all figures + ablations at quick scale.
+   Usage: main.exe [--fig micro|1|3|4|5|10|rob|ablation|all] [--full] *)
+
+open Bechamel
+open Pop_harness
+module Smr_config = Pop_core.Smr_config
+module Softsignal = Pop_runtime.Softsignal
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro suite                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A single-threaded, prefilled HML list per SMR; the staged function
+   performs one contains over the full key range: the pure read path. *)
+let read_path_test smr =
+  let (module S) = Dispatch.set_module Dispatch.HML smr in
+  let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 1 lsl 20 } in
+  let dcfg = Pop_ds.Ds_config.default ~key_range:256 in
+  let hub = Softsignal.create ~max_threads:2 in
+  let s = S.create scfg dcfg ~hub in
+  let ctx = S.register s ~tid:0 in
+  List.iter (fun k -> ignore (S.insert ctx k)) (Workload.prefill_keys ~key_range:256);
+  let rng = Pop_runtime.Rng.make 7 in
+  Test.make
+    ~name:(Dispatch.smr_name smr)
+    (Staged.stage (fun () -> ignore (S.contains ctx (Pop_runtime.Rng.int rng 256))))
+
+let update_path_test smr =
+  let (module S) = Dispatch.set_module Dispatch.HML smr in
+  let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 128 } in
+  let dcfg = Pop_ds.Ds_config.default ~key_range:256 in
+  let hub = Softsignal.create ~max_threads:2 in
+  let s = S.create scfg dcfg ~hub in
+  let ctx = S.register s ~tid:0 in
+  List.iter (fun k -> ignore (S.insert ctx k)) (Workload.prefill_keys ~key_range:256);
+  let rng = Pop_runtime.Rng.make 9 in
+  Test.make
+    ~name:(Dispatch.smr_name smr)
+    (Staged.stage (fun () ->
+         let k = Pop_runtime.Rng.int rng 256 in
+         if Pop_runtime.Rng.bool rng then ignore (S.insert ctx k) else ignore (S.delete ctx k)))
+
+(* The primitive cost asymmetry the whole paper is about: a private
+   reservation (plain store) vs an eagerly published one (fenced). *)
+let primitive_tests =
+  let row = Array.make 8 0 in
+  let cell = Atomic.make 0 in
+  let fence = Pop_runtime.Fence.make_cell () in
+  [
+    Test.make ~name:"reserve-private(plain store)"
+      (Staged.stage (fun () -> Array.unsafe_set row 0 42));
+    Test.make ~name:"reserve-shared(atomic store)" (Staged.stage (fun () -> Atomic.set cell 42));
+    Test.make ~name:"reserve-shared+fence(model)"
+      (Staged.stage (fun () ->
+           Atomic.set cell 42;
+           Pop_runtime.Fence.execute fence 7));
+  ]
+
+let run_bechamel ~name tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name ~fmt:"%s %s" tests) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun label est ->
+      let ns =
+        match Analyze.OLS.estimates est with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+      rows := (label, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (_, a, _) (_, b, _) -> compare a b) !rows in
+  Report.section (Printf.sprintf "Micro: %s (ns per op, single thread)" name);
+  Report.table
+    ~header:[ "case"; "ns/op"; "r^2" ]
+    ~rows:
+      (List.map
+         (fun (label, ns, r2) -> [ label; Printf.sprintf "%.1f" ns; Printf.sprintf "%.3f" r2 ])
+         rows)
+
+let fig_micro () =
+  run_bechamel ~name:"reservation primitives" primitive_tests;
+  run_bechamel ~name:"hml contains, size 256 (paper sec. 2.1.2)"
+    (List.map read_path_test Dispatch.paper_smrs);
+  run_bechamel ~name:"hml 50i/50d, size 256" (List.map update_path_test Dispatch.paper_smrs)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation sweeps over the design knobs DESIGN.md calls out            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_fence sc =
+  Report.section
+    "Ablation: fence cost model (hml, update-heavy, 2 threads) — the POP/HP gap is the \
+     fence the read path avoids";
+  let costs = [ 0; 1; 4; 8; 16 ] in
+  let smrs = Dispatch.[ HP; HPASYM; CADENCE; HPPOP; EBR ] in
+  let run smr fc =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HML;
+        smr;
+        threads = 2;
+        duration = sc.Experiments.duration;
+        key_range = 2048;
+        fence_cost = fc;
+      }
+  in
+  Report.table
+    ~header:("algo" :: List.map (fun c -> Printf.sprintf "Mops(F=%d)" c) costs)
+    ~rows:
+      (List.map
+         (fun smr ->
+           Dispatch.smr_name smr
+           :: List.map (fun fc -> Report.fmt_mops (run smr fc).Runner.mops) costs)
+         smrs)
+
+let ablation_reclaim_freq sc =
+  Report.section
+    "Ablation: retire-list threshold (hml, update-heavy, 2 threads) — signal overhead vs \
+     memory bound";
+  let freqs = [ 64; 512; 4096 ] in
+  let smrs = Dispatch.[ HPPOP; EPOCHPOP; NBR; EBR ] in
+  let run smr rf =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HML;
+        smr;
+        threads = 2;
+        duration = sc.Experiments.duration;
+        key_range = 2048;
+        reclaim_freq = rf;
+      }
+  in
+  Report.table
+    ~header:
+      ("algo"
+      :: (List.map (fun f -> Printf.sprintf "Mops(R=%d)" f) freqs
+         @ List.map (fun f -> Printf.sprintf "garb(R=%d)" f) freqs
+         @ List.map (fun f -> Printf.sprintf "pings(R=%d)" f) freqs))
+    ~rows:
+      (List.map
+         (fun smr ->
+           let rs = List.map (run smr) freqs in
+           Dispatch.smr_name smr
+           :: (List.map (fun (r : Runner.result) -> Report.fmt_mops r.mops) rs
+              @ List.map (fun (r : Runner.result) -> Report.fmt_count r.max_unreclaimed) rs
+              @ List.map (fun (r : Runner.result) -> Report.fmt_count r.smr.pings) rs))
+         smrs)
+
+let ablation_pop_mult sc =
+  Report.section
+    "Ablation: EpochPOP C multiplier (hml, update-heavy, one stalled thread) — when to \
+     suspect a delay";
+  let mults = [ 1; 2; 4; 8 ] in
+  let run m =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HML;
+        smr = Dispatch.EPOCHPOP;
+        threads = 3;
+        duration = max 1.0 sc.Experiments.duration;
+        key_range = 2048;
+        reclaim_freq = 128;
+        pop_mult = m;
+        stall =
+          Some
+            {
+              Runner.stall_tid = 0;
+              stall_after = 0.1;
+              stall_for = 0.6 *. max 1.0 sc.Experiments.duration;
+              stall_polling = true;
+            };
+      }
+  in
+  Report.table
+    ~header:[ "C"; "Mops"; "max garbage"; "pop passes"; "pings" ]
+    ~rows:
+      (List.map
+         (fun m ->
+           let r = run m in
+           [
+             string_of_int m;
+             Report.fmt_mops r.Runner.mops;
+             Report.fmt_count r.Runner.max_unreclaimed;
+             Report.fmt_count r.Runner.smr.pop_passes;
+             Report.fmt_count r.Runner.smr.pings;
+           ])
+         mults)
+
+(* ------------------------------------------------------------------ *)
+(* Oversubscription (paper section 4.1.2: POP's worst case is more      *)
+(* threads than CPUs, yet it "performs surprisingly well")              *)
+(* ------------------------------------------------------------------ *)
+
+let fig_oversubscription sc =
+  Report.section
+    "Oversubscription: threads beyond the core count (hml 2048, update-heavy) - POP \
+     reclaimers must wait for descheduled threads to be scheduled and publish";
+  let threads_list = [ 1; 2; 4; 8; 16 ] in
+  let smrs = Dispatch.[ EBR; NBR; HP; HPPOP; EPOCHPOP ] in
+  let run smr th =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HML;
+        smr;
+        threads = th;
+        duration = sc.Experiments.duration;
+        key_range = 2048;
+      }
+  in
+  Report.table
+    ~header:
+      ("algo"
+      :: (List.map (fun t -> Printf.sprintf "Mops(t=%d)" t) threads_list
+         @ [ "garb(t=16)"; "pings(t=16)" ]))
+    ~rows:
+      (List.map
+         (fun smr ->
+           let rs = List.map (run smr) threads_list in
+           let last = List.nth rs (List.length rs - 1) in
+           Dispatch.smr_name smr
+           :: (List.map (fun (r : Runner.result) -> Report.fmt_mops r.mops) rs
+              @ [
+                  Report.fmt_count last.Runner.max_unreclaimed;
+                  Report.fmt_count last.Runner.smr.pings;
+                ]))
+         smrs)
+
+(* ------------------------------------------------------------------ *)
+(* Signal latency (paper Assumption 1 / section 4.1.2: threads publish *)
+(* in bounded time after being pinged)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig_signal_latency sc =
+  Report.section
+    "Ping-round latency: time for one reclaimer to ping all threads and observe every \
+     publish (Assumption 1). Workers poll once per simulated operation (~1 us of work)";
+  let rounds = 400 in
+  let measure workers =
+    let total = workers + 1 in
+    let hub = Softsignal.create ~max_threads:total in
+    let hs = Pop_core.Handshake.create hub in
+    let stop = Atomic.make false in
+    let ready = Atomic.make 0 in
+    let worker tid () =
+      let port = Softsignal.register hub ~tid in
+      Softsignal.set_handler port (fun () -> Pop_core.Handshake.ack hs ~tid);
+      let sink = ref 0 in
+      Atomic.incr ready;
+      while not (Atomic.get stop) do
+        (* ~1 us of "traversal" between polls, the paper's read-path
+           granularity of signal delivery. *)
+        for i = 1 to 200 do
+          sink := !sink + i
+        done;
+        ignore (Sys.opaque_identity !sink);
+        Softsignal.poll port
+      done;
+      Softsignal.deregister port
+    in
+    let doms = List.init workers (fun tid -> Domain.spawn (worker tid)) in
+    while Atomic.get ready < workers do
+      Domain.cpu_relax ()
+    done;
+    let port = Softsignal.register hub ~tid:workers in
+    let scratch = Array.make total 0 in
+    let lat = Array.make rounds 0.0 in
+    for i = 0 to rounds - 1 do
+      let t0 = Pop_runtime.Clock.now () in
+      Pop_core.Handshake.ping_and_wait hs ~port ~scratch;
+      lat.(i) <- Pop_runtime.Clock.elapsed t0
+    done;
+    Atomic.set stop true;
+    List.iter Domain.join doms;
+    Softsignal.deregister port;
+    Array.sort compare lat;
+    let pct q = lat.(int_of_float (q *. float_of_int (rounds - 1))) *. 1e6 in
+    (pct 0.5, pct 0.99, lat.(rounds - 1) *. 1e6)
+  in
+  ignore sc;
+  Report.table
+    ~header:[ "traversing threads"; "p50 (us)"; "p99 (us)"; "max (us)" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           let p50, p99, mx = measure w in
+           [
+             string_of_int w;
+             Printf.sprintf "%.1f" p50;
+             Printf.sprintf "%.1f" p99;
+             Printf.sprintf "%.1f" mx;
+           ])
+         [ 1; 2; 4; 8 ])
+
+let fig_ablation sc =
+  ablation_fence sc;
+  ablation_reclaim_freq sc;
+  ablation_pop_mult sc
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline "usage: main.exe [--fig micro|1|...|11|rob|over|latency|ablation|all] [--full]";
+  exit 2
+
+let () =
+  let fig = ref "all" and full = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--fig" :: v :: rest ->
+        fig := v;
+        parse rest
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | x :: _ ->
+        Printf.eprintf "unknown argument %S\n" x;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sc = if !full then Experiments.full else Experiments.quick in
+  let known =
+    [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "over"; "latency"; "ablation";
+      "all" ]
+  in
+  if not (List.mem !fig known) then usage ();
+  let want tags = List.mem !fig ("all" :: tags) in
+  if want [ "micro" ] then fig_micro ();
+  if want [ "1"; "2" ] then ignore (Experiments.fig_update_heavy sc);
+  if want [ "3" ] then ignore (Experiments.fig_read_heavy sc);
+  if want [ "5"; "9" ] then ignore (Experiments.fig_read_heavy_appendix sc);
+  if want [ "4" ] then ignore (Experiments.fig_long_running_reads sc);
+  if want [ "10"; "11" ] then ignore (Experiments.fig_crystalline sc);
+  if want [ "rob" ] then ignore (Experiments.fig_robustness sc);
+  if want [ "over" ] then fig_oversubscription sc;
+  if want [ "latency" ] then fig_signal_latency sc;
+  if want [ "ablation" ] then fig_ablation sc;
+  Report.section "bench complete"

@@ -1,0 +1,160 @@
+(* popbench: run one benchmark cell (any data structure x any SMR) and
+   print its full result, or run a whole figure's sweep. *)
+
+open Cmdliner
+open Pop_harness
+
+let ds_conv =
+  let parse s =
+    match Dispatch.ds_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown data structure %S (hml|ll|hmht|dgt|abt)" s))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Dispatch.ds_name d))
+
+let smr_conv =
+  let parse s =
+    match Dispatch.smr_of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown SMR %S (nr|hp|hp-asym|he|ebr|ibr|nbr|hp-pop|he-pop|epoch-pop|hyaline)" s))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Dispatch.smr_name a))
+
+let csv_header =
+  "ds,smr,threads,duration,key_range,ins_pct,del_pct,reclaim_freq,mops,read_mops,total_ops,\
+max_unreclaimed,final_unreclaimed,max_live,final_live,uaf,double_free,final_size,\
+expected_size,invariants_ok,retired,freed,reclaim_passes,pop_passes,pings,publishes,restarts"
+
+let print_csv (r : Runner.result) =
+  print_endline csv_header;
+  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%d,%d,%d,%d\n"
+    (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
+    r.r_cfg.duration r.r_cfg.key_range r.r_cfg.mix.Workload.ins_pct r.r_cfg.mix.Workload.del_pct
+    r.r_cfg.reclaim_freq r.mops r.read_mops r.total_ops r.max_unreclaimed r.final_unreclaimed
+    r.max_live r.final_live r.uaf r.double_free r.final_size r.expected_size r.invariants_ok
+    r.smr.retired r.smr.freed r.smr.reclaim_passes r.smr.pop_passes r.smr.pings r.smr.publishes
+    r.smr.restarts
+
+let print_result (r : Runner.result) =
+  Report.section
+    (Printf.sprintf "%s / %s : %d threads, %.2fs, key range %d"
+       (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
+       r.r_cfg.duration r.r_cfg.key_range);
+  Report.table
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "throughput (Mops/s)"; Report.fmt_mops r.mops ];
+        [ "read throughput (Mops/s)"; Report.fmt_mops r.read_mops ];
+        [ "total ops"; string_of_int r.total_ops ];
+        [ "max unreclaimed (garbage)"; string_of_int r.max_unreclaimed ];
+        [ "final unreclaimed"; string_of_int r.final_unreclaimed ];
+        [ "max live nodes"; string_of_int r.max_live ];
+        [ "final live nodes"; string_of_int r.final_live ];
+        [ "use-after-free detected"; string_of_int r.uaf ];
+        [ "double frees detected"; string_of_int r.double_free ];
+        [ "final size"; string_of_int r.final_size ];
+        [ "expected size"; string_of_int r.expected_size ];
+        [ "invariants"; (if r.invariants_ok then "ok" else "VIOLATED: " ^ r.invariant_error) ];
+        [ "retired"; string_of_int r.smr.retired ];
+        [ "freed"; string_of_int r.smr.freed ];
+        [ "reclaim passes"; string_of_int r.smr.reclaim_passes ];
+        [ "pop/barrier passes"; string_of_int r.smr.pop_passes ];
+        [ "pings"; string_of_int r.smr.pings ];
+        [ "publishes"; string_of_int r.smr.publishes ];
+        [ "nbr restarts"; string_of_int r.smr.restarts ];
+        [ "epoch"; string_of_int r.smr.epoch ];
+      ];
+  if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
+
+let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq pop_mult lrr
+    stall_for stall_polling seed csv =
+  let mix = { Workload.ins_pct = ins; del_pct = del } in
+  let stall =
+    if stall_for > 0.0 then
+      Some
+        {
+          Runner.stall_tid = 0;
+          stall_after = 0.1 *. duration;
+          stall_for;
+          stall_polling;
+        }
+    else None
+  in
+  let cfg =
+    {
+      Runner.default_cfg with
+      ds;
+      smr;
+      threads;
+      duration;
+      key_range;
+      mix;
+      reclaim_freq;
+      epoch_freq;
+      pop_mult;
+      long_running_reads = lrr;
+      stall;
+      seed;
+    }
+  in
+  let r = Runner.run cfg in
+  if csv then print_csv r else print_result r
+
+let run_figure fig fullscale =
+  let sc = if fullscale then Experiments.full else Experiments.quick in
+  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "all" ] in
+  if not (List.mem fig known) then
+    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|all)" fig);
+  if List.mem fig [ "1"; "2"; "all" ] then ignore (Experiments.fig_update_heavy sc);
+  if List.mem fig [ "3"; "all" ] then ignore (Experiments.fig_read_heavy sc);
+  if List.mem fig [ "5"; "9"; "all" ] then ignore (Experiments.fig_read_heavy_appendix sc);
+  if List.mem fig [ "4"; "all" ] then ignore (Experiments.fig_long_running_reads sc);
+  if List.mem fig [ "10"; "11"; "all" ] then ignore (Experiments.fig_crystalline sc);
+  if List.mem fig [ "rob"; "all" ] then ignore (Experiments.fig_robustness sc)
+
+let cmd =
+  let ds = Arg.(value & opt ds_conv Dispatch.HML & info [ "ds" ] ~doc:"Data structure.") in
+  let smr = Arg.(value & opt smr_conv Dispatch.EPOCHPOP & info [ "smr" ] ~doc:"SMR algorithm.") in
+  let threads = Arg.(value & opt int 2 & info [ "threads"; "t" ] ~doc:"Worker threads.") in
+  let duration = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Seconds.") in
+  let key_range = Arg.(value & opt int 2048 & info [ "size"; "s" ] ~doc:"Key range.") in
+  let ins = Arg.(value & opt int 50 & info [ "inserts" ] ~doc:"Insert percentage.") in
+  let del = Arg.(value & opt int 50 & info [ "deletes" ] ~doc:"Delete percentage.") in
+  let reclaim = Arg.(value & opt int 512 & info [ "reclaim-freq" ] ~doc:"Retire threshold.") in
+  let epochf = Arg.(value & opt int 32 & info [ "epoch-freq" ] ~doc:"Epoch frequency.") in
+  let popm = Arg.(value & opt int 2 & info [ "pop-mult" ] ~doc:"EpochPOP C multiplier.") in
+  let lrr =
+    Arg.(value & flag & info [ "long-running-reads" ] ~doc:"Figure-4 reader/updater split.")
+  in
+  let stall_for =
+    Arg.(value & opt float 0.0 & info [ "stall" ] ~doc:"Stall thread 0 for this many seconds.")
+  in
+  let stall_polling =
+    Arg.(value & opt bool true & info [ "stall-polling" ] ~doc:"Stalled thread serves pings.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the cell result as CSV.") in
+  let fig =
+    Arg.(value & opt (some string) None & info [ "fig" ] ~doc:"Run a figure sweep instead.")
+  in
+  let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
+  let main ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
+      stall_polling seed csv fig fullscale =
+    match fig with
+    | Some f -> run_figure f fullscale
+    | None ->
+        run_cell ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
+          stall_polling seed csv
+  in
+  Cmd.v
+    (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
+    Term.(
+      const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim $ epochf
+      $ popm $ lrr $ stall_for $ stall_polling $ seed $ csv $ fig $ fullscale)
+
+let () = exit (Cmd.eval cmd)

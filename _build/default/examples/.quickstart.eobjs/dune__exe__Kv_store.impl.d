@@ -1,0 +1,1 @@
+examples/kv_store.ml: Atomic Domain List Pop_baselines Pop_core Pop_ds Pop_harness Pop_runtime Printf Unix

@@ -1,0 +1,1 @@
+examples/long_running_scan.ml: Dispatch List Pop_core Pop_harness Printf Report Runner

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain List Pop_core Pop_ds Pop_runtime Printf

@@ -1,0 +1,1 @@
+examples/task_pipeline.ml: Atomic Domain List Pop_baselines Pop_core Pop_ds Pop_runtime Printf

@@ -1,0 +1,1 @@
+lib/baselines/cadence.ml: Array Atomic Clock Counters Fence Handshake Id_set Pop_core Pop_runtime Pop_sim Reservations Smr_config Softsignal Vec

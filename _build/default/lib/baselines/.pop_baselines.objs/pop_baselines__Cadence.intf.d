@@ -1,0 +1,1 @@
+lib/baselines/cadence.mli: Pop_core

@@ -1,0 +1,1 @@
+lib/baselines/ebr.ml: Atomic Counters Fence Pop_core Pop_runtime Pop_sim Smr_config Softsignal Striped Vec

@@ -1,0 +1,1 @@
+lib/baselines/ebr.mli: Pop_core

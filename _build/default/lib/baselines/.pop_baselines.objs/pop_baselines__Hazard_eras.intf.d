@@ -1,0 +1,1 @@
+lib/baselines/hazard_eras.mli: Pop_core

@@ -1,0 +1,1 @@
+lib/baselines/hp.ml: Array Atomic Counters Fence Id_set Pop_core Pop_runtime Pop_sim Reservations Smr_config Softsignal Vec

@@ -1,0 +1,1 @@
+lib/baselines/hp.mli: Pop_core

@@ -1,0 +1,1 @@
+lib/baselines/hp_asym.mli: Pop_core

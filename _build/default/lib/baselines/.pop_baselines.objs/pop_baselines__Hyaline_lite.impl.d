@@ -1,0 +1,1 @@
+lib/baselines/hyaline_lite.ml: Array Atomic Counters List Pop_core Pop_runtime Pop_sim Smr_config Softsignal Vec

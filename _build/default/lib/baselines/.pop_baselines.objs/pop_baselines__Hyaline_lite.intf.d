@@ -1,0 +1,1 @@
+lib/baselines/hyaline_lite.mli: Pop_core

@@ -1,0 +1,1 @@
+lib/baselines/ibr.ml: Array Atomic Counters Fence Pop_core Pop_runtime Pop_sim Reservations Smr_config Softsignal Vec

@@ -1,0 +1,1 @@
+lib/baselines/ibr.mli: Pop_core

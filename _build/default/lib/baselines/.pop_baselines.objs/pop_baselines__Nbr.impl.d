@@ -1,0 +1,1 @@
+lib/baselines/nbr.ml: Array Atomic Backoff Counters Fence Handshake Id_set Pop_core Pop_runtime Pop_sim Reservations Smr Smr_config Softsignal Vec

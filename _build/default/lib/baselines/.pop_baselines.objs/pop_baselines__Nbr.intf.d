@@ -1,0 +1,1 @@
+lib/baselines/nbr.mli: Pop_core

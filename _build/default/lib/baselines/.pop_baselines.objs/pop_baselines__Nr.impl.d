@@ -1,0 +1,1 @@
+lib/baselines/nr.ml: Atomic Counters Pop_core Pop_runtime Pop_sim Smr_config Softsignal

@@ -1,0 +1,1 @@
+lib/baselines/nr.mli: Pop_core

@@ -1,0 +1,1 @@
+lib/baselines/unsafe_free.ml: Atomic Counters Pop_core Pop_runtime Pop_sim Smr_config Softsignal

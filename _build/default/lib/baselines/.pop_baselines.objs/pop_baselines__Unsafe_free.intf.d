@@ -1,0 +1,1 @@
+lib/baselines/unsafe_free.mli: Pop_core

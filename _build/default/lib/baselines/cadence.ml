@@ -1,0 +1,159 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "cadence"
+
+let no_id = min_int
+
+let tick_interval = ref 0.002
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t; (* local rows are the visible table (plain stores) *)
+  hs : Handshake.t;
+  c : Counters.t;
+  tick : int Atomic.t;
+  tick_lock : bool Atomic.t;
+  mutable last_tick_time : float; (* racy; only gates the tick attempt *)
+  interval : float;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  row : int array;
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  counter_scratch : int array;
+  res_scratch : int array;
+  reserved : Id_set.t;
+  mutable op_counter : int;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
+    hs = Handshake.create hub;
+    c = Counters.create cfg.max_threads;
+    tick = Atomic.make 2;
+    tick_lock = Atomic.make false;
+    last_tick_time = Clock.now ();
+    interval = !tick_interval;
+  }
+
+let register g ~tid =
+  let port = Softsignal.register g.hub ~tid in
+  let nres = g.cfg.max_threads * g.cfg.max_hp in
+  let ctx =
+    {
+      g;
+      tid;
+      port;
+      row = Reservations.local_row g.res ~tid;
+      fence = Fence.make_cell ();
+      retired = Vec.create ();
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      res_scratch = Array.make nres 0;
+      reserved = Id_set.create ~capacity:nres;
+      op_counter = 0;
+    }
+  in
+  (* The "context switch": a fence and an acknowledgement. *)
+  Softsignal.set_handler port (fun () ->
+      Fence.execute ctx.fence g.cfg.fence_cost;
+      Handshake.ack g.hs ~tid);
+  ctx
+
+(* The auxiliary-thread cadence: the first thread to notice the interval
+   elapsed runs a barrier round — this cost is paid at a fixed rate even
+   in workloads that never reclaim. *)
+let maybe_tick ctx =
+  let g = ctx.g in
+  if Clock.elapsed g.last_tick_time >= g.interval then
+    if Atomic.compare_and_set g.tick_lock false true then begin
+      if Clock.elapsed g.last_tick_time >= g.interval then begin
+        Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+        Atomic.incr g.tick;
+        g.last_tick_time <- Clock.now ()
+      end;
+      Atomic.set g.tick_lock false
+    end
+
+let start_op ctx =
+  ctx.op_counter <- ctx.op_counter + 1;
+  (* Amortize the clock read. *)
+  if ctx.op_counter land 0x3f = 0 then maybe_tick ctx
+
+let end_op ctx = Reservations.clear_local ctx.g.res ~tid:ctx.tid
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Plain store to the visible SWMR row — the barrier rounds make it
+   globally visible within one tick. *)
+let rec read ctx slot addr proj =
+  let v = Atomic.get addr in
+  let n = proj v in
+  Array.unsafe_set ctx.row slot n.Heap.id;
+  Softsignal.poll ctx.port;
+  if Atomic.get addr == v then v else read ctx slot addr proj
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+(* Free nodes retired at least two ticks ago (a complete barrier round
+   has made every reservation that could cover them visible) and not
+   found in the visible reservation table. *)
+let reclaim ctx ~force =
+  let g = ctx.g in
+  if force then begin
+    (* End-of-run drain: run a round now instead of waiting a tick. *)
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+    Atomic.incr g.tick;
+    Atomic.incr g.tick
+  end;
+  let now = Atomic.get g.tick in
+  Counters.reclaim_pass g.c ~tid:ctx.tid;
+  let k = Reservations.collect_local g.res ctx.res_scratch in
+  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
+  Id_set.seal ctx.reserved;
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if n.Heap.retire_era + 2 > now || Id_set.mem ctx.reserved n.Heap.id then true
+        else begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  n.Heap.retire_era <- Atomic.get ctx.g.tick;
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then begin
+    maybe_tick ctx;
+    reclaim ctx ~force:false
+  end
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx ~force:true
+
+let deregister ctx =
+  Reservations.clear_local ctx.g.res ~tid:ctx.tid;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.tick)

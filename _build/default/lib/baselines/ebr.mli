@@ -1,0 +1,10 @@
+(** RCU-style epoch-based reclamation (Algorithm 6).
+
+    The fast, non-robust baseline: one epoch announcement per operation,
+    bare reads, and reclamation of everything retired before the oldest
+    announced epoch. A single delayed thread pins the minimum epoch and
+    stops {e all} reclamation — the robustness failure EpochPOP fixes.
+    An O(1) guard skips rescans while the minimum epoch has not moved,
+    so a pinned run degrades in memory, not in time. *)
+
+include Pop_core.Smr.S

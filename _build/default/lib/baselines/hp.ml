@@ -1,0 +1,103 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "hp"
+
+let no_id = min_int
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t;
+  c : Counters.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  srow : int Atomic.t array; (* cached shared reservation row *)
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  res_scratch : int array;
+  reserved : Id_set.t;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
+    c = Counters.create cfg.max_threads;
+  }
+
+let register g ~tid =
+  let nres = g.cfg.max_threads * g.cfg.max_hp in
+  {
+    g;
+    tid;
+    port = Softsignal.register g.hub ~tid;
+    srow = Reservations.shared_row g.res ~tid;
+    fence = Fence.make_cell ();
+    retired = Vec.create ();
+    res_scratch = Array.make nres 0;
+    reserved = Id_set.create ~capacity:nres;
+  }
+
+let start_op _ctx = ()
+
+let end_op ctx = Reservations.clear_shared ctx.g.res ~tid:ctx.tid
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Reserve, fence, re-validate — Michael's protocol. The fenced publish
+   on every pointer read is the cost the paper's POP variants remove. *)
+let rec read ctx slot addr proj =
+  let v = Atomic.get addr in
+  let n = proj v in
+  Atomic.set (Array.unsafe_get ctx.srow slot) n.Heap.id;
+  Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1);
+  if Atomic.get addr == v then v else read ctx slot addr proj
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+let reclaim ctx =
+  let g = ctx.g in
+  Counters.reclaim_pass g.c ~tid:ctx.tid;
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
+  Id_set.seal ctx.reserved;
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if Id_set.mem ctx.reserved n.Heap.id then true
+        else begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+
+let deregister ctx =
+  Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:0

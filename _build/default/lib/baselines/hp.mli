@@ -1,0 +1,9 @@
+(** Original hazard pointers (Michael 2004).
+
+    Every protected read publishes the reservation eagerly with a
+    sequentially consistent store — the per-read fence whose cost the
+    paper sets out to eliminate — and re-reads the source pointer to
+    validate. Reclaimers scan the shared reservation table directly;
+    no signals are involved. *)
+
+include Pop_core.Smr.S

@@ -1,0 +1,11 @@
+(** Membarrier-style hazard pointers (HPAsym, cf. Folly's implementation).
+
+    Readers publish reservations with plain unfenced stores to their SWMR
+    rows; before scanning, a reclaimer executes a process-wide barrier —
+    modelled here as a ping round whose handler is empty except for the
+    acknowledgement, the analogue of [sys_membarrier] forcing every CPU
+    through a fence. The read path is as cheap as POP's; the difference
+    is that reservations are written directly to the externally visible
+    row instead of being copied on demand. *)
+
+include Pop_core.Smr.S

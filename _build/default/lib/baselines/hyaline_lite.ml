@@ -1,0 +1,107 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "hyaline"
+
+type 'a batch = { nodes : 'a Heap.node array; refs : int Atomic.t }
+
+(* A thread's slot: whether it is inside an operation, and the batches
+   charged to it while active. Replaced wholesale by CAS/exchange. *)
+type 'a slot_state = { active : bool; charged : 'a batch list }
+
+let idle = { active = false; charged = [] }
+
+let entered = { active = true; charged = [] }
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  slots : 'a slot_state Atomic.t array;
+  c : Counters.t;
+}
+
+type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port; retired : 'a Heap.node Vec.t }
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    slots = Array.init cfg.max_threads (fun _ -> Atomic.make idle);
+    c = Counters.create cfg.max_threads;
+  }
+
+let register g ~tid = { g; tid; port = Softsignal.register g.hub ~tid; retired = Vec.create () }
+
+let release ctx batch =
+  if Atomic.fetch_and_add batch.refs (-1) = 1 then begin
+    let g = ctx.g in
+    Array.iter (fun n -> Heap.free g.heap ~tid:ctx.tid n) batch.nodes;
+    Counters.free g.c ~tid:ctx.tid (Array.length batch.nodes)
+  end
+
+let start_op ctx =
+  let old = Atomic.exchange ctx.g.slots.(ctx.tid) entered in
+  (* Leftover charges can only exist if end_op was skipped; drain them so
+     the batch accounting stays exact. *)
+  List.iter (release ctx) old.charged
+
+let end_op ctx =
+  let old = Atomic.exchange ctx.g.slots.(ctx.tid) idle in
+  List.iter (release ctx) old.charged
+
+let poll ctx = Softsignal.poll ctx.port
+
+let read _ctx _slot addr _proj = Atomic.get addr
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+(* Charge the batch to every thread observed active. The creator token
+   (initial count 1) keeps the count positive until distribution ends. *)
+let distribute ctx batch =
+  let g = ctx.g in
+  for tid = 0 to g.cfg.max_threads - 1 do
+    let cell = g.slots.(tid) in
+    let rec try_charge () =
+      let cur = Atomic.get cell in
+      if cur.active then begin
+        ignore (Atomic.fetch_and_add batch.refs 1);
+        if Atomic.compare_and_set cell cur { cur with charged = batch :: cur.charged } then ()
+        else begin
+          (* Undo: count stays >= 1 thanks to the creator token. *)
+          ignore (Atomic.fetch_and_add batch.refs (-1));
+          try_charge ()
+        end
+      end
+    in
+    try_charge ()
+  done;
+  release ctx batch
+
+let reclaim ctx =
+  Counters.reclaim_pass ctx.g.c ~tid:ctx.tid;
+  let nodes = Array.init (Vec.length ctx.retired) (Vec.get ctx.retired) in
+  Vec.clear ctx.retired;
+  distribute ctx { nodes; refs = Atomic.make 1 }
+
+let retire ctx n =
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+
+let deregister ctx =
+  end_op ctx;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:0

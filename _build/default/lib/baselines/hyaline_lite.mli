@@ -1,0 +1,16 @@
+(** Batch-reference-counting reclamation in the Hyaline/Crystalline
+    family (Nikolaev & Ravindran) — the appendix-E comparator.
+
+    Retired nodes are grouped into batches. When a batch is formed, it is
+    enqueued onto every currently active thread's slot and its reference
+    count is set to the number of enqueues (plus the creator's token);
+    each thread decrements the batches queued on it when it finishes its
+    operation, and whoever drops a batch to zero frees its nodes. Reads
+    are bare loads — EBR-class read cost — and the per-operation price is
+    two atomic exchanges on the thread's own slot.
+
+    Fidelity vs. real Crystalline: this is lock-free, not wait-free, and
+    has no robust eras — a stalled active thread holds the batches queued
+    on it (DESIGN.md documents the simplification). *)
+
+include Pop_core.Smr.S

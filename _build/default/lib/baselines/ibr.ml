@@ -1,0 +1,142 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "ibr"
+
+(* Slot 0 of each thread's row is [lo], slot 1 is [hi]. *)
+let lo_slot = 0
+
+let hi_slot = 1
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t;
+  c : Counters.t;
+  epoch : int Atomic.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  lo_cell : int Atomic.t;
+  hi_cell : int Atomic.t;
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  res_scratch : int array;
+  mutable cached_hi : int;
+  mutable alloc_counter : int;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:2 ~none:max_int;
+    c = Counters.create cfg.max_threads;
+    epoch = Atomic.make 1;
+  }
+
+let register g ~tid =
+  let row = Reservations.shared_row g.res ~tid in
+  {
+    g;
+    tid;
+    port = Softsignal.register g.hub ~tid;
+    lo_cell = row.(lo_slot);
+    hi_cell = row.(hi_slot);
+    fence = Fence.make_cell ();
+    retired = Vec.create ();
+    res_scratch = Array.make (g.cfg.max_threads * 2) 0;
+    cached_hi = -1;
+    alloc_counter = 0;
+  }
+
+(* One fenced interval announcement per operation. *)
+let start_op ctx =
+  let e = Atomic.get ctx.g.epoch in
+  Atomic.set ctx.hi_cell e;
+  Atomic.set ctx.lo_cell e;
+  Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1);
+  ctx.cached_hi <- e
+
+(* [lo = max_int] denotes "no interval": the freeability test's first
+   disjunct is then true for every node. *)
+let end_op ctx =
+  Atomic.set ctx.lo_cell max_int;
+  ctx.cached_hi <- -1
+
+let poll ctx = Softsignal.poll ctx.port
+
+let read ctx _slot addr _proj =
+  let e = Atomic.get ctx.g.epoch in
+  if e <> ctx.cached_hi then begin
+    (* The upper bound must be visible before the pointer is used: the
+       fence IBR pays whenever the epoch advances under a traversal. *)
+    Atomic.set ctx.hi_cell e;
+    Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1);
+    ctx.cached_hi <- e
+  end;
+  Atomic.get addr
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx =
+  ctx.alloc_counter <- ctx.alloc_counter + 1;
+  if ctx.alloc_counter mod ctx.g.cfg.epoch_freq = 0 then
+    ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+  Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
+
+(* Free when the node's lifespan intersects no published interval:
+   for every thread, retire < lo or birth > hi. *)
+let can_free scratch nthreads n =
+  let ok = ref true in
+  for tid = 0 to nthreads - 1 do
+    let lo = scratch.((tid * 2) + lo_slot) and hi = scratch.((tid * 2) + hi_slot) in
+    if not (n.Heap.retire_era < lo || n.Heap.birth_era > hi) then ok := false
+  done;
+  !ok
+
+let reclaim ctx =
+  let g = ctx.g in
+  Counters.reclaim_pass g.c ~tid:ctx.tid;
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  assert (k = g.cfg.max_threads * 2);
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if can_free ctx.res_scratch g.cfg.max_threads n then begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end
+        else true)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  n.Heap.retire_era <- Atomic.get ctx.g.epoch;
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired mod ctx.g.cfg.reclaim_freq = 0 then reclaim ctx
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx =
+  if not (Vec.is_empty ctx.retired) then begin
+    ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    reclaim ctx
+  end
+
+let deregister ctx =
+  Reservations.set_shared ctx.g.res ~tid:ctx.tid ~slot:lo_slot max_int;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)

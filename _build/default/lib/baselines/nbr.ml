@@ -1,0 +1,186 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "nbr"
+
+let no_id = min_int
+
+type phase = Quiescent | Read_phase | Write_phase
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t; (* write-phase reservations, published eagerly *)
+  hs : Handshake.t;
+  c : Counters.t;
+  rounds_started : int Atomic.t;
+  rounds_done : int Atomic.t;
+  round_active : bool Atomic.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  retired : 'a Heap.node Vec.t;
+  counter_scratch : int array;
+  res_scratch : int array;
+  reserved : Id_set.t;
+  mutable phase : phase;
+  mutable neutralized : bool;
+  mutable published_slots : int;
+  fence : Fence.cell;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
+    hs = Handshake.create hub;
+    c = Counters.create cfg.max_threads;
+    rounds_started = Atomic.make 0;
+    rounds_done = Atomic.make 0;
+    round_active = Atomic.make false;
+  }
+
+let register g ~tid =
+  let port = Softsignal.register g.hub ~tid in
+  let nres = g.cfg.max_threads * g.cfg.max_hp in
+  let ctx =
+    {
+      g;
+      tid;
+      port;
+      retired = Vec.create ();
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      res_scratch = Array.make nres 0;
+      reserved = Id_set.create ~capacity:nres;
+      phase = Quiescent;
+      neutralized = false;
+      published_slots = 0;
+      fence = Fence.make_cell ();
+    }
+  in
+  (* The "signal handler": neutralize read-phase threads, always ack.
+     It runs in the owner thread (from poll), so plain fields are safe. *)
+  Softsignal.set_handler port (fun () ->
+      if ctx.phase = Read_phase then ctx.neutralized <- true;
+      Handshake.ack g.hs ~tid);
+  ctx
+
+let clear_published ctx =
+  for slot = 0 to ctx.published_slots - 1 do
+    Reservations.set_shared ctx.g.res ~tid:ctx.tid ~slot no_id
+  done;
+  ctx.published_slots <- 0
+
+let start_op ctx =
+  ctx.phase <- Read_phase;
+  ctx.neutralized <- false
+
+let end_op ctx =
+  if ctx.published_slots > 0 then clear_published ctx;
+  ctx.phase <- Quiescent
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Unprotected read; the poll is the (soft) signal delivery point. A
+   neutralized thread raises before touching anything it read, the
+   polling analogue of siglongjmp out of the handler. *)
+let read ctx _slot addr _proj =
+  let v = Atomic.get addr in
+  Softsignal.poll ctx.port;
+  if ctx.neutralized then begin
+    ctx.neutralized <- false;
+    Counters.restart ctx.g.c ~tid:ctx.tid;
+    if ctx.published_slots > 0 then clear_published ctx;
+    raise Smr.Restart
+  end;
+  v
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+(* Publish reservations for the nodes the write phase will dereference,
+   then make sure no neutralization raced the publication. *)
+let enter_write_phase ctx nodes =
+  let n = Array.length nodes in
+  if n > ctx.g.cfg.max_hp then invalid_arg "Nbr.enter_write_phase: too many nodes";
+  for slot = 0 to n - 1 do
+    Reservations.set_shared ctx.g.res ~tid:ctx.tid ~slot nodes.(slot).Heap.id
+  done;
+  (* One fence per write phase, not per read — NBR's fast read path. *)
+  Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1);
+  ctx.published_slots <- n;
+  Softsignal.poll ctx.port;
+  if ctx.neutralized then begin
+    ctx.neutralized <- false;
+    Counters.restart ctx.g.c ~tid:ctx.tid;
+    clear_published ctx;
+    raise Smr.Restart
+  end;
+  ctx.phase <- Write_phase
+
+(* One neutralization round; concurrent reclaimers coalesce (NBR+). *)
+let ensure_round ctx =
+  let g = ctx.g in
+  let r0 = Atomic.get g.rounds_done in
+  if Atomic.compare_and_set g.round_active false true then begin
+    let s = Atomic.fetch_and_add g.rounds_started 1 + 1 in
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+    Atomic.set g.rounds_done s;
+    Atomic.set g.round_active false;
+    s
+  end
+  else begin
+    let b = Backoff.make () in
+    while Atomic.get g.rounds_done <= r0 do
+      Softsignal.poll ctx.port;
+      Backoff.once b
+    done;
+    Atomic.get g.rounds_done
+  end
+
+let reclaim ctx =
+  let g = ctx.g in
+  Counters.pop_pass g.c ~tid:ctx.tid;
+  let s = ensure_round ctx in
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
+  Id_set.seal ctx.reserved;
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        (* retire_era holds the round stamp: only nodes retired before
+           round [s] began were certainly unlinked before its pings. *)
+        if n.Heap.retire_era >= s || Id_set.mem ctx.reserved n.Heap.id then true
+        else begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  n.Heap.retire_era <- Atomic.get ctx.g.rounds_started;
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+
+let deregister ctx =
+  clear_published ctx;
+  ctx.phase <- Quiescent;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.rounds_done)

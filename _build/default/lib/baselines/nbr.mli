@@ -1,0 +1,22 @@
+(** Neutralization-based reclamation (NBR/NBR+, Singh, Brown &
+    Mashtizadeh 2021/2024).
+
+    Operations are split into a read phase (unprotected reads) and a
+    write phase (entered via [enter_write_phase], which eagerly publishes
+    reservations for every node the write phase will touch). A reclaimer
+    pings all threads; a thread pinged in its read phase is
+    {e neutralized}: its next protected read raises {!Pop_core.Smr.Restart}
+    and the operation restarts from its entry point. After all threads
+    acknowledge, everything not covered by a published (write-phase)
+    reservation is freed.
+
+    The NBR+ optimization is included: concurrent reclaimers coalesce on
+    a single neutralization round — a late arriver waits for the active
+    round instead of signalling again, and frees only nodes retired
+    before that round began (tracked by stamping retirees with the round
+    counter).
+
+    This is the algorithm whose forced restarts destroy long-running
+    reads (paper Figure 4); POP needs no restarts. *)
+
+include Pop_core.Smr.S

@@ -1,0 +1,46 @@
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+let name = "nr"
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  c : Counters.t;
+}
+
+type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port }
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  { cfg; hub; heap; c = Counters.create cfg.max_threads }
+
+let register g ~tid = { g; tid; port = Softsignal.register g.hub ~tid }
+
+let start_op _ctx = ()
+
+let end_op _ctx = ()
+
+let poll ctx = Softsignal.poll ctx.port
+
+let read _ctx _slot addr _proj = Atomic.get addr
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+(* Leak: the node is dropped on the floor (the simulated heap never sees
+   it again), so allocations keep growing — the paper's NR behaviour. *)
+let retire ctx _n = Counters.retire ctx.g.c ~tid:ctx.tid
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush _ctx = ()
+
+let deregister ctx = Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:0

@@ -1,0 +1,7 @@
+(** Deliberately unsafe reclamation: free at retire time.
+
+    Exists to prove the harness can detect unsafety: under concurrency
+    this scheme recycles nodes other threads still hold, so the heap's
+    use-after-free counter must go positive. Never use outside tests. *)
+
+include Pop_core.Smr.S

@@ -1,0 +1,1 @@
+lib/core/counters.ml: Pop_runtime Smr_stats Softsignal Striped

@@ -1,0 +1,1 @@
+lib/core/epoch_pop.ml: Array Atomic Counters Fence Handshake Id_set Pop_runtime Pop_sim Reservations Smr_config Softsignal Striped Vec

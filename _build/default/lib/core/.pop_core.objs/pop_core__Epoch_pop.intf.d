@@ -1,0 +1,1 @@
+lib/core/epoch_pop.mli: Smr

@@ -1,0 +1,1 @@
+lib/core/handshake.ml: Array Backoff Pop_runtime Softsignal Striped

@@ -1,0 +1,1 @@
+lib/core/handshake.mli: Pop_runtime

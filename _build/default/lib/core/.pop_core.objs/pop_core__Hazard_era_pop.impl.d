@@ -1,0 +1,1 @@
+lib/core/hazard_era_pop.ml: Array Atomic Counters Fence Handshake Pop_runtime Pop_sim Reservations Smr_config Softsignal Vec

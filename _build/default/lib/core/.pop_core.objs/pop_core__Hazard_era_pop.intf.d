@@ -1,0 +1,1 @@
+lib/core/hazard_era_pop.mli: Smr

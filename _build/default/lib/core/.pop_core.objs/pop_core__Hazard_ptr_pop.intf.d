@@ -1,0 +1,1 @@
+lib/core/hazard_ptr_pop.mli: Smr

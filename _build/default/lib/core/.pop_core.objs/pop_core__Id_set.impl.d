@@ -1,0 +1,1 @@
+lib/core/id_set.ml: Array

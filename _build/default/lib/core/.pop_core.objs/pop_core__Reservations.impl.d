@@ -1,0 +1,1 @@
+lib/core/reservations.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/core/smr.ml: Atomic Pop_runtime Pop_sim Smr_config Smr_stats

@@ -1,0 +1,1 @@
+lib/core/smr_config.mli:

@@ -1,0 +1,44 @@
+open Pop_runtime
+
+type t = {
+  retired : Striped.t;
+  freed : Striped.t;
+  reclaim_passes : Striped.t;
+  pop_passes : Striped.t;
+  restarts : Striped.t;
+}
+
+let create n =
+  {
+    retired = Striped.create n;
+    freed = Striped.create n;
+    reclaim_passes = Striped.create n;
+    pop_passes = Striped.create n;
+    restarts = Striped.create n;
+  }
+
+let retire t ~tid = Striped.incr t.retired tid
+
+let free t ~tid n = Striped.add t.freed tid n
+
+let reclaim_pass t ~tid = Striped.incr t.reclaim_passes tid
+
+let pop_pass t ~tid = Striped.incr t.pop_passes tid
+
+let restart t ~tid = Striped.incr t.restarts tid
+
+let unreclaimed t = Striped.sum t.retired - Striped.sum t.freed
+
+let snapshot t ~hub ~epoch =
+  let retired = Striped.sum t.retired and freed = Striped.sum t.freed in
+  {
+    Smr_stats.retired;
+    freed;
+    reclaim_passes = Striped.sum t.reclaim_passes;
+    pop_passes = Striped.sum t.pop_passes;
+    pings = Softsignal.pings_sent hub;
+    publishes = Softsignal.handler_runs hub;
+    restarts = Striped.sum t.restarts;
+    epoch;
+    unreclaimed = retired - freed;
+  }

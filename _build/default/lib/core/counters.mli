@@ -1,0 +1,22 @@
+(** Per-thread statistic counters shared by all SMR implementations. *)
+
+type t
+
+val create : int -> t
+(** [create max_threads]. *)
+
+val retire : t -> tid:int -> unit
+
+val free : t -> tid:int -> int -> unit
+(** [free t ~tid n] records [n] nodes freed. *)
+
+val reclaim_pass : t -> tid:int -> unit
+
+val pop_pass : t -> tid:int -> unit
+
+val restart : t -> tid:int -> unit
+
+val unreclaimed : t -> int
+(** Retired minus freed, racily summed. *)
+
+val snapshot : t -> hub:Pop_runtime.Softsignal.t -> epoch:int -> Smr_stats.t

@@ -1,0 +1,178 @@
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+let name = "epoch-pop"
+
+let no_id = min_int
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t; (* private node-id reservations, published on ping *)
+  reserved_epoch : Striped.t; (* eager per-op epoch announcements (EBR part) *)
+  hs : Handshake.t;
+  c : Counters.t;
+  epoch : int Atomic.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  row : int array; (* cached private reservation row *)
+  my_epoch : int Atomic.t; (* cached reserved-epoch announcement slot *)
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  counter_scratch : int array;
+  res_scratch : int array;
+  reserved : Id_set.t;
+  mutable op_counter : int;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  let reserved_epoch = Striped.create cfg.max_threads in
+  for tid = 0 to cfg.max_threads - 1 do
+    Striped.set reserved_epoch tid max_int
+  done;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
+    reserved_epoch;
+    hs = Handshake.create hub;
+    c = Counters.create cfg.max_threads;
+    epoch = Atomic.make 1;
+  }
+
+let register g ~tid =
+  let port = Softsignal.register g.hub ~tid in
+  let nres = g.cfg.max_threads * g.cfg.max_hp in
+  let ctx =
+    {
+      g;
+      tid;
+      port;
+      row = Reservations.local_row g.res ~tid;
+      my_epoch = Striped.cell g.reserved_epoch tid;
+      fence = Fence.make_cell ();
+      retired = Vec.create ();
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      res_scratch = Array.make nres 0;
+      reserved = Id_set.create ~capacity:nres;
+      op_counter = 0;
+    }
+  in
+  Softsignal.set_handler port (fun () ->
+      Reservations.publish g.res ~tid;
+      Fence.execute ctx.fence g.cfg.fence_cost;
+      Handshake.ack g.hs ~tid);
+  ctx
+
+(* Algorithm 3, STARTOP: advance the global epoch every [epoch_freq]
+   operations and announce the epoch we run in. *)
+let start_op ctx =
+  ctx.op_counter <- ctx.op_counter + 1;
+  if ctx.op_counter mod ctx.g.cfg.epoch_freq = 0 then
+    ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+  (* The epoch announcement is the one fenced write per operation, just
+     like EBR's. *)
+  Atomic.set ctx.my_epoch (Atomic.get ctx.g.epoch);
+  Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1)
+
+(* Algorithm 3, ENDOP plus CLEAR of the private reservations. *)
+let end_op ctx =
+  Atomic.set ctx.my_epoch max_int;
+  Reservations.clear_local ctx.g.res ~tid:ctx.tid
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Algorithm 3, READ: identical to HazardPtrPOP's read — the private
+   reservation is what makes the POP fallback safe. *)
+let rec read ctx slot addr proj =
+  let v = Atomic.get addr in
+  let n = proj v in
+  Array.unsafe_set ctx.row slot n.Heap.id;
+  Softsignal.poll ctx.port;
+  if Atomic.get addr == v then v else read ctx slot addr proj
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
+
+(* Algorithm 3, RECLAIMEPOCHFREEABLE: plain EBR reclamation. *)
+let reclaim_epoch ctx =
+  let g = ctx.g in
+  Counters.reclaim_pass g.c ~tid:ctx.tid;
+  let min_epoch = ref max_int in
+  for tid = 0 to g.cfg.max_threads - 1 do
+    let e = Striped.get g.reserved_epoch tid in
+    if e < !min_epoch then min_epoch := e
+  done;
+  let min_epoch = !min_epoch in
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if n.Heap.retire_era < min_epoch then begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end
+        else true)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+(* Algorithm 3 line 26: the POP fallback (RECLAIMHPFREEABLE). *)
+let reclaim_pop ctx =
+  let g = ctx.g in
+  Counters.pop_pass g.c ~tid:ctx.tid;
+  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  Reservations.publish g.res ~tid:ctx.tid;
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
+  Id_set.seal ctx.reserved;
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if Id_set.mem ctx.reserved n.Heap.id then true
+        else begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  n.Heap.retire_era <- Atomic.get ctx.g.epoch;
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  let len = Vec.length ctx.retired in
+  if len mod ctx.g.cfg.reclaim_freq = 0 then begin
+    reclaim_epoch ctx;
+    (* Still too much garbage after an epoch pass: suspect a delayed
+       thread and fall back to publish-on-ping. *)
+    if Vec.length ctx.retired >= ctx.g.cfg.pop_mult * ctx.g.cfg.reclaim_freq then
+      reclaim_pop ctx
+  end
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx =
+  if not (Vec.is_empty ctx.retired) then begin
+    ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    reclaim_epoch ctx;
+    if not (Vec.is_empty ctx.retired) then reclaim_pop ctx
+  end
+
+let deregister ctx =
+  Striped.set ctx.g.reserved_epoch ctx.tid max_int;
+  Reservations.clear_local ctx.g.res ~tid:ctx.tid;
+  Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)

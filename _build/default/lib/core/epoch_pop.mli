@@ -1,0 +1,13 @@
+(** EpochPOP: epoch-based reclamation speed, hazard-pointer robustness
+    (Algorithm 3).
+
+    Threads run in two modes {e simultaneously}, with no global mode
+    switch: every operation announces the current epoch (EBR fast path)
+    {e and} privately reserves each node it reads (HazardPtrPOP, no
+    fence). Reclaimers first free by epochs; if the retire list is still
+    too large afterwards — the signature of a delayed thread pinning an
+    old epoch — they ping everyone, collect the published reservations
+    and free everything not reserved. One reclaimer can be in the POP
+    path while another keeps reclaiming by epochs. *)
+
+include Smr.S

@@ -1,0 +1,42 @@
+open Pop_runtime
+
+type t = { counters : Striped.t; hub : Softsignal.t }
+
+let create hub = { counters = Striped.create (Softsignal.max_threads hub); hub }
+
+let ack t ~tid = Striped.incr t.counters tid
+
+let get t tid = Striped.get t.counters tid
+
+(* [scratch.(tid)] holds the counter snapshot taken just before [tid]'s
+   ping, or [-1] for threads the ping did not reach (self, dead slots,
+   and threads that registered after the ping round — the latter cannot
+   hold references to nodes retired before they existed, exactly like a
+   thread created after a pthread_kill round, so they are excluded). *)
+let skip = -1
+
+let ping_and_wait t ~port ~scratch =
+  let self = Softsignal.tid port in
+  let n = Softsignal.max_threads t.hub in
+  for tid = 0 to n - 1 do
+    if tid = self then scratch.(tid) <- skip
+    else begin
+      (* Snapshot before pinging (COLLECTPUBLISHEDCOUNTERS before
+         PINGALLTOPUBLISH): an ack after the ping is then provably a
+         publish that completed after this round began. *)
+      let snap = Striped.get t.counters tid in
+      scratch.(tid) <- (if Softsignal.ping t.hub tid then snap else skip)
+    end
+  done;
+  let b = Backoff.make () in
+  for tid = 0 to n - 1 do
+    if scratch.(tid) <> skip then begin
+      Backoff.reset b;
+      while Softsignal.is_active t.hub tid && Striped.get t.counters tid <= scratch.(tid) do
+        (* Serve pings aimed at us while we wait, or two concurrent
+           reclaimers deadlock waiting for each other's publish. *)
+        Softsignal.poll port;
+        Backoff.once b
+      done
+    end
+  done

@@ -1,0 +1,31 @@
+(** The publish-counter handshake of Algorithms 1–2.
+
+    A reclaimer snapshots every thread's publish counter
+    (COLLECTPUBLISHEDCOUNTERS), pings all threads (PINGALLTOPUBLISH) and
+    waits until each active peer's counter has moved
+    (WAITFORALLPUBLISHED). Counters are monotonically increasing SWMR
+    slots bumped by each thread's handler after it publishes, so one
+    publish satisfies every reclaimer whose snapshot preceded it —
+    concurrent pings coalesce exactly as the paper describes.
+
+    The wait loop polls the waiter's own port (two reclaimers pinging
+    each other must both publish) and skips peers that deregister. *)
+
+type t
+
+val create : Pop_runtime.Softsignal.t -> t
+
+val ack : t -> tid:int -> unit
+(** Bump [tid]'s publish counter. Called from the signal handler after
+    the handler's real work (publishing reservations). *)
+
+val get : t -> int -> int
+
+val ping_and_wait : t -> port:Pop_runtime.Softsignal.port -> scratch:int array -> unit
+(** Snapshot + ping + bounded wait, from the thread owning [port].
+    [scratch] must hold [max_threads] entries. Waits only for the
+    threads the ping actually reached: threads that register after the
+    ping round are excluded (like a thread spawned after a
+    [pthread_kill] sweep, they cannot hold references to nodes retired
+    before they existed), and threads that deregister mid-wait are
+    skipped. *)

@@ -1,0 +1,133 @@
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+let name = "he-pop"
+
+let no_era = -1
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t;
+  hs : Handshake.t;
+  c : Counters.t;
+  epoch : int Atomic.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  row : int array; (* cached private era row *)
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  counter_scratch : int array;
+  res_scratch : int array;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
+    hs = Handshake.create hub;
+    c = Counters.create cfg.max_threads;
+    epoch = Atomic.make 1;
+  }
+
+let register g ~tid =
+  let port = Softsignal.register g.hub ~tid in
+  let ctx =
+    {
+      g;
+      tid;
+      port;
+      row = Reservations.local_row g.res ~tid;
+      fence = Fence.make_cell ();
+      retired = Vec.create ();
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      res_scratch = Array.make (g.cfg.max_threads * g.cfg.max_hp) 0;
+    }
+  in
+  Softsignal.set_handler port (fun () ->
+      Reservations.publish g.res ~tid;
+      Fence.execute ctx.fence g.cfg.fence_cost;
+      Handshake.ack g.hs ~tid);
+  ctx
+
+let start_op _ctx = ()
+
+let end_op ctx = Reservations.clear_local ctx.g.res ~tid:ctx.tid
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Algorithm 5, READ: reserve the current era locally. Unlike original
+   hazard eras (Algorithm 4 line 14) no fence is needed when the era
+   advanced mid-read — the reservation stays private until pinged. *)
+let rec read_from ctx slot addr proj old_era =
+  let v = Atomic.get addr in
+  let e = Atomic.get ctx.g.epoch in
+  Softsignal.poll ctx.port;
+  if e = old_era then v
+  else begin
+    (* Era changed mid-read: re-reserve — but privately, with a plain
+       store; this is the fence original HE pays and POP does not. *)
+    Array.unsafe_set ctx.row slot e;
+    read_from ctx slot addr proj e
+  end
+
+let read ctx slot addr proj = read_from ctx slot addr proj (Array.unsafe_get ctx.row slot)
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
+
+(* A node is freeable when no collected era lies within its lifespan. *)
+let can_free scratch k n =
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    let e = scratch.(i) in
+    if e <> no_era && e >= n.Heap.birth_era && e <= n.Heap.retire_era then ok := false
+  done;
+  !ok
+
+let reclaim ctx =
+  let g = ctx.g in
+  Counters.pop_pass g.c ~tid:ctx.tid;
+  ignore (Atomic.fetch_and_add g.epoch 1);
+  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  Reservations.publish g.res ~tid:ctx.tid;
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if can_free ctx.res_scratch k n then begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end
+        else true)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  n.Heap.retire_era <- Atomic.get ctx.g.epoch;
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+
+let deregister ctx =
+  Reservations.clear_local ctx.g.res ~tid:ctx.tid;
+  Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)

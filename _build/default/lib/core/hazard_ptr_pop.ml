@@ -1,0 +1,123 @@
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+let name = "hp-pop"
+
+let no_id = min_int
+
+type 'a t = {
+  cfg : Smr_config.t;
+  hub : Softsignal.t;
+  heap : 'a Heap.t;
+  res : Reservations.t;
+  hs : Handshake.t;
+  c : Counters.t;
+}
+
+type 'a tctx = {
+  g : 'a t;
+  tid : int;
+  port : Softsignal.port;
+  row : int array; (* cached private reservation row *)
+  fence : Fence.cell;
+  retired : 'a Heap.node Vec.t;
+  counter_scratch : int array;
+  res_scratch : int array;
+  reserved : Id_set.t;
+}
+
+let create cfg hub heap =
+  Smr_config.validate cfg;
+  {
+    cfg;
+    hub;
+    heap;
+    res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
+    hs = Handshake.create hub;
+    c = Counters.create cfg.max_threads;
+  }
+
+let register g ~tid =
+  let port = Softsignal.register g.hub ~tid in
+  let nres = g.cfg.max_threads * g.cfg.max_hp in
+  let ctx =
+    {
+      g;
+      tid;
+      port;
+      row = Reservations.local_row g.res ~tid;
+      fence = Fence.make_cell ();
+      retired = Vec.create ();
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      res_scratch = Array.make nres 0;
+      reserved = Id_set.create ~capacity:nres;
+    }
+  in
+  (* The "signal handler": publish private reservations, execute the one
+     fence Algorithm 2 requires, then ack. *)
+  Softsignal.set_handler port (fun () ->
+      Reservations.publish g.res ~tid;
+      Fence.execute ctx.fence g.cfg.fence_cost;
+      Handshake.ack g.hs ~tid);
+  ctx
+
+let start_op _ctx = ()
+
+let end_op ctx = Reservations.clear_local ctx.g.res ~tid:ctx.tid
+
+let poll ctx = Softsignal.poll ctx.port
+
+(* Algorithm 1, READ: reserve locally (plain store, no store-load fence),
+   then validate that the pointer is unchanged. The poll between reserve
+   and validate is the soft-signal delivery point. *)
+let rec read ctx slot addr proj =
+  let v = Atomic.get addr in
+  let n = proj v in
+  Array.unsafe_set ctx.row slot n.Heap.id;
+  Softsignal.poll ctx.port;
+  if Atomic.get addr == v then v else read ctx slot addr proj
+
+let check ctx n = Heap.check_access ctx.g.heap n
+
+let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
+
+(* Algorithm 2, RECLAIMHPFREEABLE preceded by the handshake. The
+   reclaimer publishes its own row itself: PINGALLTOPUBLISH skips self,
+   but the scan must see the reclaimer's reservations too. *)
+let reclaim ctx =
+  let g = ctx.g in
+  Counters.pop_pass g.c ~tid:ctx.tid;
+  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  Reservations.publish g.res ~tid:ctx.tid;
+  let k = Reservations.collect_shared g.res ctx.res_scratch in
+  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
+  Id_set.seal ctx.reserved;
+  let freed =
+    Vec.filter_in_place
+      (fun n ->
+        if Id_set.mem ctx.reserved n.Heap.id then true
+        else begin
+          Heap.free g.heap ~tid:ctx.tid n;
+          false
+        end)
+      ctx.retired
+  in
+  Counters.free g.c ~tid:ctx.tid freed
+
+let retire ctx n =
+  Vec.push ctx.retired n;
+  Counters.retire ctx.g.c ~tid:ctx.tid;
+  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+
+let enter_write_phase _ctx _nodes = ()
+
+let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+
+let deregister ctx =
+  Reservations.clear_local ctx.g.res ~tid:ctx.tid;
+  Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  Softsignal.deregister ctx.port
+
+let unreclaimed g = Counters.unreclaimed g.c
+
+let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:0

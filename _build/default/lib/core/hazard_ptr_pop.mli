@@ -1,0 +1,13 @@
+(** HazardPtrPOP: hazard pointers with publish-on-ping (Algorithms 1–2).
+
+    Readers reserve node ids in a thread-private table with plain stores
+    — no fence on the traversal path. When a thread's retire list reaches
+    the threshold it pings all threads; each publishes its private
+    reservations from its handler and bumps its publish counter. The
+    reclaimer waits for all counters to move, scans the published
+    reservations and frees every retired node not found there.
+
+    Robustness: at most [max_threads * max_hp] retired nodes can survive
+    a reclamation pass (Property 3). *)
+
+include Smr.S

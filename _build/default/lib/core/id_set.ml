@@ -1,0 +1,49 @@
+type t = { arr : int array; mutable len : int; mutable sealed : bool }
+
+let create ~capacity = { arr = Array.make (max 1 capacity) 0; len = 0; sealed = false }
+
+let reset t =
+  t.len <- 0;
+  t.sealed <- false
+
+let add t v =
+  if t.len >= Array.length t.arr then invalid_arg "Id_set.add: capacity exceeded";
+  t.arr.(t.len) <- v;
+  t.len <- t.len + 1
+
+let fill t ~except vals k =
+  reset t;
+  for i = 0 to k - 1 do
+    if vals.(i) <> except then add t vals.(i)
+  done
+
+let seal t =
+  let sub = Array.sub t.arr 0 t.len in
+  Array.sort compare sub;
+  Array.blit sub 0 t.arr 0 t.len;
+  t.sealed <- true
+
+let mem t v =
+  assert t.sealed;
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let x = t.arr.(mid) in
+      if x = v then true else if x < v then search (mid + 1) hi else search lo mid
+  in
+  search 0 t.len
+
+let cardinal t = t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let min_elt t =
+  let m = ref max_int in
+  for i = 0 to t.len - 1 do
+    if t.arr.(i) < !m then m := t.arr.(i)
+  done;
+  !m

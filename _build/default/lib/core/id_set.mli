@@ -1,0 +1,31 @@
+(** Small reusable integer set for reclamation scans.
+
+    A reclaimer collects at most [max_threads * max_hp] reserved ids or
+    eras, then tests each node of its retire list for membership. The set
+    is a sorted scratch array with binary search: no allocation on the
+    reclamation path after warm-up, and O(log n) membership. *)
+
+type t
+
+val create : capacity:int -> t
+
+val reset : t -> unit
+
+val add : t -> int -> unit
+(** Add a value (duplicates allowed). Raises if capacity is exceeded. *)
+
+val fill : t -> except:int -> int array -> int -> unit
+(** [fill t ~except vals k] resets [t] and adds [vals.(0..k-1)], skipping
+    values equal to [except] (the [none] reservation). *)
+
+val seal : t -> unit
+(** Sort; must be called before {!mem}. *)
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val iter : t -> (int -> unit) -> unit
+
+val min_elt : t -> int
+(** Smallest element, or [max_int] when empty (handy for epoch scans). *)

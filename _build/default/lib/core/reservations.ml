@@ -1,0 +1,67 @@
+type t = {
+  nslots : int;
+  none : int;
+  local : int array array; (* row per thread; plain stores *)
+  shared : int Atomic.t array array; (* SWMR atomic cells *)
+}
+
+let create ~max_threads ~slots ~none =
+  {
+    nslots = slots;
+    none;
+    local = Array.init max_threads (fun _ -> Array.make slots none);
+    shared =
+      Array.init max_threads (fun _ -> Array.init slots (fun _ -> Atomic.make none));
+  }
+
+let slots t = t.nslots
+
+let none t = t.none
+
+let set_local t ~tid ~slot v = t.local.(tid).(slot) <- v
+
+let local_row t ~tid = t.local.(tid)
+
+let shared_row t ~tid = t.shared.(tid)
+
+let get_local t ~tid ~slot = t.local.(tid).(slot)
+
+let clear_local t ~tid = Array.fill t.local.(tid) 0 t.nslots t.none
+
+let publish t ~tid =
+  let row = t.local.(tid) and out = t.shared.(tid) in
+  for i = 0 to t.nslots - 1 do
+    Atomic.set out.(i) row.(i)
+  done
+
+let set_shared t ~tid ~slot v = Atomic.set t.shared.(tid).(slot) v
+
+let get_shared t ~tid ~slot = Atomic.get t.shared.(tid).(slot)
+
+let clear_shared t ~tid =
+  let out = t.shared.(tid) in
+  for i = 0 to t.nslots - 1 do
+    Atomic.set out.(i) t.none
+  done
+
+let collect_shared t scratch =
+  let k = ref 0 in
+  for tid = 0 to Array.length t.shared - 1 do
+    let row = t.shared.(tid) in
+    for i = 0 to t.nslots - 1 do
+      scratch.(!k) <- Atomic.get row.(i);
+      incr k
+    done
+  done;
+  !k
+
+let collect_local t scratch =
+  let k = ref 0 in
+  for tid = 0 to Array.length t.local - 1 do
+    let row = t.local.(tid) in
+    for i = 0 to t.nslots - 1 do
+      scratch.(!k) <- row.(i);
+      incr k
+    done
+  done;
+  !k

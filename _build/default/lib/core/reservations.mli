@@ -1,0 +1,63 @@
+(** Per-thread reservation slot tables.
+
+    A reservation is an [int]: a node id for pointer-based schemes
+    (HP, HazardPtrPOP) or an era for timestamp-based ones (HE,
+    HazardEraPOP, EBR, IBR). Each thread owns one row of [slots] cells in
+    two tables:
+
+    - the {e local} table: plain (unfenced) writes, readable only by the
+      owner — except for the membarrier-style HPAsym scheme, which reads
+      peers' local rows racily after a barrier round;
+    - the {e shared} table: single-writer multi-reader atomic cells, the
+      [sharedReservations] array of Algorithms 1–5.
+
+    Publish-on-ping readers write only the local row on the traversal
+    path; {!publish} copies the row to the shared table when a reclaimer
+    pings. Eager schemes (HP, HE) write the shared table directly with
+    {!set_shared} (a sequentially consistent store — the per-read fence
+    the paper eliminates). *)
+
+type t
+
+val create : max_threads:int -> slots:int -> none:int -> t
+(** [none] is the "no reservation" value; it must never collide with a
+    real node id or era. *)
+
+val slots : t -> int
+
+val none : t -> int
+
+val set_local : t -> tid:int -> slot:int -> int -> unit
+(** Plain store; no fence. The traversal-path write of POP. *)
+
+val local_row : t -> tid:int -> int array
+(** The owner's private row, for hot read paths that cache it in their
+    thread context and write slots directly (always [slots] long). *)
+
+val shared_row : t -> tid:int -> int Atomic.t array
+(** The owner's shared row, cached by eager (HP/HE) read paths. *)
+
+val get_local : t -> tid:int -> slot:int -> int
+
+val clear_local : t -> tid:int -> unit
+(** Reset the whole local row to [none] (CLEAR in Algorithm 1). *)
+
+val publish : t -> tid:int -> unit
+(** Copy the local row to the shared row (PUBLISHRESERVATIONS,
+    Algorithm 2 line 40). Runs in the owner thread's handler. *)
+
+val set_shared : t -> tid:int -> slot:int -> int -> unit
+(** Eager fenced publication (original HP/HE read path). *)
+
+val get_shared : t -> tid:int -> slot:int -> int
+
+val clear_shared : t -> tid:int -> unit
+
+val collect_shared : t -> int array -> int
+(** [collect_shared t scratch] copies every shared entry (all threads,
+    all slots, including [none] values) into [scratch] and returns the
+    count written. [scratch] must hold [max_threads * slots] entries. *)
+
+val collect_local : t -> int array -> int
+(** Same, but reading peers' local rows with plain racy loads; only
+    meaningful after a barrier round (HPAsym). *)

@@ -1,0 +1,74 @@
+(** The uniform safe-memory-reclamation interface.
+
+    Backward compatible with hazard pointers, as the paper requires: data
+    structures only ever call [read] (reserve + validate), [retire],
+    [start_op]/[end_op] (which folds in CLEAR) and [alloc]. The two
+    extensions are [enter_write_phase], a no-op everywhere except NBR
+    (which needs the read-/write-phase discipline), and [poll], the soft
+    signal delivery point a thread hits between operations. *)
+
+exception Restart
+(** Raised by NBR's [read] when the thread has been neutralized; the data
+    structure catches it at its operation entry point and restarts — the
+    moral equivalent of [siglongjmp] to the checkpoint. *)
+
+module type S = sig
+  val name : string
+
+  type 'a t
+  (** Global reclamation state for one data-structure instance. *)
+
+  type 'a tctx
+  (** Per-thread context. Not thread safe; owned by one thread. *)
+
+  val create : Smr_config.t -> Pop_runtime.Softsignal.t -> 'a Pop_sim.Heap.t -> 'a t
+
+  val register : 'a t -> tid:int -> 'a tctx
+  (** Claim thread id [tid] (also registers with the signal hub). *)
+
+  val start_op : 'a tctx -> unit
+  (** Leave the quiescent state; must precede any [read]. *)
+
+  val end_op : 'a tctx -> unit
+  (** Return to the quiescent state and clear reservations (CLEAR). *)
+
+  val read : 'a tctx -> int -> 'b Atomic.t -> ('b -> 'a Pop_sim.Heap.node) -> 'b
+  (** [read ctx slot cell proj] performs a protected read of [cell]:
+      reserve [proj value] in reservation slot [slot], make the
+      reservation visible per the algorithm's policy, and validate that
+      [cell] still holds the same value (physical equality), retrying
+      otherwise. May raise {!Restart} (NBR only). *)
+
+  val check : 'a tctx -> 'a Pop_sim.Heap.node -> unit
+  (** Record a use-after-free if [node] is free. Data structures call
+      this at every dereference of a node obtained from [read], {e
+      after} their own reachability validation (re-reading the source
+      pointer, checking the parent unmarked, ...) — the point where a
+      C implementation would actually touch freed memory. *)
+
+  val alloc : 'a tctx -> 'a Pop_sim.Heap.node
+  (** Allocate a node, stamped with the current birth era if the
+      algorithm tracks eras. *)
+
+  val retire : 'a tctx -> 'a Pop_sim.Heap.node -> unit
+  (** Hand over an unlinked node; may trigger a reclamation pass. *)
+
+  val enter_write_phase : 'a tctx -> 'a Pop_sim.Heap.node array -> unit
+  (** NBR: publish reservations for the nodes the write phase will touch
+      and disable neutralization; may raise {!Restart}. No-op elsewhere. *)
+
+  val poll : 'a tctx -> unit
+  (** Serve pending soft signals; call between operations. *)
+
+  val flush : 'a tctx -> unit
+  (** Best-effort drain of this thread's retire list (end of run/tests). *)
+
+  val deregister : 'a tctx -> unit
+  (** Clear reservations and leave; pending pings are acked so no
+      reclaimer blocks on a departed thread. *)
+
+  val unreclaimed : 'a t -> int
+  (** Nodes currently held in retire lists across all threads. *)
+
+  val stats : 'a t -> Smr_stats.t
+end

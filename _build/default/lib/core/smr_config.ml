@@ -1,0 +1,26 @@
+type t = {
+  max_threads : int;
+  max_hp : int;
+  reclaim_freq : int;
+  epoch_freq : int;
+  pop_mult : int;
+  fence_cost : int;
+}
+
+let default ?(max_threads = 8) () =
+  {
+    max_threads;
+    max_hp = 8;
+    reclaim_freq = 512;
+    epoch_freq = 32;
+    pop_mult = 2;
+    fence_cost = 8;
+  }
+
+let validate t =
+  if t.max_threads <= 0 then invalid_arg "Smr_config: max_threads must be positive";
+  if t.max_hp <= 0 then invalid_arg "Smr_config: max_hp must be positive";
+  if t.reclaim_freq <= 0 then invalid_arg "Smr_config: reclaim_freq must be positive";
+  if t.epoch_freq <= 0 then invalid_arg "Smr_config: epoch_freq must be positive";
+  if t.pop_mult < 1 then invalid_arg "Smr_config: pop_mult must be at least 1";
+  if t.fence_cost < 0 then invalid_arg "Smr_config: fence_cost must be non-negative"

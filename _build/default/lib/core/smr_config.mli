@@ -1,0 +1,28 @@
+(** Configuration shared by all reclamation algorithms. *)
+
+type t = {
+  max_threads : int;  (** Thread ids run over [0 .. max_threads-1]. *)
+  max_hp : int;  (** Reservation slots per thread (MAX_HP / MAX_HE). *)
+  reclaim_freq : int;
+      (** Retire-list threshold that triggers a reclamation pass
+          ([reclaimFreq] in Algorithms 1–6; 24K in the paper's main
+          experiments, 2K in the long-running-reads experiment). *)
+  epoch_freq : int;
+      (** Operations (EBR/EpochPOP) or allocations (IBR) between global
+          epoch advances ([epochFreq]). *)
+  pop_mult : int;
+      (** [C] in Algorithm 3: EpochPOP falls back to publish-on-ping when
+          the retire list reaches [pop_mult * reclaim_freq]. *)
+  fence_cost : int;
+      (** Calibrated cost (in seq_cst RMWs) of one modelled memory
+          fence; see {!Pop_runtime.Fence}. 0 disables the cost model
+          (every fence point then costs only its own atomic store). *)
+}
+
+val default : ?max_threads:int -> unit -> t
+(** Paper-flavoured defaults scaled to this machine: [max_hp = 8],
+    [reclaim_freq = 512], [epoch_freq = 32], [pop_mult = 2],
+    [fence_cost = 8]. *)
+
+val validate : t -> unit
+(** Raise [Invalid_argument] on nonsensical settings. *)

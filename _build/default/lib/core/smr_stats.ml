@@ -1,0 +1,31 @@
+type t = {
+  retired : int;
+  freed : int;
+  reclaim_passes : int;
+  pop_passes : int;
+  pings : int;
+  publishes : int;
+  restarts : int;
+  epoch : int;
+  unreclaimed : int;
+}
+
+let zero =
+  {
+    retired = 0;
+    freed = 0;
+    reclaim_passes = 0;
+    pop_passes = 0;
+    pings = 0;
+    publishes = 0;
+    restarts = 0;
+    epoch = 0;
+    unreclaimed = 0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "retired=%d freed=%d unreclaimed=%d passes=%d pop_passes=%d pings=%d publishes=%d \
+     restarts=%d epoch=%d"
+    t.retired t.freed t.unreclaimed t.reclaim_passes t.pop_passes t.pings t.publishes
+    t.restarts t.epoch

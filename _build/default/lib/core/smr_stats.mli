@@ -1,0 +1,18 @@
+(** Snapshot of an SMR instance's counters, for reports and tests. *)
+
+type t = {
+  retired : int;  (** Nodes handed to [retire] so far. *)
+  freed : int;  (** Nodes actually returned to the heap. *)
+  reclaim_passes : int;  (** Ordinary reclamation passes (epoch or scan). *)
+  pop_passes : int;  (** Ping-based (publish-on-ping / membarrier /
+                         neutralization) passes. *)
+  pings : int;  (** Soft signals sent by this instance's hub. *)
+  publishes : int;  (** Handler executions (reservation publishes/acks). *)
+  restarts : int;  (** NBR neutralization-induced operation restarts. *)
+  epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
+  unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
+}
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dslib/ab_tree.ml: Array Atomic Ds_common Ds_config List Pop_core Pop_runtime Pop_sim Set_intf Smr Spinlock

@@ -1,0 +1,1 @@
+lib/dslib/ds_common.ml: Backoff Clock Ds_config Pop_core Pop_runtime Pop_sim Smr Smr_config Spinlock Unix

@@ -1,0 +1,1 @@
+lib/dslib/ds_config.mli:

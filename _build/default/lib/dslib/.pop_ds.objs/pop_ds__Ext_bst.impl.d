@@ -1,0 +1,1 @@
+lib/dslib/ext_bst.ml: Atomic Ds_common List Pop_core Pop_runtime Pop_sim Set_intf Smr Spinlock

@@ -1,0 +1,1 @@
+lib/dslib/hash_table.ml: Array Ds_common Ds_config Hm_core List Pop_core Pop_sim Set_intf Smr

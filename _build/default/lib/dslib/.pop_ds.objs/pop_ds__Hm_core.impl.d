@@ -1,0 +1,1 @@
+lib/dslib/hm_core.ml: Atomic Pop_core Pop_sim Smr

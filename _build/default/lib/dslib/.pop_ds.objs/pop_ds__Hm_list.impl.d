@@ -1,0 +1,1 @@
+lib/dslib/hm_list.ml: Ds_common Hm_core List Pop_core Pop_sim Set_intf Smr

@@ -1,0 +1,1 @@
+lib/dslib/ms_queue.ml: Atomic Ds_common Ds_config List Pop_core Pop_sim Queue_intf Smr

@@ -1,0 +1,1 @@
+lib/dslib/queue_intf.ml: Pop_core Pop_runtime

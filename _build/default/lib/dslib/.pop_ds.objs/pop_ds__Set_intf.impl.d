@@ -1,0 +1,1 @@
+lib/dslib/set_intf.ml: Ds_config Pop_core Pop_runtime

@@ -1,0 +1,1 @@
+lib/dslib/skip_list.ml: Array Atomic Backoff Ds_common Ds_config Hashtbl List Pop_core Pop_runtime Pop_sim Rng Set_intf Smr Smr_config Spinlock

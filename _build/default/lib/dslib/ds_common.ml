@@ -1,0 +1,75 @@
+(** Plumbing shared by every data-structure implementation: heap + SMR
+    construction, the operation wrapper that restarts on NBR
+    neutralization, ping-serving lock acquisition, and stall injection. *)
+
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) = struct
+  type 'p base = {
+    heap : 'p Heap.t;
+    smr : 'p R.t;
+    scfg : Smr_config.t;
+    dcfg : Ds_config.t;
+  }
+
+  let make_base scfg dcfg hub payload =
+    Ds_config.validate dcfg;
+    let heap = Heap.create ~max_threads:scfg.Smr_config.max_threads ~payload in
+    { heap; smr = R.create scfg hub heap; scfg; dcfg }
+
+  (* Run one operation: start/end bracketing plus restart-on-neutralize.
+     Only NBR ever raises [Smr.Restart]. *)
+  let with_op rctx f =
+    let rec go () =
+      R.start_op rctx;
+      match f () with
+      | r ->
+          R.end_op rctx;
+          r
+      | exception Smr.Restart -> go ()
+    in
+    go ()
+
+  (* Close the current operation and open a fresh one: used to retry an
+     update from scratch (clears reservations, re-announces epochs, and
+     returns NBR to its read phase). *)
+  let reopen_op rctx =
+    R.end_op rctx;
+    R.start_op rctx
+
+  (* Spinlock acquisition that keeps serving soft signals: a thread
+     spinning on a lock must still publish reservations (or be
+     neutralized), or the lock holder's reclamation pass deadlocks. *)
+  let lock_serving rctx l =
+    if not (Spinlock.try_lock l) then begin
+      let b = Backoff.make () in
+      while not (Spinlock.try_lock l) do
+        R.poll rctx;
+        Backoff.once b
+      done
+    end
+
+  (* Stall inside an operation for [seconds], after [pin] has taken
+     whatever reservations/epoch the caller wants pinned. With
+     [polling = false] the thread is deaf to pings for the duration. *)
+  let stall_in_op rctx ~seconds ~polling ~pin =
+    let t0 = Clock.now () in
+    let rec hold () =
+      R.start_op rctx;
+      match
+        pin ();
+        while Clock.elapsed t0 < seconds do
+          if polling then R.poll rctx;
+          Unix.sleepf 0.0005
+        done
+      with
+      | () -> R.end_op rctx
+      | exception Smr.Restart ->
+          (* NBR neutralized the stalled thread — that is precisely how
+             NBR stays robust; resume stalling for the remaining time. *)
+          if Clock.elapsed t0 < seconds then hold () else ()
+    in
+    hold ()
+end

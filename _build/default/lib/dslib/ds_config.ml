@@ -1,0 +1,10 @@
+type t = { key_range : int; ht_load : int; ab_branch : int; skip_levels : int }
+
+let default ~key_range = { key_range; ht_load = 4; ab_branch = 8; skip_levels = 8 }
+
+let validate t =
+  if t.key_range <= 0 then invalid_arg "Ds_config: key_range must be positive";
+  if t.ht_load <= 0 then invalid_arg "Ds_config: ht_load must be positive";
+  if t.ab_branch < 4 then invalid_arg "Ds_config: ab_branch must be at least 4";
+  if t.skip_levels < 1 || t.skip_levels > 24 then
+    invalid_arg "Ds_config: skip_levels must be in 1..24"

@@ -1,0 +1,13 @@
+(** Data-structure parameters. *)
+
+type t = {
+  key_range : int;  (** Keys are drawn from [\[0, key_range)]. *)
+  ht_load : int;  (** Hash table: expected keys per bucket. *)
+  ab_branch : int;  (** (a,b)-tree: maximum keys/children per node (b). *)
+  skip_levels : int;  (** Skip list: number of levels (tower height). *)
+}
+
+val default : key_range:int -> t
+(** [ht_load = 4], [ab_branch = 8], [skip_levels = 8]. *)
+
+val validate : t -> unit

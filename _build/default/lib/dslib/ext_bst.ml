@@ -1,0 +1,281 @@
+(** External binary search tree in the style of David, Guerraoui &
+    Trigonakis (DGT in the paper's plots): unsynchronized traversals and
+    short lock-based updates with validation — the ASCY recipe.
+
+    Keys live in leaves; internal nodes route with [k < key -> left,
+    else right] and invariant left-subtree < key <= right-subtree.
+    Insert replaces a leaf by a fresh internal (locking the parent);
+    delete unlinks a leaf and its parent, promoting the sibling (locking
+    grandparent then parent, in root-to-leaf order, so lock acquisition
+    is deadlock free). Replaced nodes are marked and retired after
+    unlock.
+
+    Sentinels: a permanent anchor R (key [inf2], right child a permanent
+    [inf2] leaf) above an inner sentinel S (key [inf1]); real keys are
+    always < [inf1], so R's left child can never become a real leaf and R
+    is never the parent of a deleted leaf (S can be unlinked and that is
+    fine — the [inf1] sentinel leaf gets promoted in its place). *)
+
+open Pop_core
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (R)
+
+  let name = "dgt"
+
+  let smr_name = R.name
+
+  let inf0 = max_int - 2
+
+  let inf1 = max_int - 1
+
+  let inf2 = max_int
+
+  type data = {
+    mutable key : int;
+    mutable is_leaf : bool;
+    mutable marked : bool;
+    lock : Spinlock.t;
+    left : data Heap.node option Atomic.t;
+    right : data Heap.node option Atomic.t;
+  }
+
+  let payload _id =
+    {
+      key = 0;
+      is_leaf = true;
+      marked = false;
+      lock = Spinlock.create ();
+      left = Atomic.make None;
+      right = Atomic.make None;
+    }
+
+  let proj = function Some n -> n | None -> assert false
+
+  let pl (n : data Heap.node) = n.Heap.payload
+
+  type t = { base : data Common.base; anchor : data Heap.node }
+
+  type ctx = { s : t; rctx : data R.tctx; tid : int }
+
+  let make_leaf_sentinel heap key =
+    let n = Heap.sentinel heap in
+    (pl n).key <- key;
+    (pl n).is_leaf <- true;
+    n
+
+  let create scfg dcfg ~hub =
+    let base = Common.make_base scfg dcfg hub payload in
+    let heap = base.Common.heap in
+    let s = Heap.sentinel heap in
+    (pl s).key <- inf1;
+    (pl s).is_leaf <- false;
+    Atomic.set (pl s).left (Some (make_leaf_sentinel heap inf0));
+    Atomic.set (pl s).right (Some (make_leaf_sentinel heap inf1));
+    let anchor = Heap.sentinel heap in
+    (pl anchor).key <- inf2;
+    (pl anchor).is_leaf <- false;
+    Atomic.set (pl anchor).left (Some s);
+    Atomic.set (pl anchor).right (Some (make_leaf_sentinel heap inf2));
+    { base; anchor }
+
+  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+
+  let child_cell n key = if key < (pl n).key then (pl n).left else (pl n).right
+
+  type path = {
+    gp : data Heap.node;
+    gpcell : data Heap.node option Atomic.t; (* cell in gp holding p *)
+    p : data Heap.node;
+    pcell : data Heap.node option Atomic.t; (* cell in p holding l *)
+    l : data Heap.node;
+  }
+
+  exception Retry_search
+
+  (* Descend to the leaf for [key], reserving gp/p/l in rotating slots.
+     After reading a child out of [l], validate that [l] is still
+     unmarked: an unmarked internal is still linked, so the child was
+     reachable (and unretired) when reserved. A marked [l] means the
+     descent walked into a removed subtree — restart from the anchor. *)
+  let search ctx key =
+    let rec go gp gpcell p pcell l sgp sp sl =
+      R.check ctx.rctx l;
+      if (pl l).is_leaf then { gp; gpcell; p; pcell; l }
+      else begin
+        let cell = child_cell l key in
+        let c = proj (R.read ctx.rctx sgp cell proj) in
+        if (pl l).marked then raise Retry_search;
+        go p pcell l cell c sp sl sgp
+      end
+    in
+    let rec attempt () =
+      let anchor = ctx.s.anchor in
+      let cell0 = (pl anchor).left in
+      let n0 = proj (R.read ctx.rctx 0 cell0 proj) in
+      match
+        (R.check ctx.rctx n0;
+         if (pl n0).is_leaf then
+           (* Degenerate tree: a single leaf under the anchor; it only
+              holds sentinel keys, so updates never need gp here. *)
+           { gp = anchor; gpcell = cell0; p = anchor; pcell = cell0; l = n0 }
+         else begin
+           let cell1 = child_cell n0 key in
+           let n1 = proj (R.read ctx.rctx 1 cell1 proj) in
+           if (pl n0).marked then raise Retry_search;
+           go anchor cell0 n0 cell1 n1 2 0 1
+         end)
+      with
+      | r -> r
+      | exception Retry_search -> attempt ()
+    in
+    attempt ()
+
+  let points_to cell n = match Atomic.get cell with Some x -> x == n | None -> false
+
+  let contains ctx key =
+    Common.with_op ctx.rctx (fun () -> (pl (search ctx key).l).key = key)
+
+  let insert ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let path = search ctx key in
+          let lkey = (pl path.l).key in
+          if lkey = key then false
+          else begin
+            R.enter_write_phase ctx.rctx [| path.p; path.l |];
+            Common.lock_serving ctx.rctx (pl path.p).lock;
+            if (pl path.p).marked || not (points_to path.pcell path.l) then begin
+              Spinlock.unlock (pl path.p).lock;
+              Common.reopen_op ctx.rctx;
+              attempt ()
+            end
+            else begin
+              let leaf = R.alloc ctx.rctx in
+              (pl leaf).key <- key;
+              (pl leaf).is_leaf <- true;
+              (pl leaf).marked <- false;
+              let internal = R.alloc ctx.rctx in
+              (pl internal).is_leaf <- false;
+              (pl internal).marked <- false;
+              if key < lkey then begin
+                (pl internal).key <- lkey;
+                Atomic.set (pl internal).left (Some leaf);
+                Atomic.set (pl internal).right (Some path.l)
+              end
+              else begin
+                (pl internal).key <- key;
+                Atomic.set (pl internal).left (Some path.l);
+                Atomic.set (pl internal).right (Some leaf)
+              end;
+              Atomic.set path.pcell (Some internal);
+              Spinlock.unlock (pl path.p).lock;
+              true
+            end
+          end
+        in
+        attempt ())
+
+  let delete ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let path = search ctx key in
+          if (pl path.l).key <> key then false
+          else begin
+            R.enter_write_phase ctx.rctx [| path.gp; path.p; path.l |];
+            Common.lock_serving ctx.rctx (pl path.gp).lock;
+            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let valid =
+              (not (pl path.gp).marked)
+              && (not (pl path.p).marked)
+              && points_to path.gpcell path.p
+              && points_to path.pcell path.l
+            in
+            if not valid then begin
+              Spinlock.unlock (pl path.p).lock;
+              Spinlock.unlock (pl path.gp).lock;
+              Common.reopen_op ctx.rctx;
+              attempt ()
+            end
+            else begin
+              let sibling_cell =
+                if path.pcell == (pl path.p).left then (pl path.p).right else (pl path.p).left
+              in
+              let sibling = Atomic.get sibling_cell in
+              (pl path.p).marked <- true;
+              (pl path.l).marked <- true;
+              Atomic.set path.gpcell sibling;
+              Spinlock.unlock (pl path.p).lock;
+              Spinlock.unlock (pl path.gp).lock;
+              R.retire ctx.rctx path.p;
+              R.retire ctx.rctx path.l;
+              true
+            end
+          end
+        in
+        attempt ())
+
+  let poll ctx = R.poll ctx.rctx
+
+  let stall ctx ~seconds ~polling =
+    let cell = (pl ctx.s.anchor).left in
+    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+        ignore (R.read ctx.rctx 0 cell proj))
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let iter_seq s f =
+    let rec go n =
+      let p = pl n in
+      if p.is_leaf then begin
+        if p.key < inf0 then f p.key
+      end
+      else begin
+        go (proj (Atomic.get p.left));
+        go (proj (Atomic.get p.right))
+      end
+    in
+    go s.anchor
+
+  let size_seq s =
+    let c = ref 0 in
+    iter_seq s (fun _ -> incr c);
+    !c
+
+  let keys_seq s =
+    let acc = ref [] in
+    iter_seq s (fun k -> acc := k :: !acc);
+    List.rev !acc
+
+  let check_invariants s =
+    (* Inclusive bounds: keys under [n] lie in [lo, hi]. *)
+    let rec go n lo hi =
+      let p = pl n in
+      if not (Heap.is_live n) then failwith "ext_bst: freed node still linked";
+      if p.marked then failwith "ext_bst: marked node still linked";
+      if Spinlock.is_locked p.lock then failwith "ext_bst: node left locked";
+      if p.is_leaf then begin
+        if not (lo <= p.key && p.key <= hi) then failwith "ext_bst: leaf key out of range"
+      end
+      else begin
+        if not (lo < p.key && p.key <= hi) then failwith "ext_bst: internal key out of range";
+        go (proj (Atomic.get p.left)) lo (p.key - 1);
+        go (proj (Atomic.get p.right)) p.key hi
+      end
+    in
+    go s.anchor min_int max_int
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

@@ -1,0 +1,73 @@
+(** HMHT: a fixed-size hash table with one Harris-Michael list per
+    bucket, the paper's fifth benchmark structure. Bucket count is
+    [key_range / ht_load] (the paper's "load factor"). *)
+
+open Pop_core
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Set_intf.SET = struct
+  module Core = Hm_core.Make (R)
+  module Common = Ds_common.Make (R)
+
+  let name = "hmht"
+
+  let smr_name = R.name
+
+  type t = { base : Core.data Common.base; buckets : Core.bucket array }
+
+  type ctx = { s : t; rctx : Core.data R.tctx; tid : int }
+
+  (* Fibonacci hashing spreads consecutive keys across buckets. *)
+  let hash nbuckets key = ((key * 0x9E3779B1) land max_int) mod nbuckets
+
+  let create scfg dcfg ~hub =
+    let base = Common.make_base scfg dcfg hub Core.payload in
+    let nbuckets = max 1 (dcfg.Ds_config.key_range / dcfg.Ds_config.ht_load) in
+    let tail = Core.make_tail base.heap in
+    let buckets = Array.init nbuckets (fun _ -> Core.make_bucket base.heap ~tail) in
+    { base; buckets }
+
+  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+
+  let bucket_of ctx key = ctx.s.buckets.(hash (Array.length ctx.s.buckets) key)
+
+  let insert ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        Core.insert_in_op ctx.rctx ctx.s.base.heap ~tid:ctx.tid (bucket_of ctx key) key)
+
+  let delete ctx key =
+    Common.with_op ctx.rctx (fun () -> Core.delete_in_op ctx.rctx (bucket_of ctx key) key)
+
+  let contains ctx key =
+    Common.with_op ctx.rctx (fun () -> Core.contains_in_op ctx.rctx (bucket_of ctx key) key)
+
+  let poll ctx = R.poll ctx.rctx
+
+  let stall ctx ~seconds ~polling =
+    let cell = Core.next_cell ctx.s.buckets.(0).head in
+    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+        ignore (R.read ctx.rctx 0 cell Core.proj))
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let size_seq s = Array.fold_left (fun acc b -> acc + Core.size_seq b) 0 s.buckets
+
+  let keys_seq s =
+    let acc = ref [] in
+    Array.iter (fun b -> Core.iter_seq b (fun k -> acc := k :: !acc)) s.buckets;
+    List.sort compare !acc
+
+  let check_invariants s = Array.iter (Core.check_seq s.base.heap) s.buckets
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

@@ -1,0 +1,175 @@
+(** Harris-Michael lock-free linked list machinery (Michael 2002), the
+    engine behind both the HML list and the HMHT hash table.
+
+    Deletion marks live in the deleted node's own [next] link (an
+    immutable record swapped by CAS, so expected-value comparisons are
+    physical equality). [find] unlinks marked nodes as it goes —
+    restarting the traversal as a fresh operation after each unlink,
+    which keeps the write (the unlink CAS and retire) inside an NBR
+    write phase without violating its one-write-phase-per-op rule.
+
+    Every pointer step goes through [R.read] with three rotating
+    reservation slots (prev, curr, next) and re-validates [prev.next]
+    after reading [curr.next] — the standard hazard-pointer discipline
+    that makes all reservation-based schemes in this repository safe. *)
+
+open Pop_core
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) = struct
+  type data = { mutable key : int; next : link Atomic.t }
+
+  and link = { tgt : data Heap.node option; marked : bool }
+
+  type bucket = { head : data Heap.node }
+
+  exception Retry_find
+
+  let payload _id = { key = 0; next = Atomic.make { tgt = None; marked = false } }
+
+  let proj l = match l.tgt with Some n -> n | None -> assert false
+
+  let node_key (n : data Heap.node) = n.Heap.payload.key
+
+  let next_cell (n : data Heap.node) = n.Heap.payload.next
+
+  let make_tail heap =
+    let tail = Heap.sentinel heap in
+    tail.Heap.payload.key <- max_int;
+    tail
+
+  let make_bucket heap ~tail =
+    let head = Heap.sentinel heap in
+    head.Heap.payload.key <- min_int;
+    Atomic.set head.Heap.payload.next { tgt = Some tail; marked = false };
+    { head }
+
+  type find_res = {
+    found : bool;
+    fprev : data Heap.node;
+    fprev_cell : link Atomic.t;
+    fcurr_link : link;  (* value read at [fprev_cell]; its target is curr *)
+    fnext_link : link;  (* value of curr.next (meaningful when curr < tail) *)
+  }
+
+  (* One traversal attempt; raises [Retry_find] when the list moved under
+     us or after unlinking a marked node. Slots rotate prev<-curr<-next. *)
+  let find_attempt rctx bucket key =
+    let rec step prev_node prev_cell curr_link sprev scurr snext =
+      let curr = proj curr_link in
+      (* First dereference of curr: it was reserved by the read that
+         produced [curr_link] and validated reachable by the previous
+         iteration's prev re-check (or read from the head sentinel). *)
+      R.check rctx curr;
+      if node_key curr = max_int then
+        { found = false; fprev = prev_node; fprev_cell = prev_cell; fcurr_link = curr_link;
+          fnext_link = curr_link }
+      else begin
+        let nl = R.read rctx snext (next_cell curr) proj in
+        if Atomic.get prev_cell != curr_link then raise Retry_find;
+        if nl.marked then begin
+          (* curr is logically deleted: unlink it, then restart the
+             traversal as a fresh operation. *)
+          R.enter_write_phase rctx [| prev_node; curr |];
+          if Atomic.compare_and_set prev_cell curr_link { tgt = nl.tgt; marked = false } then
+            R.retire rctx curr;
+          R.end_op rctx;
+          R.start_op rctx;
+          raise Retry_find
+        end
+        else if node_key curr >= key then
+          { found = node_key curr = key; fprev = prev_node; fprev_cell = prev_cell;
+            fcurr_link = curr_link; fnext_link = nl }
+        else step curr (next_cell curr) nl scurr snext sprev
+      end
+    in
+    let cell = next_cell bucket.head in
+    step bucket.head cell (R.read rctx 0 cell proj) 2 0 1
+
+  let rec find rctx bucket key =
+    match find_attempt rctx bucket key with
+    | r -> r
+    | exception Retry_find -> find rctx bucket key
+
+  (* The in-op bodies below assume the caller bracketed them with
+     start_op/end_op (see Ds_common.with_op). *)
+
+  let contains_in_op rctx bucket key = (find rctx bucket key).found
+
+  let rec insert_in_op rctx heap ~tid bucket key =
+    let r = find rctx bucket key in
+    if r.found then false
+    else begin
+      let n = R.alloc rctx in
+      n.Heap.payload.key <- key;
+      Atomic.set n.Heap.payload.next { tgt = r.fcurr_link.tgt; marked = false };
+      R.enter_write_phase rctx [| r.fprev |];
+      if Atomic.compare_and_set r.fprev_cell r.fcurr_link { tgt = Some n; marked = false }
+      then true
+      else begin
+        (* Never published: hand the node straight back to the heap. *)
+        Heap.free heap ~tid n;
+        R.end_op rctx;
+        R.start_op rctx;
+        insert_in_op rctx heap ~tid bucket key
+      end
+    end
+
+  let rec delete_in_op rctx bucket key =
+    let r = find rctx bucket key in
+    if not r.found then false
+    else begin
+      let curr = proj r.fcurr_link in
+      R.enter_write_phase rctx [| r.fprev; curr; proj r.fnext_link |];
+      (* Logical deletion: mark curr's own next link. *)
+      if
+        not
+          (Atomic.compare_and_set (next_cell curr) r.fnext_link
+             { tgt = r.fnext_link.tgt; marked = true })
+      then begin
+        R.end_op rctx;
+        R.start_op rctx;
+        delete_in_op rctx bucket key
+      end
+      else begin
+        (* The mark is the linearization point; nothing after it may
+           restart (NBR), so on unlink failure the marked node is left
+           for a later find to unlink and retire. *)
+        if
+          Atomic.compare_and_set r.fprev_cell r.fcurr_link
+            { tgt = r.fnext_link.tgt; marked = false }
+        then R.retire rctx curr;
+        true
+      end
+    end
+
+  (* Sequential (quiescent) helpers. *)
+
+  let iter_seq bucket f =
+    let rec go n =
+      if node_key n <> max_int then begin
+        let l = Atomic.get (next_cell n) in
+        if (not l.marked) && node_key n <> min_int then f (node_key n);
+        go (proj l)
+      end
+    in
+    go bucket.head
+
+  let size_seq bucket =
+    let c = ref 0 in
+    iter_seq bucket (fun _ -> incr c);
+    !c
+
+  (* Structural invariants: strictly ascending keys from head to tail,
+     and every linked node is live (anything freed-but-linked would be a
+     reclamation bug). *)
+  let check_seq heap bucket =
+    let rec go n last =
+      let k = node_key n in
+      if k <> min_int && not (Heap.is_live n) then failwith "hm_core: freed node still linked";
+      if k <= last && k <> min_int then failwith "hm_core: keys not strictly ascending";
+      if k <> max_int then go (proj (Atomic.get (next_cell n))) (max k last)
+    in
+    ignore heap;
+    go bucket.head min_int
+end

@@ -1,0 +1,65 @@
+(** The Harris-Michael sorted linked list (HML in the paper's plots):
+    a single Hm_core bucket behind the SET interface. *)
+
+open Pop_core
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Set_intf.SET = struct
+  module Core = Hm_core.Make (R)
+  module Common = Ds_common.Make (R)
+
+  let name = "hml"
+
+  let smr_name = R.name
+
+  type t = { base : Core.data Common.base; bucket : Core.bucket }
+
+  type ctx = { s : t; rctx : Core.data R.tctx; tid : int }
+
+  let create scfg dcfg ~hub =
+    let base = Common.make_base scfg dcfg hub Core.payload in
+    let tail = Core.make_tail base.heap in
+    { base; bucket = Core.make_bucket base.heap ~tail }
+
+  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+
+  let insert ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        Core.insert_in_op ctx.rctx ctx.s.base.heap ~tid:ctx.tid ctx.s.bucket key)
+
+  let delete ctx key =
+    Common.with_op ctx.rctx (fun () -> Core.delete_in_op ctx.rctx ctx.s.bucket key)
+
+  let contains ctx key =
+    Common.with_op ctx.rctx (fun () -> Core.contains_in_op ctx.rctx ctx.s.bucket key)
+
+  let poll ctx = R.poll ctx.rctx
+
+  let stall ctx ~seconds ~polling =
+    let cell = Core.next_cell ctx.s.bucket.head in
+    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+        ignore (R.read ctx.rctx 0 cell Core.proj))
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let size_seq s = Core.size_seq s.bucket
+
+  let keys_seq s =
+    let acc = ref [] in
+    Core.iter_seq s.bucket (fun k -> acc := k :: !acc);
+    List.rev !acc
+
+  let check_invariants s = Core.check_seq s.base.heap s.bucket
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

@@ -1,0 +1,188 @@
+(** Lazy list (Heller et al. 2005): wait-free-style unsynchronized
+    traversals, lock-based inserts/deletes with post-lock validation, and
+    a logical [marked] flag on nodes (LL in the paper's plots).
+
+    Locks are taken only after [enter_write_phase] (NBR's discipline) and
+    spun with {!Ds_common.Make.lock_serving} so a spinning thread keeps
+    serving pings. Nodes are retired after unlock. *)
+
+open Pop_core
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (R)
+
+  let name = "ll"
+
+  let smr_name = R.name
+
+  type data = {
+    mutable key : int;
+    mutable marked : bool;
+    lock : Spinlock.t;
+    next : data Heap.node option Atomic.t;
+  }
+
+  let payload _id =
+    { key = 0; marked = false; lock = Spinlock.create (); next = Atomic.make None }
+
+  let proj = function Some n -> n | None -> assert false
+
+  let node_key (n : data Heap.node) = n.Heap.payload.key
+
+  let next_cell (n : data Heap.node) = n.Heap.payload.next
+
+  type t = { base : data Common.base; head : data Heap.node }
+
+  type ctx = { s : t; rctx : data R.tctx; tid : int }
+
+  let create scfg dcfg ~hub =
+    let base = Common.make_base scfg dcfg hub payload in
+    let tail = Heap.sentinel base.heap in
+    tail.Heap.payload.key <- max_int;
+    let head = Heap.sentinel base.heap in
+    head.Heap.payload.key <- min_int;
+    Atomic.set head.Heap.payload.next (Some tail);
+    { base; head }
+
+  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+
+  exception Retry_walk
+
+  (* Traverse to the first node with key >= [key]; returns (pred, curr)
+     both reserved (slots 0/1 rotating). The lazy list has no marks on
+     its links, so hazard-style traversal must validate that [pred] is
+     still unmarked after reserving [curr]: an unmarked pred is still
+     linked, hence curr was reachable (and unretired) when reserved.
+     A marked pred means the traversal walked onto a removed prefix —
+     restart from the head. *)
+  let walk ctx key =
+    let rec go pred spred scurr =
+      let curr = proj (R.read ctx.rctx scurr (next_cell pred) proj) in
+      if pred.Heap.payload.marked then raise Retry_walk;
+      R.check ctx.rctx curr;
+      if node_key curr < key then go curr scurr spred else (pred, curr)
+    in
+    let rec attempt () = match go ctx.s.head 1 0 with r -> r | exception Retry_walk -> attempt () in
+    attempt ()
+
+  let validate pred curr =
+    (not pred.Heap.payload.marked)
+    && (not curr.Heap.payload.marked)
+    && match Atomic.get (next_cell pred) with Some n -> n == curr | None -> false
+
+  let contains ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let _, curr = walk ctx key in
+        node_key curr = key && not curr.Heap.payload.marked)
+
+  let insert ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let pred, curr = walk ctx key in
+          R.enter_write_phase ctx.rctx [| pred; curr |];
+          Common.lock_serving ctx.rctx pred.Heap.payload.lock;
+          Common.lock_serving ctx.rctx curr.Heap.payload.lock;
+          if not (validate pred curr) then begin
+            Spinlock.unlock curr.Heap.payload.lock;
+            Spinlock.unlock pred.Heap.payload.lock;
+            Common.reopen_op ctx.rctx;
+            attempt ()
+          end
+          else if node_key curr = key then begin
+            Spinlock.unlock curr.Heap.payload.lock;
+            Spinlock.unlock pred.Heap.payload.lock;
+            false
+          end
+          else begin
+            let n = R.alloc ctx.rctx in
+            n.Heap.payload.key <- key;
+            n.Heap.payload.marked <- false;
+            Atomic.set n.Heap.payload.next (Some curr);
+            Atomic.set (next_cell pred) (Some n);
+            Spinlock.unlock curr.Heap.payload.lock;
+            Spinlock.unlock pred.Heap.payload.lock;
+            true
+          end
+        in
+        attempt ())
+
+  let delete ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let pred, curr = walk ctx key in
+          if node_key curr <> key then false
+          else begin
+            R.enter_write_phase ctx.rctx [| pred; curr |];
+            Common.lock_serving ctx.rctx pred.Heap.payload.lock;
+            Common.lock_serving ctx.rctx curr.Heap.payload.lock;
+            if not (validate pred curr) then begin
+              Spinlock.unlock curr.Heap.payload.lock;
+              Spinlock.unlock pred.Heap.payload.lock;
+              Common.reopen_op ctx.rctx;
+              attempt ()
+            end
+            else begin
+              curr.Heap.payload.marked <- true;
+              Atomic.set (next_cell pred) (Atomic.get (next_cell curr));
+              Spinlock.unlock curr.Heap.payload.lock;
+              Spinlock.unlock pred.Heap.payload.lock;
+              R.retire ctx.rctx curr;
+              true
+            end
+          end
+        in
+        attempt ())
+
+  let poll ctx = R.poll ctx.rctx
+
+  let stall ctx ~seconds ~polling =
+    let cell = next_cell ctx.s.head in
+    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+        ignore (R.read ctx.rctx 0 cell proj))
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let iter_seq s f =
+    let rec go n =
+      if node_key n <> max_int then begin
+        if (not n.Heap.payload.marked) && node_key n <> min_int then f (node_key n);
+        go (proj (Atomic.get (next_cell n)))
+      end
+    in
+    go s.head
+
+  let size_seq s =
+    let c = ref 0 in
+    iter_seq s (fun _ -> incr c);
+    !c
+
+  let keys_seq s =
+    let acc = ref [] in
+    iter_seq s (fun k -> acc := k :: !acc);
+    List.rev !acc
+
+  let check_invariants s =
+    let rec go n last =
+      let k = node_key n in
+      if not (Heap.is_live n) then failwith "lazy_list: freed node still linked";
+      if n.Heap.payload.marked then failwith "lazy_list: marked node still linked";
+      if k <= last && k <> min_int then failwith "lazy_list: keys not strictly ascending";
+      if Spinlock.is_locked n.Heap.payload.lock then failwith "lazy_list: node left locked";
+      if k <> max_int then go (proj (Atomic.get (next_cell n))) (max k last)
+    in
+    go s.head min_int
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

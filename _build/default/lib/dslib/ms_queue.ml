@@ -1,0 +1,156 @@
+(** Michael-Scott lock-free FIFO queue (Michael & Scott 1996) over the
+    uniform SMR interface — the classic second testbed for hazard
+    pointers (Michael 2004 section 4), included here to demonstrate that
+    the POP algorithms are drop-in for everything hazard pointers apply
+    to, not just ordered sets.
+
+    Head points at a dummy node whose successor holds the front value;
+    dequeue swings head forward and retires the old dummy. Reservations:
+    slot 0 = head/tail anchor, slot 1 = its successor; both validated by
+    re-reading the anchor cell (Michael's D2/D5 checks), which [R.read]
+    performs plus an explicit anchor re-check before dereferencing the
+    successor. *)
+
+open Pop_core
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Queue_intf.QUEUE = struct
+  module Common = Ds_common.Make (R)
+
+  let name = "msq"
+
+  let smr_name = R.name
+
+  type data = { mutable value : int; next : data Heap.node option Atomic.t }
+
+  let payload _id = { value = 0; next = Atomic.make None }
+
+  let pl (n : data Heap.node) = n.Heap.payload
+
+  type t = {
+    base : data Common.base;
+    head : data Heap.node Atomic.t;
+    tail : data Heap.node Atomic.t;
+  }
+
+  type ctx = { s : t; rctx : data R.tctx; tid : int }
+
+  let proj_node (n : data Heap.node) = n
+
+  let create scfg ~hub =
+    let base = Common.make_base scfg (Ds_config.default ~key_range:1) hub payload in
+    let dummy = Heap.sentinel base.Common.heap in
+    { base; head = Atomic.make dummy; tail = Atomic.make dummy }
+
+  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+
+  (* Reserve the successor of [anchor_node] (read from its next cell),
+     validating that the anchor cell still holds the anchor. *)
+  let proj_opt_of anchor = function Some n -> n | None -> anchor
+
+  let enqueue ctx v =
+    Common.with_op ctx.rctx (fun () ->
+        let n = R.alloc ctx.rctx in
+        (pl n).value <- v;
+        Atomic.set (pl n).next None;
+        let rec attempt () =
+          let last = R.read ctx.rctx 0 ctx.s.tail proj_node in
+          R.check ctx.rctx last;
+          let next = R.read ctx.rctx 1 (pl last).next (proj_opt_of last) in
+          if Atomic.get ctx.s.tail == last then begin
+            match next with
+            | None ->
+                R.enter_write_phase ctx.rctx [| last |];
+                if Atomic.compare_and_set (pl last).next None (Some n) then
+                  (* Swing tail; failure means someone helped. *)
+                  ignore (Atomic.compare_and_set ctx.s.tail last n)
+                else begin
+                  Common.reopen_op ctx.rctx;
+                  attempt ()
+                end
+            | Some nx ->
+                (* Tail is lagging: help swing it. *)
+                R.enter_write_phase ctx.rctx [| last; nx |];
+                ignore (Atomic.compare_and_set ctx.s.tail last nx);
+                Common.reopen_op ctx.rctx;
+                attempt ()
+          end
+          else attempt ()
+        in
+        attempt ())
+
+  let dequeue ctx =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let first = R.read ctx.rctx 0 ctx.s.head proj_node in
+          R.check ctx.rctx first;
+          let next = R.read ctx.rctx 1 (pl first).next (proj_opt_of first) in
+          if Atomic.get ctx.s.head == first then begin
+            let last = Atomic.get ctx.s.tail in
+            match next with
+            | None -> None (* empty *)
+            | Some nx ->
+                if first == last then begin
+                  (* Tail lagging behind a concurrent enqueue: help. *)
+                  R.enter_write_phase ctx.rctx [| first; nx |];
+                  ignore (Atomic.compare_and_set ctx.s.tail first nx);
+                  Common.reopen_op ctx.rctx;
+                  attempt ()
+                end
+                else begin
+                  R.check ctx.rctx nx;
+                  let v = (pl nx).value in
+                  R.enter_write_phase ctx.rctx [| first; nx |];
+                  if Atomic.compare_and_set ctx.s.head first nx then begin
+                    R.retire ctx.rctx first;
+                    Some v
+                  end
+                  else begin
+                    Common.reopen_op ctx.rctx;
+                    attempt ()
+                  end
+                end
+          end
+          else attempt ()
+        in
+        attempt ())
+
+  let poll ctx = R.poll ctx.rctx
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let to_list_seq s =
+    let rec go acc cell =
+      match Atomic.get cell with
+      | None -> List.rev acc
+      | Some n -> go ((pl n).value :: acc) (pl n).next
+    in
+    go [] (pl (Atomic.get s.head)).next
+
+  let length_seq s = List.length (to_list_seq s)
+
+  let check_invariants s =
+    (* Head's chain must reach tail's node, and every linked node must
+       be live. *)
+    let tail = Atomic.get s.tail in
+    let rec go n seen_tail =
+      if not (Heap.is_live n) then failwith "ms_queue: freed node still linked";
+      let seen_tail = seen_tail || n == tail in
+      match Atomic.get (pl n).next with
+      | None -> if not seen_tail then failwith "ms_queue: tail not reachable from head"
+      | Some nx -> go nx seen_tail
+    in
+    go (Atomic.get s.head) false
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

@@ -1,0 +1,44 @@
+(** FIFO queue interface, over any reclamation algorithm — the same
+    drop-in contract as {!Set_intf.SET}. *)
+
+module type QUEUE = sig
+  val name : string
+
+  val smr_name : string
+
+  type t
+
+  type ctx
+
+  val create : Pop_core.Smr_config.t -> hub:Pop_runtime.Softsignal.t -> t
+
+  val register : t -> tid:int -> ctx
+
+  val enqueue : ctx -> int -> unit
+
+  val dequeue : ctx -> int option
+  (** [None] when the queue is observed empty. *)
+
+  val poll : ctx -> unit
+
+  val flush : ctx -> unit
+
+  val deregister : ctx -> unit
+
+  val length_seq : t -> int
+
+  val to_list_seq : t -> int list
+  (** Front-to-back contents (quiescent). *)
+
+  val check_invariants : t -> unit
+
+  val heap_live : t -> int
+
+  val heap_uaf : t -> int
+
+  val heap_double_free : t -> int
+
+  val smr_unreclaimed : t -> int
+
+  val smr_stats : t -> Pop_core.Smr_stats.t
+end

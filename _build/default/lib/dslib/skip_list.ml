@@ -1,0 +1,397 @@
+(** Lazy skip list (Herlihy & Shavit, "The Art of Multiprocessor
+    Programming", ch. 14.3): optimistic unsynchronized traversals,
+    lock-based inserts/deletes with per-level validation, [marked] and
+    [fully_linked] node flags.
+
+    Not one of the paper's five structures — included as the extension
+    the paper's generality claim invites, and as a reservation-pressure
+    stressor: one operation holds up to [2*levels + 2] simultaneous
+    reservations (every level's pred and succ), so [Smr_config.max_hp]
+    must be at least that ([create] enforces it; the harness sizes it
+    automatically). Lock acquisition is bottom-level-up, which orders
+    locks by descending key — a consistent global order, so no
+    deadlock. Retired towers are unlinked at every level (top-down,
+    under locks) after being marked, which gives traversals the same
+    validated-read discipline as the lazy list: after reserving a
+    successor, re-check that its predecessor is unmarked, else restart. *)
+
+open Pop_core
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+module Make (R : Smr.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (R)
+
+  let name = "sl"
+
+  let smr_name = R.name
+
+  type data = {
+    mutable key : int;
+    mutable top : int; (* highest level of this tower, 0-based *)
+    mutable marked : bool;
+    mutable fully_linked : bool;
+    nexts : data Heap.node option Atomic.t array; (* length = levels *)
+    lock : Spinlock.t;
+  }
+
+  let payload_for levels _id =
+    {
+      key = 0;
+      top = 0;
+      marked = false;
+      fully_linked = false;
+      nexts = Array.init levels (fun _ -> Atomic.make None);
+      lock = Spinlock.create ();
+    }
+
+  let proj = function Some n -> n | None -> assert false
+
+  let pl (n : data Heap.node) = n.Heap.payload
+
+  type t = {
+    base : data Common.base;
+    head : data Heap.node;
+    levels : int;
+  }
+
+  type ctx = {
+    s : t;
+    rctx : data R.tctx;
+    tid : int;
+    rng : Rng.t;
+    preds : data Heap.node array; (* scratch, length = levels *)
+    succs : data Heap.node array;
+  }
+
+  let create scfg dcfg ~hub =
+    let levels = dcfg.Ds_config.skip_levels in
+    if scfg.Smr_config.max_hp < (2 * levels) + 2 then
+      invalid_arg "Skip_list.create: max_hp must be at least 2*skip_levels+2";
+    let base = Common.make_base scfg dcfg hub (payload_for levels) in
+    let heap = base.Common.heap in
+    let tail = Heap.sentinel heap in
+    (pl tail).key <- max_int;
+    (pl tail).top <- levels - 1;
+    (pl tail).fully_linked <- true;
+    let head = Heap.sentinel heap in
+    (pl head).key <- min_int;
+    (pl head).top <- levels - 1;
+    (pl head).fully_linked <- true;
+    for l = 0 to levels - 1 do
+      Atomic.set (pl head).nexts.(l) (Some tail)
+    done;
+    { base; head; levels }
+
+  let register s ~tid =
+    {
+      s;
+      rctx = R.register s.base.smr ~tid;
+      tid;
+      rng = Rng.make (0xabcd + tid);
+      preds = Array.make s.levels s.head;
+      succs = Array.make s.levels s.head;
+    }
+
+  exception Retry_find
+
+  (* Populate ctx.preds/ctx.succs for [key]; returns the level at which
+     the key was found, or -1. Reservation slots: level [l]'s walk
+     alternates between slots [2l] and [2l+1]; the final pred and succ
+     of each level end up parked in that level's two slots, and the
+     walk of lower levels never touches them. *)
+  let find_attempt ctx key =
+    let rctx = ctx.rctx in
+    let lfound = ref (-1) in
+    let pred = ref ctx.s.head in
+    for level = ctx.s.levels - 1 downto 0 do
+      let sa = 2 * level and sb = (2 * level) + 1 in
+      let rec walk pred slot_parity =
+        let slot = if slot_parity then sa else sb in
+        let curr = proj (R.read rctx slot (pl pred).nexts.(level) proj) in
+        if (pl pred).marked then raise Retry_find;
+        R.check rctx curr;
+        if (pl curr).key < key then walk curr (not slot_parity) else (pred, curr)
+      in
+      let p, c = walk !pred true in
+      ctx.preds.(level) <- p;
+      ctx.succs.(level) <- c;
+      if !lfound = -1 && (pl c).key = key then lfound := level;
+      pred := p
+    done;
+    !lfound
+
+  let rec find ctx key =
+    match find_attempt ctx key with r -> r | exception Retry_find -> find ctx key
+
+  let contains ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let lfound = find ctx key in
+        lfound >= 0
+        &&
+        let c = pl ctx.succs.(lfound) in
+        c.fully_linked && not c.marked)
+
+  (* Lock preds[0..top], skipping duplicates (the same node can be the
+     pred at several levels; the spinlock is not reentrant). *)
+  let lock_preds ctx top =
+    for l = 0 to top do
+      if l = 0 || ctx.preds.(l) != ctx.preds.(l - 1) then
+        Common.lock_serving ctx.rctx (pl ctx.preds.(l)).lock
+    done
+
+  let unlock_preds ctx top =
+    for l = top downto 0 do
+      if l = 0 || ctx.preds.(l) != ctx.preds.(l - 1) then
+        Spinlock.unlock (pl ctx.preds.(l)).lock
+    done
+
+  let valid_level ctx l =
+    let pred = pl ctx.preds.(l) and succ = pl ctx.succs.(l) in
+    (not pred.marked)
+    && (not succ.marked)
+    && (match Atomic.get pred.nexts.(l) with Some x -> x == ctx.succs.(l) | None -> false)
+
+  let random_top ctx =
+    let rec toss l = if l < ctx.s.levels - 1 && Rng.bool ctx.rng then toss (l + 1) else l in
+    toss 0
+
+  (* NBR write set: the distinct preds plus the victim/new-node targets.
+     Bounded by levels + 2 <= max_hp. *)
+  let write_set ctx top extra =
+    let nodes = ref extra in
+    for l = top downto 0 do
+      if l = 0 || ctx.preds.(l) != ctx.preds.(l - 1) then nodes := ctx.preds.(l) :: !nodes
+    done;
+    Array.of_list !nodes
+
+  let insert ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let rec attempt () =
+          let lfound = find ctx key in
+          if lfound >= 0 then begin
+            let c = pl ctx.succs.(lfound) in
+            if c.marked then begin
+              (* A deletion is in flight; retry until it is unlinked. *)
+              Common.reopen_op ctx.rctx;
+              attempt ()
+            end
+            else begin
+              (* Wait for the concurrent inserter to finish linking. *)
+              let b = Backoff.make () in
+              while not c.fully_linked do
+                R.poll ctx.rctx;
+                Backoff.once b
+              done;
+              false
+            end
+          end
+          else begin
+            let top = random_top ctx in
+            R.enter_write_phase ctx.rctx (write_set ctx top []);
+            lock_preds ctx top;
+            let valid = ref true in
+            for l = 0 to top do
+              if not (valid_level ctx l) then valid := false
+            done;
+            if not !valid then begin
+              unlock_preds ctx top;
+              Common.reopen_op ctx.rctx;
+              attempt ()
+            end
+            else begin
+              let n = R.alloc ctx.rctx in
+              let p = pl n in
+              p.key <- key;
+              p.top <- top;
+              p.marked <- false;
+              p.fully_linked <- false;
+              for l = 0 to top do
+                Atomic.set p.nexts.(l) (Some ctx.succs.(l))
+              done;
+              for l = 0 to top do
+                Atomic.set (pl ctx.preds.(l)).nexts.(l) (Some n)
+              done;
+              p.fully_linked <- true;
+              unlock_preds ctx top;
+              true
+            end
+          end
+        in
+        attempt ())
+
+  (* Second phase of a delete whose pred validation failed after the
+     victim was already marked (the linearization point): re-find and
+     unlink the same victim. Nothing after the mark may restart the
+     enclosing operation, so an NBR neutralization during the re-find is
+     caught here and only this phase retries. *)
+  let rec retry_unlink ctx victim =
+    match unlink_attempt ctx victim with
+    | done_ -> done_
+    | exception Smr.Restart -> retry_unlink ctx victim
+
+  and unlink_attempt ctx victim =
+    let v = pl victim in
+    let key = v.key in
+    ignore (find ctx key);
+    (* The preds computed for the victim's key are exactly its
+       predecessors while it remains linked. *)
+    R.enter_write_phase ctx.rctx (write_set ctx v.top [ victim ]);
+    Common.lock_serving ctx.rctx v.lock;
+    let top = v.top in
+    lock_preds ctx top;
+    let valid = ref true in
+    for l = 0 to top do
+      let pred = pl ctx.preds.(l) in
+      if
+        pred.marked
+        || (match Atomic.get pred.nexts.(l) with Some x -> x != victim | None -> true)
+      then valid := false
+    done;
+    if not !valid then begin
+      unlock_preds ctx top;
+      Spinlock.unlock v.lock;
+      Common.reopen_op ctx.rctx;
+      unlink_attempt ctx victim
+    end
+    else begin
+      for l = top downto 0 do
+        Atomic.set (pl ctx.preds.(l)).nexts.(l) (Atomic.get v.nexts.(l))
+      done;
+      unlock_preds ctx top;
+      Spinlock.unlock v.lock;
+      R.retire ctx.rctx victim;
+      true
+    end
+
+  let delete ctx key =
+    Common.with_op ctx.rctx (fun () ->
+        let attempt () =
+          let lfound = find ctx key in
+          if lfound < 0 then false
+          else begin
+            let victim = ctx.succs.(lfound) in
+            let v = pl victim in
+            if not (v.fully_linked && v.top = lfound && not v.marked) then false
+            else begin
+              R.enter_write_phase ctx.rctx (write_set ctx v.top [ victim ]);
+              Common.lock_serving ctx.rctx v.lock;
+              if v.marked then begin
+                Spinlock.unlock v.lock;
+                false
+              end
+              else begin
+                v.marked <- true;
+                let top = v.top in
+                lock_preds ctx top;
+                let valid = ref true in
+                for l = 0 to top do
+                  let pred = pl ctx.preds.(l) in
+                  if
+                    pred.marked
+                    ||
+                    match Atomic.get pred.nexts.(l) with
+                    | Some x -> x != victim
+                    | None -> true
+                  then valid := false
+                done;
+                if not !valid then begin
+                  unlock_preds ctx top;
+                  (* The victim stays marked: finish the removal after a
+                     fresh find (it will still be found via lower
+                     levels until unlinked; we must not abandon it). *)
+                  Spinlock.unlock v.lock;
+                  Common.reopen_op ctx.rctx;
+                  retry_unlink ctx victim
+                end
+                else begin
+                  for l = top downto 0 do
+                    Atomic.set (pl ctx.preds.(l)).nexts.(l) (Atomic.get v.nexts.(l))
+                  done;
+                  unlock_preds ctx top;
+                  Spinlock.unlock v.lock;
+                  R.retire ctx.rctx victim;
+                  true
+                end
+              end
+            end
+          end
+        in
+        attempt ())
+
+  let poll ctx = R.poll ctx.rctx
+
+  let stall ctx ~seconds ~polling =
+    let cell = (pl ctx.s.head).nexts.(0) in
+    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+        ignore (R.read ctx.rctx 0 cell proj))
+
+  let flush ctx = R.flush ctx.rctx
+
+  let deregister ctx = R.deregister ctx.rctx
+
+  let iter_seq s f =
+    let rec go n =
+      let p = pl n in
+      if p.key <> max_int then begin
+        if (not p.marked) && p.key <> min_int then f p.key;
+        go (proj (Atomic.get p.nexts.(0)))
+      end
+    in
+    go s.head
+
+  let size_seq s =
+    let c = ref 0 in
+    iter_seq s (fun _ -> incr c);
+    !c
+
+  let keys_seq s =
+    let acc = ref [] in
+    iter_seq s (fun k -> acc := k :: !acc);
+    List.rev !acc
+
+  let check_invariants s =
+    (* Bottom level: strictly ascending, all live, unmarked, unlocked,
+       fully linked. Upper levels: sublists of the level below. *)
+    let rec check_level l n prev_key =
+      let p = pl n in
+      if not (Heap.is_live n) then failwith "skip_list: freed node still linked";
+      if l = 0 then begin
+        if p.marked then failwith "skip_list: marked node still linked";
+        if not p.fully_linked then failwith "skip_list: partially linked node at rest";
+        if Spinlock.is_locked p.lock then failwith "skip_list: node left locked"
+      end;
+      if p.key <= prev_key && p.key <> min_int then
+        failwith "skip_list: keys not ascending";
+      if p.top < l then failwith "skip_list: node linked above its top level";
+      if p.key <> max_int then check_level l (proj (Atomic.get p.nexts.(l))) p.key
+    in
+    for l = 0 to s.levels - 1 do
+      check_level l s.head min_int
+    done;
+    (* Every upper-level key appears at the bottom. *)
+    let bottom = Hashtbl.create 256 in
+    iter_seq s (fun k -> Hashtbl.replace bottom k ());
+    let mem k = Hashtbl.mem bottom k in
+    for l = 1 to s.levels - 1 do
+      let rec walk n =
+        let p = pl n in
+        if p.key <> max_int then begin
+          if p.key <> min_int && (not p.marked) && not (mem p.key) then
+            failwith "skip_list: upper-level key missing from bottom level";
+          walk (proj (Atomic.get p.nexts.(l)))
+        end
+      in
+      walk s.head
+    done
+
+  let heap_live s = Heap.live_nodes s.base.heap
+
+  let heap_uaf s = Heap.uaf_count s.base.heap
+
+  let heap_double_free s = Heap.double_free_count s.base.heap
+
+  let smr_unreclaimed s = R.unreclaimed s.base.smr
+
+  let smr_stats s = R.stats s.base.smr
+end

@@ -1,0 +1,1 @@
+lib/harness/dispatch.ml: Ab_tree Ext_bst Hash_table Hm_list Lazy_list Pop_baselines Pop_core Pop_ds Set_intf Skip_list String

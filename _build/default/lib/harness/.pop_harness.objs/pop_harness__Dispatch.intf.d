@@ -1,0 +1,1 @@
+lib/harness/dispatch.mli: Pop_core Pop_ds

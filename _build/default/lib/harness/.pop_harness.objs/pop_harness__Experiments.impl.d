@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Dispatch List Printf Report Runner String Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Clock Dispatch Domain Gc List Pop_core Pop_ds Pop_runtime Rng Softsignal Unix Workload

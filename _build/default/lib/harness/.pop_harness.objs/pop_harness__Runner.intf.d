@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Dispatch Pop_core Workload

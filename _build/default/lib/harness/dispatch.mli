@@ -1,0 +1,43 @@
+(** Runtime selection of data structure × reclamation algorithm. *)
+
+type ds_kind = HML | LL | HMHT | DGT | ABT | SL
+
+type smr_kind =
+  | NR
+  | HP
+  | HPASYM
+  | HE
+  | EBR
+  | IBR
+  | NBR
+  | HPPOP
+  | HEPOP
+  | EPOCHPOP
+  | HYALINE
+  | CADENCE
+  | UNSAFE
+
+val all_ds : ds_kind list
+(** The paper's five benchmark structures (figures use exactly these). *)
+
+val all_ds_ext : ds_kind list
+(** [all_ds] plus the extension structures (the skip list). *)
+
+val all_smr : smr_kind list
+(** Every safe algorithm (everything except {!UNSAFE}). *)
+
+val paper_smrs : smr_kind list
+(** The algorithm set of the paper's main figures (no Hyaline/Crystalline,
+    no UNSAFE). *)
+
+val ds_name : ds_kind -> string
+
+val smr_name : smr_kind -> string
+
+val ds_of_string : string -> ds_kind option
+
+val smr_of_string : string -> smr_kind option
+
+val smr_module : smr_kind -> (module Pop_core.Smr.S)
+
+val set_module : ds_kind -> smr_kind -> (module Pop_ds.Set_intf.SET)

@@ -1,0 +1,207 @@
+type scale = {
+  duration : float;
+  threads_list : int list;
+  size_hml : int;
+  size_ll : int;
+  size_ht : int;
+  size_dgt : int;
+  size_abt : int;
+  reclaim_freq : int;
+  lrr_sizes : int list;
+  lrr_threads : int;
+  lrr_reclaim_freq : int;
+}
+
+let quick =
+  {
+    duration = 0.4;
+    threads_list = [ 1; 2; 4 ];
+    size_hml = 2048;
+    size_ll = 2048;
+    size_ht = 16384;
+    size_dgt = 16384;
+    size_abt = 32768;
+    reclaim_freq = 512;
+    lrr_sizes = [ 4096; 16384 ];
+    lrr_threads = 4;
+    lrr_reclaim_freq = 16;
+  }
+
+let full =
+  {
+    duration = 2.0;
+    threads_list = [ 1; 2; 4; 8 ];
+    size_hml = 2048;
+    size_ll = 2048;
+    size_ht = 131072;
+    size_dgt = 65536;
+    size_abt = 262144;
+    reclaim_freq = 2048;
+    lrr_sizes = [ 8192; 32768 ];
+    lrr_threads = 8;
+    lrr_reclaim_freq = 16;
+  }
+
+let size_of sc = function
+  | Dispatch.HML -> sc.size_hml
+  | Dispatch.LL -> sc.size_ll
+  | Dispatch.HMHT -> sc.size_ht
+  | Dispatch.DGT -> sc.size_dgt
+  | Dispatch.ABT -> sc.size_abt
+  | Dispatch.SL -> sc.size_hml * 4
+
+let base_cfg sc ds smr threads =
+  {
+    Runner.default_cfg with
+    ds;
+    smr;
+    threads;
+    duration = sc.duration;
+    key_range = size_of sc ds;
+    reclaim_freq = sc.reclaim_freq;
+  }
+
+let flag r = if Runner.consistent r then "" else "!"
+
+let fig_mixed ?(check = true) ~title ~mix ~dss ~smrs sc =
+  let acc = ref [] in
+  List.iter
+    (fun ds ->
+      Report.section
+        (Printf.sprintf "%s : %s (size=%d, retire threshold=%d)" title (Dispatch.ds_name ds)
+           (size_of sc ds) sc.reclaim_freq);
+      let cells =
+        List.map
+          (fun smr ->
+            ( smr,
+              List.map
+                (fun th -> Runner.run { (base_cfg sc ds smr th) with mix })
+                sc.threads_list ))
+          smrs
+      in
+      let th_headers tag = List.map (fun t -> Printf.sprintf "%s(t=%d)" tag t) sc.threads_list in
+      Report.table
+        ~header:(("algo" :: th_headers "Mops") @ th_headers "garb" @ [ "live(max t)" ])
+        ~rows:
+          (List.map
+             (fun (smr, rs) ->
+               let marks = if check then String.concat "" (List.map flag rs) else "" in
+               (Dispatch.smr_name smr ^ marks)
+               :: (List.map (fun (r : Runner.result) -> Report.fmt_mops r.mops) rs
+                  @ List.map
+                      (fun (r : Runner.result) -> Report.fmt_count r.max_unreclaimed)
+                      rs
+                  @ [ Report.fmt_count (List.nth rs (List.length rs - 1)).max_live ]))
+             cells);
+      List.iter (fun (_, rs) -> acc := rs @ !acc) cells)
+    dss;
+  !acc
+
+let fig_update_heavy sc =
+  fig_mixed ~title:"Fig 1-2 update-heavy (50i/50d)" ~mix:Workload.update_heavy
+    ~dss:Dispatch.all_ds ~smrs:Dispatch.paper_smrs sc
+
+let fig_read_heavy sc =
+  fig_mixed ~title:"Fig 3 read-heavy (5i/5d/90c)" ~mix:Workload.read_heavy
+    ~dss:[ Dispatch.ABT; Dispatch.DGT ] ~smrs:Dispatch.paper_smrs sc
+
+let fig_read_heavy_appendix sc =
+  fig_mixed ~title:"Fig 5-9 read-heavy (5i/5d/90c)" ~mix:Workload.read_heavy
+    ~dss:[ Dispatch.HML; Dispatch.LL; Dispatch.HMHT ] ~smrs:Dispatch.paper_smrs sc
+
+let fig_long_running_reads sc =
+  let acc = ref [] in
+  List.iter
+    (fun size ->
+      Report.section
+        (Printf.sprintf
+           "Fig 4 long-running reads : hml (size=%d, %d readers + %d updaters, retire \
+            threshold=%d)"
+           size (sc.lrr_threads / 2)
+           (sc.lrr_threads - (sc.lrr_threads / 2))
+           sc.lrr_reclaim_freq);
+      let run smr =
+        Runner.run
+          {
+            Runner.default_cfg with
+            ds = Dispatch.HML;
+            smr;
+            threads = sc.lrr_threads;
+            duration = sc.duration;
+            key_range = size;
+            reclaim_freq = sc.lrr_reclaim_freq;
+            long_running_reads = true;
+            near_head_span = 64;
+          }
+      in
+      let nr = run Dispatch.NR in
+      let others = List.filter (fun s -> s <> Dispatch.NR) Dispatch.paper_smrs in
+      let cells = (Dispatch.NR, nr) :: List.map (fun smr -> (smr, run smr)) others in
+      Report.table
+        ~header:[ "algo"; "read Mops"; "read ratio vs nr"; "restarts"; "garb"; "live" ]
+        ~rows:
+          (List.map
+             (fun (smr, (r : Runner.result)) ->
+               [
+                 Dispatch.smr_name smr ^ flag r;
+                 Report.fmt_mops r.read_mops;
+                 (if nr.read_mops > 0.0 then Printf.sprintf "%.2f" (r.read_mops /. nr.read_mops)
+                  else "-");
+                 Report.fmt_count r.smr.restarts;
+                 Report.fmt_count r.max_unreclaimed;
+                 Report.fmt_count r.max_live;
+               ])
+             cells);
+      List.iter (fun (_, r) -> acc := r :: !acc) cells)
+    sc.lrr_sizes;
+  !acc
+
+let fig_crystalline sc =
+  fig_mixed ~title:"Fig 10-11 (incl. hyaline) update-heavy" ~mix:Workload.update_heavy
+    ~dss:[ Dispatch.HML; Dispatch.HMHT ]
+    ~smrs:(Dispatch.paper_smrs @ [ Dispatch.HYALINE ])
+    sc
+
+let fig_robustness sc =
+  let threads = List.fold_left max 2 sc.threads_list in
+  let duration = max 1.0 sc.duration in
+  Report.section
+    (Printf.sprintf
+       "Robustness: one of %d threads stalls mid-operation for %.1fs (hml size=%d, \
+        update-heavy)"
+       threads (0.7 *. duration) sc.size_hml);
+  let smrs = Dispatch.[ EBR; IBR; HE; NBR; HPPOP; HEPOP; EPOCHPOP ] in
+  let cells =
+    List.map
+      (fun smr ->
+        ( smr,
+          Runner.run
+            {
+              (base_cfg sc Dispatch.HML smr threads) with
+              duration;
+              stall =
+                Some
+                  {
+                    Runner.stall_tid = 0;
+                    stall_after = 0.1 *. duration;
+                    stall_for = 0.7 *. duration;
+                    stall_polling = true;
+                  };
+            } ))
+      smrs
+  in
+  Report.table
+    ~header:[ "algo"; "Mops"; "max garbage"; "final garbage"; "pop passes"; "pings" ]
+    ~rows:
+      (List.map
+         (fun (smr, (r : Runner.result)) ->
+           [
+             Dispatch.smr_name smr ^ flag r;
+             Report.fmt_mops r.mops;
+             Report.fmt_count r.max_unreclaimed;
+             Report.fmt_count r.final_unreclaimed;
+             Report.fmt_count r.smr.pop_passes;
+             Report.fmt_count r.smr.pings;
+           ])
+         cells);
+  List.map snd cells

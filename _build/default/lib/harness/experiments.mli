@@ -1,0 +1,60 @@
+(** One generator per figure of the paper's evaluation (see DESIGN.md's
+    per-experiment index). Each prints paper-style series: throughput,
+    peak garbage (retire-list backlog) and peak resident nodes, per
+    algorithm and thread count. *)
+
+type scale = {
+  duration : float;  (** Seconds per cell. *)
+  threads_list : int list;
+  size_hml : int;
+  size_ll : int;
+  size_ht : int;
+  size_dgt : int;
+  size_abt : int;
+  reclaim_freq : int;
+  lrr_sizes : int list;  (** Figure 4 list sizes. *)
+  lrr_threads : int;
+  lrr_reclaim_freq : int;  (** Figure 4 uses a small retire threshold. *)
+}
+
+val quick : scale
+(** A few minutes total; the default for [bench/main.exe]. *)
+
+val full : scale
+(** Longer runs, more threads, larger structures. *)
+
+val size_of : scale -> Dispatch.ds_kind -> int
+
+val fig_mixed :
+  ?check:bool ->
+  title:string ->
+  mix:Workload.mix ->
+  dss:Dispatch.ds_kind list ->
+  smrs:Dispatch.smr_kind list ->
+  scale ->
+  Runner.result list
+(** Generic workload sweep behind Figures 1, 2, 3, 5–9 and 10–11.
+    With [check] (default true), flags inconsistent cells in the output. *)
+
+val fig_update_heavy : scale -> Runner.result list
+(** Figures 1–2 (+ appendix 5–9 update-heavy panels): all five
+    structures, update-heavy. *)
+
+val fig_read_heavy : scale -> Runner.result list
+(** Figure 3: ABT and DGT, read-heavy. *)
+
+val fig_read_heavy_appendix : scale -> Runner.result list
+(** Appendix Figures 5–9 read-heavy panels: remaining structures. *)
+
+val fig_long_running_reads : scale -> Runner.result list
+(** Figure 4: long-running reads on HML; half the threads are full-range
+    readers, half update near the head; small retire threshold. Reports
+    the read-throughput ratio vs NR. *)
+
+val fig_crystalline : scale -> Runner.result list
+(** Appendix Figures 10–11: HML and HMHT including Hyaline-lite. *)
+
+val fig_robustness : scale -> Runner.result list
+(** The robustness claim (Properties 3/5): one thread stalls mid-
+    operation; EBR's garbage grows unboundedly while POP algorithms stay
+    bounded. *)

@@ -1,0 +1,32 @@
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row in
+  List.iter measure all;
+  let print_row row =
+    List.iteri
+      (fun i c ->
+        let pad = String.make (widths.(i) - String.length c) ' ' in
+        (* Left-align the first column (labels), right-align numbers. *)
+        if i = 0 then Printf.printf "%s%s" c pad else Printf.printf "  %s%s" pad c)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  let rule = Array.fold_left (fun a w -> a + w + 2) (-2) widths in
+  Printf.printf "%s\n" (String.make (max rule 1) '-');
+  List.iter print_row rows;
+  flush stdout
+
+let fmt_mops v = Printf.sprintf "%.3f" v
+
+let fmt_count n =
+  let f = float_of_int n in
+  if n >= 10_000_000 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else string_of_int n
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title;
+  flush stdout

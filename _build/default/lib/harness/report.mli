@@ -1,0 +1,13 @@
+(** Aligned plain-text tables for benchmark output (always stdout). *)
+
+val table : header:string list -> rows:string list list -> unit
+(** Print an aligned table with a rule under the header. The first
+    column is left-aligned (labels), the rest right-aligned. *)
+
+val fmt_mops : float -> string
+
+val fmt_count : int -> string
+(** Human-scaled counts: 1234 -> "1234", 123456 -> "123.5K". *)
+
+val section : string -> unit
+(** Print a section banner. *)

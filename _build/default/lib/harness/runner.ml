@@ -1,0 +1,212 @@
+open Pop_runtime
+
+type stall_spec = {
+  stall_tid : int;
+  stall_after : float;
+  stall_for : float;
+  stall_polling : bool;
+}
+
+type cfg = {
+  ds : Dispatch.ds_kind;
+  smr : Dispatch.smr_kind;
+  threads : int;
+  duration : float;
+  key_range : int;
+  mix : Workload.mix;
+  reclaim_freq : int;
+  epoch_freq : int;
+  pop_mult : int;
+  fence_cost : int;
+  max_hp : int;
+  ht_load : int;
+  ab_branch : int;
+  long_running_reads : bool;
+  near_head_span : int;
+  stall : stall_spec option;
+  seed : int;
+}
+
+let default_cfg =
+  {
+    ds = Dispatch.HML;
+    smr = Dispatch.EPOCHPOP;
+    threads = 2;
+    duration = 0.5;
+    key_range = 2048;
+    mix = Workload.update_heavy;
+    reclaim_freq = 512;
+    epoch_freq = 32;
+    pop_mult = 2;
+    fence_cost = 8;
+    max_hp = 8;
+    ht_load = 4;
+    ab_branch = 8;
+    long_running_reads = false;
+    near_head_span = 64;
+    stall = None;
+    seed = 42;
+  }
+
+type result = {
+  r_cfg : cfg;
+  total_ops : int;
+  read_ops : int;
+  update_ops : int;
+  mops : float;
+  read_mops : float;
+  max_live : int;
+  max_unreclaimed : int;
+  final_unreclaimed : int;
+  final_live : int;
+  uaf : int;
+  double_free : int;
+  final_size : int;
+  expected_size : int;
+  invariants_ok : bool;
+  invariant_error : string;
+  smr : Pop_core.Smr_stats.t;
+}
+
+(* Per-worker tally, returned through Domain.join — no shared state. *)
+type tally = { ops : int; reads : int; updates : int; net_inserts : int }
+
+let smr_config cfg ~max_threads =
+  (* The skip list holds a pred+succ reservation per level. *)
+  let needed_hp =
+    match cfg.ds with Dispatch.SL -> (2 * 8 (* skip_levels *)) + 2 | _ -> 0
+  in
+  {
+    Pop_core.Smr_config.max_threads;
+    max_hp = max cfg.max_hp needed_hp;
+    reclaim_freq = cfg.reclaim_freq;
+    epoch_freq = cfg.epoch_freq;
+    pop_mult = cfg.pop_mult;
+    fence_cost = cfg.fence_cost;
+  }
+
+let ds_config cfg =
+  {
+    Pop_ds.Ds_config.key_range = cfg.key_range;
+    ht_load = cfg.ht_load;
+    ab_branch = cfg.ab_branch;
+    skip_levels = 8;
+  }
+
+let run cfg =
+  Workload.validate cfg.mix;
+  if cfg.threads < 1 then invalid_arg "Runner.run: need at least one thread";
+  let (module S) = Dispatch.set_module cfg.ds cfg.smr in
+  (* Thread ids: workers use 0 .. threads-1; the main thread uses the
+     extra slot for prefill and releases it before the run. *)
+  let hub = Softsignal.create ~max_threads:(cfg.threads + 1) in
+  let set = S.create (smr_config cfg ~max_threads:(cfg.threads + 1)) (ds_config cfg) ~hub in
+  let prefill_count = ref 0 in
+  let pctx = S.register set ~tid:cfg.threads in
+  List.iter
+    (fun k -> if S.insert pctx k then incr prefill_count)
+    (Workload.prefill_keys ~key_range:cfg.key_range);
+  S.flush pctx;
+  S.deregister pctx;
+  (* Isolate cells from each other: without this, the major-GC debt of a
+     leaky previous cell (NR piles up millions of words) is collected
+     during — and billed to — whichever cell runs next. *)
+  Gc.compact ();
+  let start = Atomic.make false in
+  let stop = Atomic.make false in
+  let ready = Atomic.make 0 in
+  let worker tid () =
+    let ctx = S.register set ~tid in
+    let rng = Rng.make (cfg.seed + (7919 * (tid + 1))) in
+    let reader_role = cfg.long_running_reads && tid < cfg.threads / 2 in
+    let updater_span = max 1 (min cfg.near_head_span cfg.key_range) in
+    let ops = ref 0 and reads = ref 0 and updates = ref 0 and net = ref 0 in
+    let stalled = ref false in
+    let t0 = ref 0.0 in
+    Atomic.incr ready;
+    while not (Atomic.get start) do
+      Domain.cpu_relax ()
+    done;
+    t0 := Clock.now ();
+    while not (Atomic.get stop) do
+      (match cfg.stall with
+      | Some sp
+        when sp.stall_tid = tid && (not !stalled) && Clock.elapsed !t0 >= sp.stall_after ->
+          stalled := true;
+          S.stall ctx ~seconds:sp.stall_for ~polling:sp.stall_polling
+      | _ -> ());
+      let op =
+        if cfg.long_running_reads then
+          if reader_role then Workload.Contains (Rng.int rng cfg.key_range)
+          else if Rng.bool rng then Workload.Insert (Rng.int rng updater_span)
+          else Workload.Delete (Rng.int rng updater_span)
+        else Workload.gen rng cfg.mix ~key_range:cfg.key_range
+      in
+      (match op with
+      | Workload.Contains k ->
+          ignore (S.contains ctx k);
+          incr reads
+      | Workload.Insert k ->
+          if S.insert ctx k then incr net;
+          incr updates
+      | Workload.Delete k ->
+          if S.delete ctx k then decr net;
+          incr updates);
+      incr ops;
+      S.poll ctx
+    done;
+    S.flush ctx;
+    S.deregister ctx;
+    { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net }
+  in
+  let domains = Array.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
+  while Atomic.get ready < cfg.threads do
+    Domain.cpu_relax ()
+  done;
+  let t_start = Clock.now () in
+  Atomic.set start true;
+  (* Sampling loop: track peak memory while the workload runs. *)
+  let max_live = ref 0 and max_unreclaimed = ref 0 in
+  let sample () =
+    max_live := max !max_live (S.heap_live set);
+    max_unreclaimed := max !max_unreclaimed (S.smr_unreclaimed set)
+  in
+  while Clock.elapsed t_start < cfg.duration do
+    Unix.sleepf 0.01;
+    sample ()
+  done;
+  Atomic.set stop true;
+  let tallies = Array.map Domain.join domains in
+  let elapsed = Clock.elapsed t_start in
+  sample ();
+  let total_ops = Array.fold_left (fun a t -> a + t.ops) 0 tallies in
+  let read_ops = Array.fold_left (fun a t -> a + t.reads) 0 tallies in
+  let update_ops = Array.fold_left (fun a t -> a + t.updates) 0 tallies in
+  let net = Array.fold_left (fun a t -> a + t.net_inserts) 0 tallies in
+  let invariants_ok, invariant_error =
+    match S.check_invariants set with
+    | () -> (true, "")
+    | exception Failure msg -> (false, msg)
+  in
+  {
+    r_cfg = cfg;
+    total_ops;
+    read_ops;
+    update_ops;
+    mops = float_of_int total_ops /. elapsed /. 1e6;
+    read_mops = float_of_int read_ops /. elapsed /. 1e6;
+    max_live = !max_live;
+    max_unreclaimed = !max_unreclaimed;
+    final_unreclaimed = S.smr_unreclaimed set;
+    final_live = S.heap_live set;
+    uaf = S.heap_uaf set;
+    double_free = S.heap_double_free set;
+    final_size = S.size_seq set;
+    expected_size = !prefill_count + net;
+    invariants_ok;
+    invariant_error;
+    smr = S.smr_stats set;
+  }
+
+let consistent r =
+  r.final_size = r.expected_size && r.invariants_ok && r.uaf = 0 && r.double_free = 0

@@ -1,0 +1,61 @@
+(** Multi-threaded benchmark driver: spawns one domain per thread,
+    prefills the structure to half its key range, runs a timed mixed
+    workload, samples memory, and checks consistency afterwards. *)
+
+type stall_spec = {
+  stall_tid : int;  (** Which worker stalls. *)
+  stall_after : float;  (** Seconds into the run. *)
+  stall_for : float;  (** Stall duration. *)
+  stall_polling : bool;  (** Whether the stalled thread serves pings. *)
+}
+
+type cfg = {
+  ds : Dispatch.ds_kind;
+  smr : Dispatch.smr_kind;
+  threads : int;
+  duration : float;
+  key_range : int;
+  mix : Workload.mix;
+  reclaim_freq : int;
+  epoch_freq : int;
+  pop_mult : int;
+  fence_cost : int;  (** Modelled fence cost; see {!Pop_runtime.Fence}. *)
+  max_hp : int;
+  ht_load : int;
+  ab_branch : int;
+  long_running_reads : bool;
+      (** Figure-4 mode: the first half of the threads run full-range
+          contains only; the second half update keys in
+          [\[0, near_head_span)]. *)
+  near_head_span : int;
+  stall : stall_spec option;
+  seed : int;
+}
+
+val default_cfg : cfg
+(** HML / EpochPOP / 2 threads / 0.5 s / 2K keys / update-heavy. *)
+
+type result = {
+  r_cfg : cfg;
+  total_ops : int;
+  read_ops : int;
+  update_ops : int;
+  mops : float;  (** Million operations per second, all threads. *)
+  read_mops : float;
+  max_live : int;  (** Peak heap nodes alive (reachable + garbage). *)
+  max_unreclaimed : int;  (** Peak retire-list backlog. *)
+  final_unreclaimed : int;
+  final_live : int;
+  uaf : int;
+  double_free : int;
+  final_size : int;
+  expected_size : int;  (** Prefill + net successful inserts. *)
+  invariants_ok : bool;
+  invariant_error : string;
+  smr : Pop_core.Smr_stats.t;
+}
+
+val run : cfg -> result
+
+val consistent : result -> bool
+(** Sizes match, invariants hold, and no UAF / double free occurred. *)

@@ -1,0 +1,36 @@
+open Pop_runtime
+
+type mix = { ins_pct : int; del_pct : int }
+
+let update_heavy = { ins_pct = 50; del_pct = 50 }
+
+let read_heavy = { ins_pct = 5; del_pct = 5 }
+
+let read_only = { ins_pct = 0; del_pct = 0 }
+
+let validate m =
+  if m.ins_pct < 0 || m.del_pct < 0 || m.ins_pct + m.del_pct > 100 then
+    invalid_arg "Workload.mix: percentages must be non-negative and sum to at most 100"
+
+type op = Insert of int | Delete of int | Contains of int
+
+let gen rng mix ~key_range =
+  let key = Rng.int rng key_range in
+  let r = Rng.int rng 100 in
+  if r < mix.ins_pct then Insert key
+  else if r < mix.ins_pct + mix.del_pct then Delete key
+  else Contains key
+
+(* Even keys, deterministically shuffled: ascending-order prefill would
+   degenerate the (unbalanced) external BST into a linked list. *)
+let prefill_keys ~key_range =
+  let n = (key_range + 1) / 2 in
+  let keys = Array.init n (fun i -> 2 * i) in
+  let rng = Rng.make 0x5eed in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- t
+  done;
+  Array.to_list keys

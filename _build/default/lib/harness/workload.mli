@@ -1,0 +1,24 @@
+(** Operation mixes and key generation for benchmark cells. *)
+
+type mix = { ins_pct : int; del_pct : int }
+(** Percentages of inserts and deletes; the rest are contains. *)
+
+val update_heavy : mix
+(** 50% inserts, 50% deletes (paper Figures 1–2). *)
+
+val read_heavy : mix
+(** 5% inserts, 5% deletes, 90% contains (paper Figure 3). *)
+
+val read_only : mix
+
+val validate : mix -> unit
+
+type op = Insert of int | Delete of int | Contains of int
+
+val gen : Pop_runtime.Rng.t -> mix -> key_range:int -> op
+(** Draw one operation with a uniform key. *)
+
+val prefill_keys : key_range:int -> int list
+(** The deterministic keys used to prefill a structure to half its key
+    range (every even key, shuffled), matching the paper's
+    prefill-to-half setup. *)

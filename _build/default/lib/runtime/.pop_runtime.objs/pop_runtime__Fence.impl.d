@@ -1,0 +1,1 @@
+lib/runtime/fence.ml: Array Atomic Sys

@@ -1,0 +1,1 @@
+lib/runtime/striped.ml: Array Atomic Sys

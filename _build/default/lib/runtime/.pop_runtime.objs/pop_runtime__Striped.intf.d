@@ -1,0 +1,1 @@
+lib/runtime/striped.mli: Atomic

@@ -1,0 +1,29 @@
+type t = { mutable level : int; mutable steps : int }
+
+let spin_levels = 6 (* 2^0 .. 2^5 cpu_relax rounds before sleeping *)
+
+let max_sleep = 0.002
+
+let make () = { level = 0; steps = 0 }
+
+let reset t =
+  t.level <- 0;
+  t.steps <- 0
+
+let spins t = t.steps
+
+let once t =
+  t.steps <- t.steps + 1;
+  if t.level < spin_levels then begin
+    for _ = 1 to 1 lsl t.level do
+      Domain.cpu_relax ()
+    done;
+    t.level <- t.level + 1
+  end
+  else begin
+    let sleep =
+      min max_sleep (0.00002 *. float_of_int (1 lsl (t.level - spin_levels)))
+    in
+    Unix.sleepf sleep;
+    if t.level < spin_levels + 7 then t.level <- t.level + 1
+  end

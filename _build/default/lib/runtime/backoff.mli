@@ -1,0 +1,21 @@
+(** Exponential backoff that yields to the operating system.
+
+    On this project's single-core target every busy-wait must eventually
+    sleep, otherwise a spinning thread consumes a whole scheduling quantum
+    while the thread it waits for cannot run. The backoff spins with
+    [Domain.cpu_relax] for the first few rounds and then escalates to
+    [Unix.sleepf] with an exponentially growing (capped) delay. *)
+
+type t
+(** Mutable backoff state; one per wait site. *)
+
+val make : unit -> t
+
+val once : t -> unit
+(** Perform one backoff step and escalate the state. *)
+
+val reset : t -> unit
+(** Return to the cheapest (pure spin) level. *)
+
+val spins : t -> int
+(** Number of steps taken since the last {!reset} (for tests/stats). *)

@@ -1,0 +1,10 @@
+(** Wall-clock timing for benchmark cells.
+
+    Runs are a few seconds long, so microsecond-resolution wall time is
+    sufficient; no monotonic-clock binding is needed. *)
+
+val now : unit -> float
+(** Current time in seconds. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is seconds since [t0] (a value returned by {!now}). *)

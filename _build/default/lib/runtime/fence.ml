@@ -1,0 +1,12 @@
+type cell = int Atomic.t
+
+let make_cell () =
+  let c = Atomic.make 0 in
+  let _pad : int array = Array.make 14 0 in
+  ignore (Sys.opaque_identity _pad);
+  c
+
+let execute cell n =
+  for _ = 1 to n do
+    ignore (Atomic.fetch_and_add cell 1)
+  done

@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next t }
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next t) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_int (next t) land max_int in
+  bound *. (float_of_int v /. float_of_int max_int)
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,28 @@
+(** Per-thread pseudo-random number generation.
+
+    A small, fast SplitMix64 generator. Each worker owns its own state, so
+    random number generation never synchronizes between threads (the
+    standard-library [Random] state is domain-local but heavier, and the
+    benchmark needs deterministic per-thread streams). *)
+
+type t
+(** Mutable generator state; never share one value between threads. *)
+
+val make : int -> t
+(** [make seed] creates a generator. Distinct seeds give independent
+    streams; the same seed always produces the same stream. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t]. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)

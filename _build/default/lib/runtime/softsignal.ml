@@ -1,0 +1,68 @@
+type t = {
+  pending : Striped.t; (* 0 = clear, 1 = pinged *)
+  active : Striped.t; (* 0 = dead, 1 = alive *)
+  handlers : (unit -> unit) array;
+  sent : int Atomic.t;
+  runs : int Atomic.t;
+}
+
+type port = { hub : t; id : int; my_pending : int Atomic.t }
+
+let no_handler () = ()
+
+let create ~max_threads =
+  {
+    pending = Striped.create max_threads;
+    active = Striped.create max_threads;
+    handlers = Array.make max_threads no_handler;
+    sent = Atomic.make 0;
+    runs = Atomic.make 0;
+  }
+
+let max_threads t = Striped.length t.pending
+
+let is_active t id = Striped.get t.active id = 1
+
+let register t ~tid =
+  if tid < 0 || tid >= max_threads t then invalid_arg "Softsignal.register: tid out of range";
+  if is_active t tid then invalid_arg "Softsignal.register: slot already active";
+  t.handlers.(tid) <- no_handler;
+  Striped.set t.pending tid 0;
+  Striped.set t.active tid 1;
+  { hub = t; id = tid; my_pending = Striped.cell t.pending tid }
+
+let set_handler p f = p.hub.handlers.(p.id) <- f
+
+let tid p = p.id
+
+let ping t id =
+  if is_active t id then begin
+    Striped.set t.pending id 1;
+    Atomic.incr t.sent;
+    true
+  end
+  else false
+
+let ping_all t ~self =
+  for id = 0 to max_threads t - 1 do
+    if id <> self then ignore (ping t id)
+  done
+
+let poll p =
+  if Atomic.get p.my_pending = 1 then begin
+    let t = p.hub in
+    Atomic.set p.my_pending 0;
+    Atomic.incr t.runs;
+    t.handlers.(p.id) ()
+  end
+
+let pending p = Atomic.get p.my_pending = 1
+
+let deregister p =
+  poll p;
+  Striped.set p.hub.active p.id 0;
+  p.hub.handlers.(p.id) <- no_handler
+
+let pings_sent t = Atomic.get t.sent
+
+let handler_runs t = Atomic.get t.runs

@@ -1,0 +1,69 @@
+(** Soft signals: the stand-in for [pthread_kill] + signal handlers.
+
+    The paper's publish-on-ping mechanism needs a reclaimer to interrupt
+    every other thread and have each run a handler in its own context.
+    OCaml domains cannot receive per-thread POSIX signals, so this module
+    models delivery with a per-thread pending flag: {!ping_all} raises the
+    flag of every registered peer, and each thread calls {!poll} at every
+    SMR-protected read and at operation boundaries, running its handler
+    when the flag is up.
+
+    Properties preserved from real signals (see DESIGN.md):
+    - the handler runs in the target thread, so it observes that thread's
+      own prior (unfenced) writes, exactly like a POSIX handler;
+    - delivery latency is bounded (at most one protected read);
+    - pings to dead threads are skipped, like [pthread_kill] = [ESRCH];
+    - concurrent pings coalesce: a flag raised during handler execution
+      stays up and triggers one more handler run, never zero.
+
+    A thread simulating a delay simply stops polling; {!poll} from a stall
+    loop models a descheduled thread being rescheduled. *)
+
+type t
+(** A hub shared by all threads of one benchmark/data-structure instance. *)
+
+type port
+(** One thread's endpoint. Created by {!register}; owned by that thread. *)
+
+val create : max_threads:int -> t
+(** A hub with slots for thread ids [0 .. max_threads-1]. *)
+
+val max_threads : t -> int
+
+val register : t -> tid:int -> port
+(** Claim slot [tid] and mark it alive. Raises [Invalid_argument] if the
+    slot is out of range or already active. *)
+
+val set_handler : port -> (unit -> unit) -> unit
+(** Install the "signal handler" run by {!poll} when a ping is pending.
+    The handler must not itself ping or block. *)
+
+val deregister : port -> unit
+(** Mark the slot dead; subsequent pings skip it. Runs the handler one
+    last time if a ping is pending, so no reclaimer is left waiting. *)
+
+val is_active : t -> int -> bool
+(** Whether slot [tid] currently has a live registrant. *)
+
+val tid : port -> int
+
+val ping : t -> int -> bool
+(** [ping t tid] raises [tid]'s flag. Returns [false] (and does nothing)
+    if the slot is dead — the analogue of [pthread_kill] returning
+    [ESRCH]. *)
+
+val ping_all : t -> self:int -> unit
+(** Ping every active slot except [self]. *)
+
+val poll : port -> unit
+(** If a ping is pending: clear the flag, then run the handler. A ping
+    arriving during the handler leaves the flag up for the next poll. *)
+
+val pending : port -> bool
+(** Racy check whether a ping is pending (without handling it). *)
+
+val pings_sent : t -> int
+(** Total pings delivered through this hub (for stats). *)
+
+val handler_runs : t -> int
+(** Total handler executions across all ports (for stats). *)

@@ -1,0 +1,19 @@
+type t = { flag : bool Atomic.t }
+
+let create () = { flag = Atomic.make false }
+
+let try_lock t = (not (Atomic.get t.flag)) && Atomic.compare_and_set t.flag false true
+
+let lock t =
+  if not (try_lock t) then begin
+    let b = Backoff.make () in
+    while not (try_lock t) do
+      Backoff.once b
+    done
+  end
+
+let unlock t =
+  assert (Atomic.get t.flag);
+  Atomic.set t.flag false
+
+let is_locked t = Atomic.get t.flag

@@ -1,0 +1,34 @@
+(** False-sharing-avoiding arrays of per-thread atomic counters.
+
+    A plain [int Atomic.t array] places the atomic cells next to each other
+    on the heap, so two threads incrementing adjacent slots ping-pong the
+    same cache line. [Striped] spaces the cells out by allocating padding
+    blocks between them, which is the closest OCaml gets to cache-line
+    alignment without C stubs. *)
+
+type t
+(** A fixed-size array of single-writer multi-reader counters. *)
+
+val create : int -> t
+(** [create n] makes [n] counters, all zero. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+
+val cell : t -> int -> int Atomic.t
+(** Direct access to slot [i]'s cell, for hot paths that want to skip
+    the array indexing. *)
+
+val set : t -> int -> int -> unit
+
+val incr : t -> int -> unit
+(** Sequentially-consistent increment of slot [i]. *)
+
+val add : t -> int -> int -> unit
+
+val sum : t -> int
+(** Racy sum across all slots (each slot read atomically). *)
+
+val max_value : t -> int
+(** Racy maximum across all slots. *)

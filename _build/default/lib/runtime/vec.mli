@@ -1,0 +1,28 @@
+(** Growable array used for retire lists.
+
+    Retire lists are single-owner: only the retiring thread pushes, filters
+    and drains, so no synchronization is needed. [filter_in_place] is the
+    hot reclamation operation — it compacts survivors without allocating. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+(** Drop all elements (keeps capacity). *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> int
+(** [filter_in_place keep t] removes the elements for which [keep] is
+    false and returns how many were removed. Order is preserved. *)
+
+val to_list : 'a t -> 'a list

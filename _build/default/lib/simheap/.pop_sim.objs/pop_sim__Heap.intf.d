@@ -1,0 +1,1 @@
+lib/simheap/heap.mli:

@@ -1,0 +1,103 @@
+type 'a node = {
+  id : int;
+  mutable seq : int;
+  mutable birth_era : int;
+  mutable retire_era : int;
+  mutable free_next : 'a node option;
+  payload : 'a;
+}
+
+(* Per-thread allocation pool. All fields are written only by the owning
+   thread; the sampler reads [allocs]/[frees] racily, which is fine for
+   monitoring. The [pad] field keeps pools on distinct cache lines. *)
+type 'a pool = {
+  mutable free_head : 'a node option;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable next_id : int;
+  (* Padding out to a cache line: allocs/frees are bumped on every
+     allocation by their owner; neighbours must not share the line. *)
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
+}
+
+type 'a t = {
+  pools : 'a pool array;
+  payload : int -> 'a;
+  max_threads : int;
+  uaf : int Atomic.t;
+  double_free : int Atomic.t;
+  sentinel_id : int Atomic.t;
+}
+
+let create ~max_threads ~payload =
+  let pools =
+    Array.init max_threads (fun tid ->
+        { free_head = None; allocs = 0; frees = 0; next_id = tid; pad0 = 0; pad1 = 0; pad2 = 0; pad3 = 0 })
+  in
+  {
+    pools;
+    payload;
+    max_threads;
+    uaf = Atomic.make 0;
+    double_free = Atomic.make 0;
+    sentinel_id = Atomic.make (-1);
+  }
+
+let fresh t pool =
+  let id = pool.next_id in
+  pool.next_id <- id + t.max_threads;
+  { id; seq = 0; birth_era = 0; retire_era = max_int; free_next = None; payload = t.payload id }
+
+let alloc t ~tid ~birth_era =
+  let pool = t.pools.(tid) in
+  pool.allocs <- pool.allocs + 1;
+  let n =
+    match pool.free_head with
+    | None -> fresh t pool
+    | Some n ->
+        pool.free_head <- n.free_next;
+        n.free_next <- None;
+        assert (n.seq land 1 = 1);
+        n.seq <- n.seq + 1;
+        n
+  in
+  n.birth_era <- birth_era;
+  n.retire_era <- max_int;
+  n
+
+let free t ~tid n =
+  if n.seq land 1 = 1 then Atomic.incr t.double_free
+  else begin
+    let pool = t.pools.(tid) in
+    n.seq <- n.seq + 1;
+    n.free_next <- pool.free_head;
+    pool.free_head <- Some n;
+    pool.frees <- pool.frees + 1
+  end
+
+(* Sentinels get negative ids and never enter a freelist, so they are
+   permanently live and cannot collide with allocated nodes. *)
+let sentinel t =
+  let id = Atomic.fetch_and_add t.sentinel_id (-1) in
+  { id; seq = 0; birth_era = 0; retire_era = max_int; free_next = None; payload = t.payload id }
+
+let is_live n = n.seq land 1 = 0
+
+let check_access t n = if n.seq land 1 = 1 then Atomic.incr t.uaf
+
+let allocated_total t = Array.fold_left (fun acc p -> acc + p.allocs) 0 t.pools
+
+let freed_total t = Array.fold_left (fun acc p -> acc + p.frees) 0 t.pools
+
+let live_nodes t = allocated_total t - freed_total t
+
+let freelist_length t ~tid =
+  let rec walk acc = function None -> acc | Some n -> walk (acc + 1) n.free_next in
+  walk 0 t.pools.(tid).free_head
+
+let uaf_count t = Atomic.get t.uaf
+
+let double_free_count t = Atomic.get t.double_free

@@ -1,0 +1,74 @@
+(** Simulated manual memory: the substrate that makes reclamation real.
+
+    OCaml is garbage collected, so "freeing" a node has no native meaning
+    and use-after-free cannot occur. This heap restores both: nodes are
+    explicitly allocated and freed, freed nodes go to per-thread freelists
+    and are recycled by later allocations, and every node carries an
+    incarnation sequence number ([seq]): even while live, odd while free.
+    Dereferencing a node whose [seq] is odd is a use-after-free; it is
+    counted (see {!uaf_count}) instead of crashing, so safety of an SMR
+    algorithm is an empirically checkable property (the counter must stay
+    zero) and unsafe schemes are detectably unsafe.
+
+    The heap also provides the memory accounting the paper's figures plot:
+    total allocations, frees, and the number of live (not yet freed)
+    nodes, which includes retired-but-unreclaimed garbage.
+
+    Per-thread freelists mirror mimalloc's free-list sharding, which the
+    paper uses to keep allocator contention out of SMR measurements. *)
+
+type 'a node = {
+  id : int;  (** Stable identity, unique across the heap's lifetime. *)
+  mutable seq : int;  (** Incarnation: even = live, odd = free. *)
+  mutable birth_era : int;  (** Epoch at allocation (hazard eras / IBR). *)
+  mutable retire_era : int;  (** Epoch at retirement (eras / EBR / IBR). *)
+  mutable free_next : 'a node option;  (** Intrusive freelist link. *)
+  payload : 'a;  (** The data structure's node contents, reused across
+                     incarnations exactly like recycled memory. *)
+}
+
+type 'a t
+
+val create : max_threads:int -> payload:(int -> 'a) -> 'a t
+(** [create ~max_threads ~payload] builds a heap whose fresh nodes get
+    [payload id] as contents. Threads are identified by
+    [0 .. max_threads-1]; allocation and free must pass the calling
+    thread's id. *)
+
+val alloc : 'a t -> tid:int -> birth_era:int -> 'a node
+(** Pop the thread's freelist (recycling a previous incarnation) or make a
+    fresh node. The result is live ([seq] even), with [birth_era] set and
+    [retire_era = max_int]. *)
+
+val free : 'a t -> tid:int -> 'a node -> unit
+(** Return a node to [tid]'s freelist. Freeing a node that is already
+    free is counted as a double free (see {!double_free_count}) and
+    otherwise ignored, so the experiment survives to report it. *)
+
+val sentinel : 'a t -> 'a node
+(** A node that is permanently live and never recycled; for heads, tails
+    and other anchors. Each call returns a fresh sentinel. *)
+
+val is_live : 'a node -> bool
+(** Racy liveness check ([seq] even). *)
+
+val check_access : 'a t -> 'a node -> unit
+(** Record a use-after-free if [node] is currently free. Called by SMR
+    [read] on every protected dereference. *)
+
+val live_nodes : 'a t -> int
+(** Nodes allocated and not yet freed (reachable + retired garbage).
+    Racy sum over per-thread counters. *)
+
+val allocated_total : 'a t -> int
+
+val freed_total : 'a t -> int
+
+val freelist_length : 'a t -> tid:int -> int
+(** Length of one thread's freelist (tests only; walks the list). *)
+
+val uaf_count : 'a t -> int
+(** Use-after-free accesses detected so far. Zero under a safe SMR. *)
+
+val double_free_count : 'a t -> int
+(** Double frees detected so far. Zero under a correct SMR. *)

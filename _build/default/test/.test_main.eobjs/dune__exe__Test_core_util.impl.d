@@ -1,0 +1,1 @@
+test/test_core_util.ml: Alcotest Array Atomic Counters Domain Format Handshake Id_set List Pop_core Pop_runtime QCheck2 QCheck_alcotest Reservations Smr_config Smr_stats Softsignal String Tu Unix

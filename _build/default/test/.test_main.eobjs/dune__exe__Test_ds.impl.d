@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Dispatch Fun List Pop_core Pop_harness Pop_runtime Printf QCheck2 QCheck_alcotest Set_rig Tu

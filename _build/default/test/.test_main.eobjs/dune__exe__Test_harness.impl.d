@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Dispatch Experiments List Option Pop_harness Pop_runtime Report Runner Tu Workload

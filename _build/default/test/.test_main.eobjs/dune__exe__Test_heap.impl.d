@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Hashtbl List Option Pop_sim QCheck2 QCheck_alcotest Tu

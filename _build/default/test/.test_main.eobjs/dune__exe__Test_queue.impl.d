@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Atomic Domain Fun List Ms_queue Pop_baselines Pop_core Pop_ds Pop_runtime Printf QCheck2 QCheck_alcotest Queue Queue_intf Tu

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Atomic Dispatch Domain Ebr Epoch_pop Fun Hazard_ptr_pop Pop_baselines Pop_core Pop_harness Pop_sim Printf Runner Smr_rig Smr_stats Tu

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Backoff Clock Domain Fence Gen List Pop_runtime QCheck2 QCheck_alcotest Rng Spinlock Striped Tu Unix Vec

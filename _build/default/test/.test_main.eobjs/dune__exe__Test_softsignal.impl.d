@@ -1,0 +1,1 @@
+test/test_softsignal.ml: Alcotest Atomic Domain Pop_runtime Softsignal Tu

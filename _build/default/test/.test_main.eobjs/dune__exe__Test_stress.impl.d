@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Dispatch Domain List Pop_core Pop_ds Pop_harness Pop_runtime Printf Runner Tu Workload

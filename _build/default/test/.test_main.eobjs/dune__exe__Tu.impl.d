@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Epoch_pop Hazard_era_pop Hazard_ptr_pop List Pop_baselines Pop_core Pop_ds Pop_harness Pop_runtime Pop_sim QCheck2 Smr Smr_config Softsignal

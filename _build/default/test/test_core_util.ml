@@ -1,0 +1,262 @@
+(** Tests for pop_core's shared machinery: Id_set, Reservations,
+    Handshake, Smr_config, Counters. *)
+
+open Pop_runtime
+open Pop_core
+open Tu
+
+(* --- Id_set --- *)
+
+let id_set_basic () =
+  let s = Id_set.create ~capacity:8 in
+  Id_set.add s 5;
+  Id_set.add s 1;
+  Id_set.add s 9;
+  Id_set.seal s;
+  Alcotest.(check int) "cardinal" 3 (Id_set.cardinal s);
+  Alcotest.(check bool) "mem 5" true (Id_set.mem s 5);
+  Alcotest.(check bool) "mem 1" true (Id_set.mem s 1);
+  Alcotest.(check bool) "mem 9" true (Id_set.mem s 9);
+  Alcotest.(check bool) "not mem 2" false (Id_set.mem s 2);
+  Alcotest.(check int) "min" 1 (Id_set.min_elt s)
+
+let id_set_reset_and_fill () =
+  let s = Id_set.create ~capacity:8 in
+  Id_set.fill s ~except:(-1) [| 3; -1; 7; -1; 3 |] 5;
+  Id_set.seal s;
+  Alcotest.(check int) "except skipped, dups kept" 3 (Id_set.cardinal s);
+  Alcotest.(check bool) "mem 3" true (Id_set.mem s 3);
+  Alcotest.(check bool) "except absent" false (Id_set.mem s (-1));
+  Id_set.reset s;
+  Alcotest.(check int) "empty after reset" 0 (Id_set.cardinal s);
+  Id_set.seal s;
+  Alcotest.(check int) "min of empty" max_int (Id_set.min_elt s)
+
+let id_set_capacity () =
+  let s = Id_set.create ~capacity:2 in
+  Id_set.add s 1;
+  Id_set.add s 2;
+  Alcotest.check_raises "overflow" (Invalid_argument "Id_set.add: capacity exceeded") (fun () ->
+      Id_set.add s 3)
+
+let id_set_model =
+  QCheck2.Test.make ~name:"id_set mem = List.mem" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 50) (int_range (-20) 20)) (int_range (-25) 25))
+    (fun (xs, probe) ->
+      let s = Id_set.create ~capacity:64 in
+      List.iter (Id_set.add s) xs;
+      Id_set.seal s;
+      Id_set.mem s probe = List.mem probe xs)
+
+(* --- Reservations --- *)
+
+let reservations_local_shared () =
+  let r = Reservations.create ~max_threads:2 ~slots:3 ~none:(-1) in
+  Alcotest.(check int) "slots" 3 (Reservations.slots r);
+  Alcotest.(check int) "none" (-1) (Reservations.none r);
+  Reservations.set_local r ~tid:0 ~slot:1 42;
+  Alcotest.(check int) "local read back" 42 (Reservations.get_local r ~tid:0 ~slot:1);
+  Alcotest.(check int) "shared untouched" (-1) (Reservations.get_shared r ~tid:0 ~slot:1);
+  Reservations.publish r ~tid:0;
+  Alcotest.(check int) "published" 42 (Reservations.get_shared r ~tid:0 ~slot:1);
+  Reservations.clear_local r ~tid:0;
+  Alcotest.(check int) "local cleared" (-1) (Reservations.get_local r ~tid:0 ~slot:1);
+  Alcotest.(check int) "shared keeps stale value" 42 (Reservations.get_shared r ~tid:0 ~slot:1);
+  Reservations.publish r ~tid:0;
+  Alcotest.(check int) "republish overwrites" (-1) (Reservations.get_shared r ~tid:0 ~slot:1)
+
+let reservations_collect () =
+  let r = Reservations.create ~max_threads:2 ~slots:2 ~none:(-1) in
+  Reservations.set_shared r ~tid:0 ~slot:0 7;
+  Reservations.set_shared r ~tid:1 ~slot:1 8;
+  let scratch = Array.make 4 0 in
+  let k = Reservations.collect_shared r scratch in
+  Alcotest.(check int) "all cells" 4 k;
+  Alcotest.(check (list int)) "row-major order" [ 7; -1; -1; 8 ] (Array.to_list scratch);
+  Reservations.set_local r ~tid:1 ~slot:0 99;
+  let k = Reservations.collect_local r scratch in
+  Alcotest.(check int) "local cells" 4 k;
+  Alcotest.(check int) "local racy view" 99 scratch.(2)
+
+let reservations_rows_are_views () =
+  let r = Reservations.create ~max_threads:1 ~slots:2 ~none:0 in
+  let row = Reservations.local_row r ~tid:0 in
+  row.(0) <- 5;
+  Alcotest.(check int) "row aliases table" 5 (Reservations.get_local r ~tid:0 ~slot:0);
+  let srow = Reservations.shared_row r ~tid:0 in
+  Atomic.set srow.(1) 6;
+  Alcotest.(check int) "shared row aliases" 6 (Reservations.get_shared r ~tid:0 ~slot:1)
+
+(* --- Handshake --- *)
+
+let handshake_skips_inactive () =
+  let hub = Softsignal.create ~max_threads:3 in
+  let p0 = Softsignal.register hub ~tid:0 in
+  let hs = Handshake.create hub in
+  (* Only thread 0 is active: the wait returns immediately. *)
+  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 3 0);
+  Alcotest.(check pass) "returns with no active peers" () ()
+
+let handshake_cross_domain () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let p0 = Softsignal.register hub ~tid:0 in
+  let hs = Handshake.create hub in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let p1 = Softsignal.register hub ~tid:1 in
+        Softsignal.set_handler p1 (fun () -> Handshake.ack hs ~tid:1);
+        while not (Atomic.get stop) do
+          Softsignal.poll p1;
+          Domain.cpu_relax ()
+        done;
+        Softsignal.deregister p1)
+  in
+  while not (Softsignal.is_active hub 1) do
+    Domain.cpu_relax ()
+  done;
+  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  Alcotest.(check bool) "peer acked" true (Handshake.get hs 1 >= 1);
+  (* A second round requires a fresh ack, not the stale counter. *)
+  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  Alcotest.(check bool) "second ack" true (Handshake.get hs 1 >= 2);
+  Atomic.set stop true;
+  Domain.join d
+
+(* Two reclaimers running rounds against each other concurrently: each
+   must serve the other's pings from inside its own wait loop, or they
+   deadlock (the coalescing property of Algorithms 1-2). *)
+let handshake_concurrent_reclaimers () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let hs = Handshake.create hub in
+  let rounds = 50 in
+  let reclaimer tid () =
+    let port = Softsignal.register hub ~tid in
+    Softsignal.set_handler port (fun () -> Handshake.ack hs ~tid);
+    let scratch = Array.make 2 0 in
+    (* Wait for the peer before the first round. *)
+    while not (Softsignal.is_active hub (1 - tid)) do
+      Domain.cpu_relax ()
+    done;
+    for _ = 1 to rounds do
+      Handshake.ping_and_wait hs ~port ~scratch
+    done;
+    Softsignal.deregister port
+  in
+  let d0 = Domain.spawn (reclaimer 0) and d1 = Domain.spawn (reclaimer 1) in
+  Domain.join d0;
+  Domain.join d1;
+  Alcotest.(check bool) "both completed all rounds" true
+    (Handshake.get hs 0 >= 1 && Handshake.get hs 1 >= 1)
+
+let handshake_peer_deregisters_mid_wait () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let p0 = Softsignal.register hub ~tid:0 in
+  let hs = Handshake.create hub in
+  let d =
+    Domain.spawn (fun () ->
+        let p1 = Softsignal.register hub ~tid:1 in
+        (* Never polls; just leaves after a moment. *)
+        Unix.sleepf 0.05;
+        Softsignal.deregister p1)
+  in
+  while not (Softsignal.is_active hub 1) do
+    Domain.cpu_relax ()
+  done;
+  (* Must not deadlock: the peer departs without acking. *)
+  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  Domain.join d;
+  Alcotest.(check pass) "returned" () ()
+
+(* Regression: a thread that registers *while* a reclaimer's ping round
+   is in flight must not be waited on (it was never pinged). Before the
+   fix, ping_and_wait pinged the threads active at ping time but waited
+   on the threads active at wait time, so a registration in that window
+   hung the reclaimer forever. *)
+let handshake_late_registration () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let hs = Handshake.create hub in
+  let stop = Atomic.make false in
+  (* Peer churns registration without ever acking. *)
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let p1 = Softsignal.register hub ~tid:1 in
+          Domain.cpu_relax ();
+          Softsignal.deregister p1
+        done)
+  in
+  let p0 = Softsignal.register hub ~tid:0 in
+  let scratch = Array.make 2 0 in
+  for _ = 1 to 200 do
+    Handshake.ping_and_wait hs ~port:p0 ~scratch
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  Alcotest.(check pass) "no hang across registration churn" () ()
+
+(* --- Smr_config / stats plumbing --- *)
+
+let config_validation () =
+  let ok = Smr_config.default () in
+  Smr_config.validate ok;
+  let bad_cases =
+    [
+      { ok with Smr_config.max_threads = 0 };
+      { ok with Smr_config.max_hp = 0 };
+      { ok with Smr_config.reclaim_freq = 0 };
+      { ok with Smr_config.epoch_freq = 0 };
+      { ok with Smr_config.pop_mult = 0 };
+      { ok with Smr_config.fence_cost = -1 };
+    ]
+  in
+  List.iteri
+    (fun i bad ->
+      match Smr_config.validate bad with
+      | () -> Alcotest.failf "bad config %d accepted" i
+      | exception Invalid_argument _ -> ())
+    bad_cases
+
+let counters_snapshot () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let c = Counters.create 2 in
+  Counters.retire c ~tid:0;
+  Counters.retire c ~tid:1;
+  Counters.retire c ~tid:1;
+  Counters.free c ~tid:1 2;
+  Counters.reclaim_pass c ~tid:0;
+  Counters.pop_pass c ~tid:1;
+  Counters.restart c ~tid:0;
+  let s = Counters.snapshot c ~hub ~epoch:5 in
+  Alcotest.(check int) "retired" 3 s.Smr_stats.retired;
+  Alcotest.(check int) "freed" 2 s.Smr_stats.freed;
+  Alcotest.(check int) "unreclaimed" 1 s.Smr_stats.unreclaimed;
+  Alcotest.(check int) "passes" 1 s.Smr_stats.reclaim_passes;
+  Alcotest.(check int) "pop passes" 1 s.Smr_stats.pop_passes;
+  Alcotest.(check int) "restarts" 1 s.Smr_stats.restarts;
+  Alcotest.(check int) "epoch" 5 s.Smr_stats.epoch;
+  Alcotest.(check int) "gauge" 1 (Counters.unreclaimed c)
+
+let stats_pp_smoke () =
+  let s = Smr_stats.zero in
+  let str = Format.asprintf "%a" Smr_stats.pp s in
+  Alcotest.(check bool) "prints something" true (String.length str > 10)
+
+let suite =
+  [
+    case "id_set: basic membership" id_set_basic;
+    case "id_set: fill skips none, reset empties" id_set_reset_and_fill;
+    case "id_set: capacity enforced" id_set_capacity;
+    QCheck_alcotest.to_alcotest id_set_model;
+    case "reservations: local vs shared vs publish" reservations_local_shared;
+    case "reservations: collect row-major" reservations_collect;
+    case "reservations: rows are live views" reservations_rows_are_views;
+    case "handshake: no active peers" handshake_skips_inactive;
+    case "handshake: cross-domain ack rounds" handshake_cross_domain;
+    case "handshake: concurrent reclaimers coalesce" handshake_concurrent_reclaimers;
+    case "handshake: peer deregisters mid-wait" handshake_peer_deregisters_mid_wait;
+    case "handshake: late registration is not waited on" handshake_late_registration;
+    case "smr_config: validation" config_validation;
+    case "counters: snapshot arithmetic" counters_snapshot;
+    case "smr_stats: pp" stats_pp_smoke;
+  ]

@@ -1,0 +1,167 @@
+(** Tests for the benchmark harness: dispatch, workload generation,
+    reporting, the runner, and a miniature end-to-end figure sweep. *)
+
+open Tu
+open Pop_harness
+
+let dispatch_round_trip () =
+  List.iter
+    (fun ds ->
+      match Dispatch.ds_of_string (Dispatch.ds_name ds) with
+      | Some ds' when ds' = ds -> ()
+      | _ -> Alcotest.failf "ds round trip failed for %s" (Dispatch.ds_name ds))
+    Dispatch.all_ds;
+  List.iter
+    (fun smr ->
+      match Dispatch.smr_of_string (Dispatch.smr_name smr) with
+      | Some smr' when smr' = smr -> ()
+      | _ -> Alcotest.failf "smr round trip failed for %s" (Dispatch.smr_name smr))
+    (Dispatch.UNSAFE :: Dispatch.all_smr);
+  Alcotest.(check (option reject)) "unknown ds" None
+    (Option.map (fun _ -> ()) (Dispatch.ds_of_string "nope"));
+  Alcotest.(check (option reject)) "unknown smr" None
+    (Option.map (fun _ -> ()) (Dispatch.smr_of_string "nope"))
+
+let paper_set_excludes_extras () =
+  Alcotest.(check bool) "no hyaline" true (not (List.mem Dispatch.HYALINE Dispatch.paper_smrs));
+  Alcotest.(check bool) "no unsafe" true (not (List.mem Dispatch.UNSAFE Dispatch.all_smr));
+  Alcotest.(check int) "ten paper algorithms" 10 (List.length Dispatch.paper_smrs)
+
+let workload_proportions () =
+  let rng = Pop_runtime.Rng.make 11 in
+  let mix = { Workload.ins_pct = 20; del_pct = 10 } in
+  let ins = ref 0 and del = ref 0 and con = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Workload.gen rng mix ~key_range:100 with
+    | Workload.Insert k | Workload.Delete k | Workload.Contains k ->
+        if k < 0 || k >= 100 then Alcotest.failf "key out of range: %d" k
+  done;
+  for _ = 1 to n do
+    match Workload.gen rng mix ~key_range:100 with
+    | Workload.Insert _ -> incr ins
+    | Workload.Delete _ -> incr del
+    | Workload.Contains _ -> incr con
+  done;
+  let pct x = 100 * x / n in
+  Alcotest.(check bool) "inserts ~20%" true (abs (pct !ins - 20) <= 3);
+  Alcotest.(check bool) "deletes ~10%" true (abs (pct !del - 10) <= 3);
+  Alcotest.(check bool) "contains ~70%" true (abs (pct !con - 70) <= 3)
+
+let workload_validation () =
+  Workload.validate Workload.update_heavy;
+  Workload.validate Workload.read_heavy;
+  Workload.validate Workload.read_only;
+  Alcotest.check_raises "overfull mix"
+    (Invalid_argument
+       "Workload.mix: percentages must be non-negative and sum to at most 100") (fun () ->
+      Workload.validate { Workload.ins_pct = 60; del_pct = 41 })
+
+let prefill_is_half () =
+  let keys = Workload.prefill_keys ~key_range:100 in
+  Alcotest.(check int) "half the range" 50 (List.length keys);
+  List.iter (fun k -> if k mod 2 <> 0 || k < 0 || k >= 100 then Alcotest.failf "bad key %d" k) keys;
+  Alcotest.(check (list int)) "even keys (shuffled)" (List.init 50 (fun i -> 2 * i))
+    (List.sort compare keys);
+  Alcotest.(check bool) "not in ascending order (no degenerate BSTs)" true
+    (keys <> List.sort compare keys);
+  let keys_odd = Workload.prefill_keys ~key_range:7 in
+  Alcotest.(check (list int)) "odd range" [ 0; 2; 4; 6 ] (List.sort compare keys_odd)
+
+let report_formatting () =
+  Alcotest.(check string) "mops" "1.234" (Report.fmt_mops 1.2341);
+  Alcotest.(check string) "small count" "9999" (Report.fmt_count 9999);
+  Alcotest.(check string) "kilo" "123.5K" (Report.fmt_count 123456);
+  Alcotest.(check string) "mega" "12.3M" (Report.fmt_count 12345678)
+
+let runner_sane_metrics () =
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        threads = 2;
+        duration = 0.2;
+        key_range = 128;
+        reclaim_freq = 16;
+      }
+  in
+  Alcotest.(check bool) "ops happened" true (r.Runner.total_ops > 100);
+  Alcotest.(check bool) "mops positive" true (r.Runner.mops > 0.0);
+  Alcotest.(check bool) "updates counted" true (r.Runner.update_ops > 0);
+  Alcotest.(check bool) "peak >= final garbage" true
+    (r.Runner.max_unreclaimed >= r.Runner.final_unreclaimed);
+  Alcotest.(check bool) "peak live >= final size" true
+    (r.Runner.max_live >= r.Runner.final_size);
+  Alcotest.(check bool) "consistent" true (Runner.consistent r)
+
+let runner_single_thread () =
+  let r = Runner.run { Runner.default_cfg with threads = 1; duration = 0.1; key_range = 64 } in
+  Alcotest.(check bool) "single-thread consistent" true (Runner.consistent r)
+
+let runner_long_running_reads_roles () =
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        threads = 2;
+        duration = 0.2;
+        key_range = 512;
+        long_running_reads = true;
+        near_head_span = 16;
+      }
+  in
+  Alcotest.(check bool) "reads from reader role" true (r.Runner.read_ops > 0);
+  Alcotest.(check bool) "updates from updater role" true (r.Runner.update_ops > 0);
+  Alcotest.(check bool) "consistent" true (Runner.consistent r)
+
+let runner_rejects_nonsense () =
+  Alcotest.check_raises "zero threads" (Invalid_argument "Runner.run: need at least one thread")
+    (fun () -> ignore (Runner.run { Runner.default_cfg with threads = 0 }))
+
+let experiments_micro_sweep () =
+  (* A miniature figure sweep end-to-end: exercises fig_mixed and the
+     result plumbing without benchmark-scale runtimes. *)
+  let sc =
+    {
+      Experiments.quick with
+      Experiments.duration = 0.1;
+      threads_list = [ 1; 2 ];
+      size_hml = 128;
+      reclaim_freq = 16;
+    }
+  in
+  let rs =
+    Experiments.fig_mixed ~title:"micro" ~mix:Workload.update_heavy ~dss:[ Dispatch.HML ]
+      ~smrs:[ Dispatch.EBR; Dispatch.EPOCHPOP ] sc
+  in
+  Alcotest.(check int) "2 algos x 2 thread counts" 4 (List.length rs);
+  List.iter
+    (fun r ->
+      if not (Runner.consistent r) then Alcotest.fail "micro sweep cell inconsistent")
+    rs
+
+let experiments_sizes () =
+  let sc = Experiments.quick in
+  List.iter
+    (fun ds ->
+      Alcotest.(check bool)
+        (Dispatch.ds_name ds ^ " sized")
+        true
+        (Experiments.size_of sc ds > 0))
+    Dispatch.all_ds
+
+let suite =
+  [
+    case "dispatch: name round trips" dispatch_round_trip;
+    case "dispatch: algorithm sets" paper_set_excludes_extras;
+    case "workload: proportions and key bounds" workload_proportions;
+    case "workload: mix validation" workload_validation;
+    case "workload: prefill covers half the range" prefill_is_half;
+    case "report: number formatting" report_formatting;
+    case "runner: metrics are sane" runner_sane_metrics;
+    case "runner: single thread" runner_single_thread;
+    case "runner: long-running-reads roles" runner_long_running_reads_roles;
+    case "runner: rejects bad config" runner_rejects_nonsense;
+    case "experiments: micro sweep end-to-end" experiments_micro_sweep;
+    case "experiments: scales define sizes" experiments_sizes;
+  ]

@@ -1,0 +1,143 @@
+(** Tests for the simulated manual-memory heap. *)
+
+module Heap = Pop_sim.Heap
+open Tu
+
+let make () = Heap.create ~max_threads:2 ~payload:(fun id -> ref id)
+
+let alloc_is_live () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:7 in
+  Alcotest.(check bool) "live" true (Heap.is_live n);
+  Alcotest.(check int) "birth era" 7 n.Heap.birth_era;
+  Alcotest.(check int) "retire era sentinel" max_int n.Heap.retire_era;
+  Alcotest.(check int) "allocated" 1 (Heap.allocated_total h);
+  Alcotest.(check int) "live nodes" 1 (Heap.live_nodes h)
+
+let free_flips_parity () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+  let seq0 = n.Heap.seq in
+  Heap.free h ~tid:0 n;
+  Alcotest.(check bool) "not live" false (Heap.is_live n);
+  Alcotest.(check int) "seq bumped" (seq0 + 1) n.Heap.seq;
+  Alcotest.(check int) "freed" 1 (Heap.freed_total h);
+  Alcotest.(check int) "live nodes" 0 (Heap.live_nodes h)
+
+let freelist_recycles () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:1 in
+  let id = n.Heap.id in
+  Heap.free h ~tid:0 n;
+  Alcotest.(check int) "freelist holds it" 1 (Heap.freelist_length h ~tid:0);
+  let n' = Heap.alloc h ~tid:0 ~birth_era:9 in
+  Alcotest.(check bool) "same node recycled" true (n == n');
+  Alcotest.(check int) "id stable across incarnations" id n'.Heap.id;
+  Alcotest.(check bool) "live again" true (Heap.is_live n');
+  Alcotest.(check int) "birth era restamped" 9 n'.Heap.birth_era;
+  Alcotest.(check int) "freelist empty" 0 (Heap.freelist_length h ~tid:0)
+
+let freelists_are_per_thread () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+  Heap.free h ~tid:1 n;
+  Alcotest.(check int) "tid 0 empty" 0 (Heap.freelist_length h ~tid:0);
+  Alcotest.(check int) "tid 1 holds it" 1 (Heap.freelist_length h ~tid:1);
+  let n' = Heap.alloc h ~tid:1 ~birth_era:0 in
+  Alcotest.(check bool) "recycled by freeing thread" true (n == n')
+
+let ids_unique_across_threads () =
+  let h = make () in
+  let seen = Hashtbl.create 64 in
+  for tid = 0 to 1 do
+    for _ = 1 to 50 do
+      let n = Heap.alloc h ~tid ~birth_era:0 in
+      if Hashtbl.mem seen n.Heap.id then Alcotest.failf "duplicate id %d" n.Heap.id;
+      Hashtbl.add seen n.Heap.id ()
+    done
+  done
+
+let double_free_detected () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+  Heap.free h ~tid:0 n;
+  Heap.free h ~tid:0 n;
+  Alcotest.(check int) "double free counted" 1 (Heap.double_free_count h);
+  Alcotest.(check int) "second free ignored" 1 (Heap.freed_total h);
+  Alcotest.(check int) "freelist unchanged" 1 (Heap.freelist_length h ~tid:0)
+
+let uaf_detected () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+  Heap.check_access h n;
+  Alcotest.(check int) "live access fine" 0 (Heap.uaf_count h);
+  Heap.free h ~tid:0 n;
+  Heap.check_access h n;
+  Alcotest.(check int) "freed access counted" 1 (Heap.uaf_count h)
+
+let sentinels_permanent () =
+  let h = make () in
+  let s1 = Heap.sentinel h and s2 = Heap.sentinel h in
+  Alcotest.(check bool) "distinct" true (s1 != s2);
+  Alcotest.(check bool) "distinct ids" true (s1.Heap.id <> s2.Heap.id);
+  Alcotest.(check bool) "negative ids" true (s1.Heap.id < 0 && s2.Heap.id < 0);
+  Alcotest.(check bool) "live" true (Heap.is_live s1);
+  Alcotest.(check int) "not accounted as allocation" 0 (Heap.allocated_total h)
+
+let payload_by_id () =
+  let h = make () in
+  let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+  Alcotest.(check int) "payload factory got the id" n.Heap.id !(n.Heap.payload)
+
+(* Model test: a random alloc/free trace preserves accounting and
+   parity, and a node is never handed out twice concurrently. *)
+let heap_trace_model =
+  QCheck2.Test.make ~name:"heap trace model" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 99))
+    (fun script ->
+      let h = make () in
+      let live = Hashtbl.create 16 in
+      let allocs = ref 0 and frees = ref 0 in
+      List.iter
+        (fun x ->
+          if x mod 3 <> 0 || Hashtbl.length live = 0 then begin
+            let n = Heap.alloc h ~tid:(x mod 2) ~birth_era:x in
+            if not (Heap.is_live n) then failwith "alloc returned dead node";
+            if Hashtbl.mem live n.Pop_sim.Heap.id then failwith "node handed out twice";
+            Hashtbl.add live n.Pop_sim.Heap.id n;
+            incr allocs
+          end
+          else begin
+            let pick = ref None in
+            (try
+               Hashtbl.iter
+                 (fun id n ->
+                   pick := Some (id, n);
+                   raise Exit)
+                 live
+             with Exit -> ());
+            let id, n = Option.get !pick in
+            Hashtbl.remove live id;
+            Heap.free h ~tid:(x mod 2) n;
+            incr frees
+          end)
+        script;
+      Heap.allocated_total h = !allocs
+      && Heap.freed_total h = !frees
+      && Heap.live_nodes h = Hashtbl.length live
+      && Heap.uaf_count h = 0
+      && Heap.double_free_count h = 0)
+
+let suite =
+  [
+    case "alloc produces live stamped node" alloc_is_live;
+    case "free flips parity and accounts" free_flips_parity;
+    case "freelist recycles same node, stable id" freelist_recycles;
+    case "freelists are per-thread" freelists_are_per_thread;
+    case "ids unique across threads" ids_unique_across_threads;
+    case "double free detected and ignored" double_free_detected;
+    case "use-after-free detected" uaf_detected;
+    case "sentinels are permanent and distinct" sentinels_permanent;
+    case "payload factory receives id" payload_by_id;
+    QCheck_alcotest.to_alcotest heap_trace_model;
+  ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "pop"
+    [
+      ("runtime", Test_runtime.suite);
+      ("softsignal", Test_softsignal.suite);
+      ("heap", Test_heap.suite);
+      ("core-util", Test_core_util.suite);
+      ("smr-unit", Test_smr_unit.suite);
+      ("data-structures", Test_ds.suite);
+      ("queue", Test_queue.suite);
+      ("stress", Test_stress.suite);
+      ("robustness", Test_robustness.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,233 @@
+(** Unit and property tests for the runtime substrate. *)
+
+open Pop_runtime
+open Tu
+
+(* --- Rng --- *)
+
+let rng_deterministic () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_int_bounds () =
+  let r = Rng.make 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let rng_int_covers () =
+  let r = Rng.make 4 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Array.iteri (fun i s -> if not s then Alcotest.failf "value %d never drawn" i) seen
+
+let rng_float_bounds () =
+  let r = Rng.make 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let rng_bool_balance () =
+  let r = Rng.make 6 in
+  let t = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr t
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!t > 4500 && !t < 5500)
+
+let rng_split_independent () =
+  let a = Rng.make 9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 4)
+
+(* --- Vec --- *)
+
+let vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" i (Vec.get v i)
+  done
+
+let vec_iter_order () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 3; 1; 4; 1; 5 ];
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "order" [ 3; 1; 4; 1; 5 ] (List.rev !acc)
+
+let vec_clear () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check int) "reusable" 9 (Vec.get v 0)
+
+let vec_filter_in_place () =
+  let v = Vec.create () in
+  for i = 0 to 9 do
+    Vec.push v i
+  done;
+  let removed = Vec.filter_in_place (fun x -> x mod 2 = 0) v in
+  Alcotest.(check int) "removed" 5 removed;
+  Alcotest.(check (list int)) "survivors in order" [ 0; 2; 4; 6; 8 ] (Vec.to_list v)
+
+let vec_filter_all_none () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Alcotest.(check int) "keep all" 0 (Vec.filter_in_place (fun _ -> true) v);
+  Alcotest.(check int) "drop all" 3 (Vec.filter_in_place (fun _ -> false) v);
+  Alcotest.(check bool) "empty after drop" true (Vec.is_empty v)
+
+let vec_filter_model =
+  QCheck2.Test.make ~name:"vec filter_in_place = List.filter" ~count:300
+    QCheck2.(Gen.pair (Gen.list Gen.small_int) (Gen.int_range 0 10))
+    (fun (xs, m) ->
+      let keep x = x mod (m + 1) <> 0 in
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      let removed = Vec.filter_in_place keep v in
+      Vec.to_list v = List.filter keep xs
+      && removed = List.length xs - List.length (List.filter keep xs))
+
+(* --- Backoff --- *)
+
+let backoff_escalates () =
+  let b = Backoff.make () in
+  Alcotest.(check int) "fresh" 0 (Backoff.spins b);
+  for _ = 1 to 5 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "counted" 5 (Backoff.spins b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset" 0 (Backoff.spins b)
+
+let backoff_sleep_capped () =
+  let b = Backoff.make () in
+  (* Drive deep into the sleep regime; must return promptly. *)
+  let t0 = Clock.now () in
+  for _ = 1 to 25 do
+    Backoff.once b
+  done;
+  Alcotest.(check bool) "bounded total sleep" true (Clock.elapsed t0 < 1.0)
+
+(* --- Spinlock --- *)
+
+let spinlock_basic () =
+  let l = Spinlock.create () in
+  Alcotest.(check bool) "unlocked" false (Spinlock.is_locked l);
+  Spinlock.lock l;
+  Alcotest.(check bool) "locked" true (Spinlock.is_locked l);
+  Alcotest.(check bool) "try fails" false (Spinlock.try_lock l);
+  Spinlock.unlock l;
+  Alcotest.(check bool) "try succeeds" true (Spinlock.try_lock l);
+  Spinlock.unlock l
+
+let spinlock_mutual_exclusion () =
+  let l = Spinlock.create () in
+  let counter = ref 0 in
+  let iters = 20_000 in
+  let work () =
+    for _ = 1 to iters do
+      Spinlock.lock l;
+      counter := !counter + 1;
+      Spinlock.unlock l
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost updates" (2 * iters) !counter
+
+(* --- Striped --- *)
+
+let striped_basic () =
+  let s = Striped.create 4 in
+  Alcotest.(check int) "length" 4 (Striped.length s);
+  Striped.set s 0 5;
+  Striped.incr s 1;
+  Striped.add s 2 10;
+  Alcotest.(check int) "get" 5 (Striped.get s 0);
+  Alcotest.(check int) "sum" 16 (Striped.sum s);
+  Alcotest.(check int) "max" 10 (Striped.max_value s);
+  Alcotest.(check bool) "cell is live view" true (Atomic.get (Striped.cell s 2) = 10)
+
+let striped_parallel_incr () =
+  let s = Striped.create 2 in
+  let iters = 50_000 in
+  let work i () =
+    for _ = 1 to iters do
+      Striped.incr s i
+    done
+  in
+  let d1 = Domain.spawn (work 0) and d2 = Domain.spawn (work 1) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "sum" (2 * iters) (Striped.sum s)
+
+(* --- Fence --- *)
+
+let fence_counts () =
+  let c = Fence.make_cell () in
+  Fence.execute c 5;
+  Fence.execute c 0;
+  Fence.execute c (-3);
+  (* The cell value equals the number of executed RMWs. *)
+  Fence.execute c 2;
+  Alcotest.(check pass) "no crash on zero/negative" () ()
+
+(* --- Clock --- *)
+
+let clock_monotonic_enough () =
+  let t0 = Clock.now () in
+  Unix.sleepf 0.01;
+  let e = Clock.elapsed t0 in
+  Alcotest.(check bool) "elapsed in range" true (e >= 0.005 && e < 1.0)
+
+let suite =
+  [
+    case "rng: deterministic" rng_deterministic;
+    case "rng: seed sensitivity" rng_seed_sensitivity;
+    case "rng: int bounds" rng_int_bounds;
+    case "rng: int covers range" rng_int_covers;
+    case "rng: float bounds" rng_float_bounds;
+    case "rng: bool balance" rng_bool_balance;
+    case "rng: split independent" rng_split_independent;
+    case "vec: push/get" vec_push_get;
+    case "vec: iter order" vec_iter_order;
+    case "vec: clear" vec_clear;
+    case "vec: filter_in_place" vec_filter_in_place;
+    case "vec: filter edge cases" vec_filter_all_none;
+    QCheck_alcotest.to_alcotest vec_filter_model;
+    case "backoff: escalates and resets" backoff_escalates;
+    case "backoff: sleep capped" backoff_sleep_capped;
+    case "spinlock: basic" spinlock_basic;
+    case "spinlock: mutual exclusion" spinlock_mutual_exclusion;
+    case "striped: basic" striped_basic;
+    case "striped: parallel increments" striped_parallel_incr;
+    case "fence: robust to zero/negative" fence_counts;
+    case "clock: elapsed" clock_monotonic_enough;
+  ]

@@ -1,0 +1,390 @@
+(** Behavioural unit tests for every reclamation algorithm, run through
+    the uniform interface: reclamation thresholds, protection of
+    reserved nodes, drain-on-flush, and the algorithm-specific quirks
+    (NBR neutralization, POP publish-on-ping, EpochPOP's dual mode,
+    Hyaline batch charging, EBR's rescan guard). *)
+
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+open Tu
+
+let below_threshold (name, (module R : Smr.S)) =
+  case (name ^ ": no reclamation below threshold") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun _rig g ctx ->
+          Rig.retire_n ctx 3;
+          Alcotest.(check int) "unreclaimed" 3 (R.unreclaimed g);
+          Alcotest.(check int) "freed" 0 (R.stats g).Smr_stats.freed))
+
+let threshold_reclaims (name, (module R : Smr.S)) =
+  case (name ^ ": threshold frees unprotected nodes") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun rig g ctx ->
+          Rig.retire_n ctx 4;
+          Alcotest.(check int) "all freed" 4 (R.stats g).Smr_stats.freed;
+          Alcotest.(check int) "unreclaimed" 0 (R.unreclaimed g);
+          Alcotest.(check int) "heap agrees" 0 (Heap.live_nodes rig.heap)))
+
+(* Protect one node (read-based for reservation schemes, write-phase for
+   NBR), retire it plus fillers to force a pass, and check it survives;
+   then end the operation and flush, and check it is finally freed. *)
+let protected_survives (name, (module R : Smr.S)) =
+  case (name ^ ": protected node survives, freed after clear") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun rig g ctx ->
+          R.start_op ctx;
+          let n = R.alloc ctx in
+          let cell = Atomic.make n in
+          if name = "nbr" then R.enter_write_phase ctx [| n |]
+          else ignore (R.read ctx 0 cell Fun.id);
+          R.retire ctx n;
+          Rig.retire_n ctx 3;
+          (* A pass ran; the protected node must still be live. *)
+          Alcotest.(check bool) "still live" true (Heap.is_live n);
+          Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+          R.end_op ctx;
+          R.flush ctx;
+          Alcotest.(check bool) "freed after clear+flush" false (Heap.is_live n);
+          Alcotest.(check int) "nothing left" 0 (R.unreclaimed g)))
+
+let flush_drains (name, (module R : Smr.S)) =
+  case (name ^ ": flush drains the retire list") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun _rig g ctx ->
+          Rig.retire_n ctx 2;
+          Alcotest.(check int) "pending" 2 (R.unreclaimed g);
+          R.flush ctx;
+          Alcotest.(check int) "drained" 0 (R.unreclaimed g);
+          R.flush ctx (* idempotent on empty *);
+          Alcotest.(check int) "still drained" 0 (R.unreclaimed g)))
+
+let stats_accumulate (name, (module R : Smr.S)) =
+  case (name ^ ": stats accumulate") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun _rig g ctx ->
+          Rig.retire_n ctx 9;
+          let s = R.stats g in
+          Alcotest.(check int) "retired" 9 s.Smr_stats.retired;
+          Alcotest.(check bool) "freed some" true (s.Smr_stats.freed >= 8);
+          Alcotest.(check bool) "some pass ran" true
+            (s.Smr_stats.reclaim_passes + s.Smr_stats.pop_passes >= 1)))
+
+let deregister_releases (name, (module R : Smr.S)) =
+  case (name ^ ": deregister frees the slot for reuse") (fun () ->
+      let module Rig = Smr_rig (R) in
+      Rig.run (fun rig g ctx ->
+          R.flush ctx;
+          R.deregister ctx;
+          Alcotest.(check bool) "hub slot released" false (Softsignal.is_active rig.hub 0);
+          let ctx' = R.register g ~tid:0 in
+          Rig.retire_n ctx' 4;
+          Alcotest.(check int) "usable after re-register" 0 (R.unreclaimed g)))
+
+(* --- NR: leaks by design --- *)
+
+module Nr_rig = Smr_rig (Pop_baselines.Nr)
+
+let nr_leaks () =
+  Nr_rig.run (fun rig g ctx ->
+      Nr_rig.retire_n ctx 20;
+      Alcotest.(check int) "never freed" 20 (Pop_baselines.Nr.unreclaimed g);
+      Alcotest.(check int) "heap keeps growing" 20 (Heap.live_nodes rig.heap))
+
+(* --- Unsafe_free: recycles under the reader's feet --- *)
+
+module Unsafe_rig = Smr_rig (Pop_baselines.Unsafe_free)
+
+let unsafe_free_is_unsafe () =
+  Unsafe_rig.run (fun rig _g ctx ->
+      let open Pop_baselines in
+      let n = Unsafe_free.alloc ctx in
+      let cell = Atomic.make n in
+      Unsafe_free.start_op ctx;
+      ignore (Unsafe_free.read ctx 0 cell Fun.id);
+      Unsafe_free.retire ctx n;
+      (* The node is already free; a subsequent access is a UAF. *)
+      Unsafe_free.check ctx (Unsafe_free.read ctx 0 cell Fun.id);
+      Alcotest.(check int) "UAF detected" 1 (Heap.uaf_count rig.heap))
+
+(* --- POP-specific: reservations are published on ping --- *)
+
+module Hpp_rig = Smr_rig (Hazard_ptr_pop)
+
+let pop_publishes_on_ping () =
+  Hpp_rig.run (fun rig g ctx ->
+      Hazard_ptr_pop.start_op ctx;
+      let n = Hazard_ptr_pop.alloc ctx in
+      let cell = Atomic.make n in
+      ignore (Hazard_ptr_pop.read ctx 0 cell Fun.id);
+      Alcotest.(check int) "no publishes yet" 0 (Softsignal.handler_runs rig.hub);
+      ignore (Softsignal.ping rig.hub 0);
+      Hazard_ptr_pop.poll ctx;
+      Alcotest.(check int) "published on ping" 1 (Softsignal.handler_runs rig.hub);
+      Alcotest.(check int) "stats see it" 1 (Hazard_ptr_pop.stats g).Smr_stats.publishes)
+
+let pop_reclaimer_pings () =
+  Hpp_rig.run (fun rig g ctx ->
+      (* A peer domain serves pings; the reclaimer must ping it and then
+         free everything. *)
+      let done_ = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            let ctx1 = Hazard_ptr_pop.register g ~tid:1 in
+            while not (Atomic.get done_) do
+              Hazard_ptr_pop.poll ctx1;
+              Domain.cpu_relax ()
+            done;
+            Hazard_ptr_pop.deregister ctx1)
+      in
+      while not (Softsignal.is_active rig.hub 1) do
+        Domain.cpu_relax ()
+      done;
+      Hpp_rig.retire_n ctx 4;
+      Atomic.set done_ true;
+      Domain.join d;
+      let s = Hazard_ptr_pop.stats g in
+      Alcotest.(check bool) "pinged the peer" true (s.Smr_stats.pings >= 1);
+      Alcotest.(check int) "freed everything" 4 s.Smr_stats.freed)
+
+(* --- NBR: neutralization protocol --- *)
+
+module Nbr_rig = Smr_rig (Pop_baselines.Nbr)
+
+let nbr_neutralize_restarts () =
+  Nbr_rig.run (fun rig _g ctx ->
+      let open Pop_baselines in
+      let n = Nbr.alloc ctx in
+      let cell = Atomic.make n in
+      Nbr.start_op ctx;
+      ignore (Softsignal.ping rig.hub 0);
+      (match Nbr.read ctx 0 cell Fun.id with
+      | _ -> Alcotest.fail "expected Restart"
+      | exception Smr.Restart -> ());
+      (* After the restart the flag is consumed: reads work again. *)
+      Nbr.start_op ctx;
+      ignore (Nbr.read ctx 0 cell Fun.id);
+      Alcotest.(check pass) "read after restart" () ())
+
+let nbr_write_phase_immune () =
+  Nbr_rig.run (fun rig _g ctx ->
+      let open Pop_baselines in
+      let n = Nbr.alloc ctx in
+      let cell = Atomic.make n in
+      Nbr.start_op ctx;
+      Nbr.enter_write_phase ctx [| n |];
+      ignore (Softsignal.ping rig.hub 0);
+      ignore (Nbr.read ctx 0 cell Fun.id);
+      Nbr.end_op ctx;
+      Alcotest.(check pass) "no restart in write phase" () ())
+
+let nbr_neutralize_before_write_phase () =
+  Nbr_rig.run (fun rig _g ctx ->
+      let open Pop_baselines in
+      let n = Nbr.alloc ctx in
+      Nbr.start_op ctx;
+      ignore (Softsignal.ping rig.hub 0);
+      match Nbr.enter_write_phase ctx [| n |] with
+      | () -> Alcotest.fail "expected Restart at write-phase entry"
+      | exception Smr.Restart -> ())
+
+let nbr_write_set_bounded () =
+  Nbr_rig.run (fun _rig _g ctx ->
+      let open Pop_baselines in
+      Nbr.start_op ctx;
+      let nodes = Array.init 9 (fun _ -> Nbr.alloc ctx) in
+      match Nbr.enter_write_phase ctx nodes with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+(* --- Hyaline: batches are charged to active threads --- *)
+
+module Hyaline_rig = Smr_rig (Pop_baselines.Hyaline_lite)
+
+let hyaline_batch_held_by_active_thread () =
+  Hyaline_rig.run (fun _rig g ctx0 ->
+      let open Pop_baselines in
+      let ctx1 = Hyaline_lite.register g ~tid:1 in
+      Hyaline_lite.start_op ctx0;
+      (* tid1 retires a full batch while tid0 is active. *)
+      for _ = 1 to 4 do
+        Hyaline_lite.retire ctx1 (Hyaline_lite.alloc ctx1)
+      done;
+      Alcotest.(check int) "batch held" 4 (Hyaline_lite.unreclaimed g);
+      Hyaline_lite.end_op ctx0;
+      Alcotest.(check int) "freed when holder leaves" 0 (Hyaline_lite.unreclaimed g))
+
+let hyaline_idle_world_frees_immediately () =
+  Hyaline_rig.run (fun _rig g ctx ->
+      Hyaline_rig.retire_n ctx 4;
+      Alcotest.(check int) "no active threads: freed" 0 (Pop_baselines.Hyaline_lite.unreclaimed g))
+
+(* --- EBR: pinned epoch blocks reclamation; rescan guard --- *)
+
+module Ebr_rig = Smr_rig (Pop_baselines.Ebr)
+
+let ebr_pinned_epoch_blocks () =
+  Ebr_rig.run (fun _rig g ctx0 ->
+      let open Pop_baselines in
+      let ctx1 = Ebr.register g ~tid:1 in
+      Ebr.start_op ctx1 (* pins the current epoch and never leaves *);
+      Ebr_rig.retire_n ctx0 16;
+      Alcotest.(check bool) "garbage accumulates" true (Ebr.unreclaimed g >= 12);
+      (* The rescan guard keeps pass count tiny while pinned. *)
+      Alcotest.(check bool) "few passes" true ((Ebr.stats g).Smr_stats.reclaim_passes <= 2);
+      Ebr.end_op ctx1;
+      Ebr.flush ctx0;
+      Alcotest.(check int) "drains once unpinned" 0 (Ebr.unreclaimed g))
+
+(* --- HE: reservations pin eras, not nodes --- *)
+
+module He_rig = Smr_rig (Pop_baselines.Hazard_eras)
+
+(* HE's robustness: a reservation only pins nodes whose lifespan
+   intersects the reserved era. Reserve the old node's era so it
+   survives one pass, then move the reservation to the new era (by
+   re-reading) and watch the old, lifespan-disjoint node get freed even
+   though a reservation is still held. *)
+let he_old_nodes_freeable_despite_reservation () =
+  He_rig.run (fun rig _g ctx ->
+      let open Pop_baselines in
+      Hazard_eras.start_op ctx;
+      let old_node = Hazard_eras.alloc ctx in
+      let cell = Atomic.make old_node in
+      ignore (Hazard_eras.read ctx 0 cell Fun.id);
+      Hazard_eras.retire ctx old_node;
+      He_rig.retire_n ctx 3;
+      (* Pass 1: our era-of-old reservation covers old_node. *)
+      Alcotest.(check bool) "reserved era pins old node" true (Heap.is_live old_node);
+      (* Move the reservation to the current era. *)
+      let fresh = Hazard_eras.alloc ctx in
+      Atomic.set cell fresh;
+      ignore (Hazard_eras.read ctx 0 cell Fun.id);
+      He_rig.retire_n ctx 4;
+      (* Pass 2: old_node's lifespan no longer intersects any reserved
+         era, so it is reclaimed despite the live reservation. *)
+      Alcotest.(check bool) "disjoint lifespan freed" false (Heap.is_live old_node);
+      Alcotest.(check bool) "newly reserved node survives" true (Heap.is_live fresh);
+      Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+      Hazard_eras.end_op ctx)
+
+(* --- IBR: intervals protect overlapping lifespans --- *)
+
+module Ibr_rig = Smr_rig (Pop_baselines.Ibr)
+
+let ibr_interval_protects () =
+  Ibr_rig.run (fun rig g ctx0 ->
+      let open Pop_baselines in
+      let ctx1 = Ibr.register g ~tid:1 in
+      Ibr.start_op ctx1;
+      (* A node whose lifespan overlaps ctx1's interval must survive. *)
+      let n = Ibr.alloc ctx0 in
+      Ibr.retire ctx0 n;
+      Ibr_rig.retire_n ctx0 3;
+      Alcotest.(check bool) "overlapping node held" true (Heap.is_live n);
+      Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+      Ibr.end_op ctx1;
+      Ibr.flush ctx0;
+      Alcotest.(check bool) "freed after interval closes" false (Heap.is_live n))
+
+(* --- EpochPOP: epoch stamping of allocations --- *)
+
+(* --- Cadence: tick-gated reclamation, periodic barrier rounds --- *)
+
+module Cadence_rig = Smr_rig (Pop_baselines.Cadence)
+
+let cadence_tick_gates_frees () =
+  Cadence_rig.run (fun _rig g ctx ->
+      let open Pop_baselines in
+      (* Hitting the threshold is not enough: two barrier ticks must
+         pass before anything can be freed. *)
+      Cadence_rig.retire_n ctx 4;
+      Alcotest.(check int) "held until ticks pass" 4 (Cadence.unreclaimed g);
+      Cadence.flush ctx (* forces barrier rounds *);
+      Alcotest.(check int) "freed after forced rounds" 0 (Cadence.unreclaimed g))
+
+let cadence_periodic_rounds_without_reclaiming () =
+  let saved = !Pop_baselines.Cadence.tick_interval in
+  Pop_baselines.Cadence.tick_interval := 0.001;
+  Fun.protect
+    ~finally:(fun () -> Pop_baselines.Cadence.tick_interval := saved)
+    (fun () ->
+      Cadence_rig.run (fun rig g ctx ->
+          let open Pop_baselines in
+          (* No retires at all — yet barrier rounds still run, the
+             overhead the paper criticizes in section 2.1.2. The peer
+             must poll from its own domain: the barrier waits for it. *)
+          let stop = Atomic.make false in
+          let d =
+            Domain.spawn (fun () ->
+                let ctx1 = Cadence.register g ~tid:1 in
+                while not (Atomic.get stop) do
+                  Cadence.poll ctx1;
+                  Domain.cpu_relax ()
+                done;
+                Cadence.deregister ctx1)
+          in
+          while not (Softsignal.is_active rig.hub 1) do
+            Domain.cpu_relax ()
+          done;
+          for _ = 1 to 3 do
+            Unix.sleepf 0.002;
+            for _ = 1 to 128 do
+              Cadence.start_op ctx;
+              Cadence.end_op ctx
+            done
+          done;
+          Atomic.set stop true;
+          Domain.join d;
+          Alcotest.(check bool) "rounds ran without reclamation" true
+            (Softsignal.pings_sent rig.hub > 0)))
+
+module Epop_rig = Smr_rig (Epoch_pop)
+
+let epoch_pop_birth_eras_advance () =
+  Epop_rig.run (fun _rig _g ctx ->
+      let b0 = (Epoch_pop.alloc ctx).Heap.birth_era in
+      (* epoch_freq = 2: every other start_op advances the epoch. *)
+      for _ = 1 to 8 do
+        Epoch_pop.start_op ctx;
+        Epoch_pop.end_op ctx
+      done;
+      let b1 = (Epoch_pop.alloc ctx).Heap.birth_era in
+      Alcotest.(check bool) "birth era advanced" true (b1 > b0))
+
+(* Cadence gates frees on global barrier ticks, so threshold-exact
+   expectations do not apply to it; it gets dedicated tests instead. *)
+let generic =
+  List.concat_map
+    (fun ((name, _) as algo) ->
+      [ below_threshold algo; flush_drains algo ]
+      @
+      if name = "cadence" then []
+      else [ threshold_reclaims algo; stats_accumulate algo; deregister_releases algo ])
+    reclaiming_smrs
+
+let protection =
+  List.map protected_survives (List.filter (fun (n, _) -> n <> "hyaline") reclaiming_smrs)
+
+let suite =
+  generic @ protection
+  @ [
+      case "nr: leaks by design" nr_leaks;
+      case "unsafe-free: detectably unsafe" unsafe_free_is_unsafe;
+      case "hp-pop: publishes on ping" pop_publishes_on_ping;
+      case "hp-pop: reclaimer pings peers and frees" pop_reclaimer_pings;
+      case "nbr: neutralize restarts read phase" nbr_neutralize_restarts;
+      case "nbr: write phase immune to neutralize" nbr_write_phase_immune;
+      case "nbr: neutralize caught at write-phase entry" nbr_neutralize_before_write_phase;
+      case "nbr: write set bounded by max_hp" nbr_write_set_bounded;
+      case "hyaline: batch held by active thread" hyaline_batch_held_by_active_thread;
+      case "hyaline: idle world frees immediately" hyaline_idle_world_frees_immediately;
+      case "ebr: pinned epoch blocks reclamation" ebr_pinned_epoch_blocks;
+      case "cadence: ticks gate frees" cadence_tick_gates_frees;
+      case "cadence: periodic rounds without reclaiming"
+        cadence_periodic_rounds_without_reclaiming;
+      case "he: old lifespans freeable despite reservation"
+        he_old_nodes_freeable_despite_reservation;
+      case "ibr: overlapping interval protects" ibr_interval_protects;
+      case "epoch-pop: birth eras advance" epoch_pop_birth_eras_advance;
+    ]

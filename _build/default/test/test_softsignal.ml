@@ -1,0 +1,128 @@
+(** Tests for the soft-signal hub (the pthread_kill stand-in). *)
+
+open Pop_runtime
+open Tu
+
+let register_bounds () =
+  let h = Softsignal.create ~max_threads:2 in
+  Alcotest.(check int) "capacity" 2 (Softsignal.max_threads h);
+  let _p = Softsignal.register h ~tid:0 in
+  Alcotest.check_raises "double register" (Invalid_argument "Softsignal.register: slot already active")
+    (fun () -> ignore (Softsignal.register h ~tid:0));
+  Alcotest.check_raises "out of range" (Invalid_argument "Softsignal.register: tid out of range")
+    (fun () -> ignore (Softsignal.register h ~tid:2))
+
+let ping_inactive_skipped () =
+  let h = Softsignal.create ~max_threads:2 in
+  Alcotest.(check bool) "ESRCH analogue" false (Softsignal.ping h 1);
+  Alcotest.(check int) "no pings recorded" 0 (Softsignal.pings_sent h)
+
+let poll_runs_handler_once () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () -> incr runs);
+  Softsignal.poll p;
+  Alcotest.(check int) "no ping, no run" 0 !runs;
+  Alcotest.(check bool) "ping delivered" true (Softsignal.ping h 0);
+  Alcotest.(check bool) "pending" true (Softsignal.pending p);
+  Softsignal.poll p;
+  Alcotest.(check int) "one run" 1 !runs;
+  Softsignal.poll p;
+  Alcotest.(check int) "flag consumed" 1 !runs
+
+let pings_coalesce () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () -> incr runs);
+  ignore (Softsignal.ping h 0);
+  ignore (Softsignal.ping h 0);
+  ignore (Softsignal.ping h 0);
+  Softsignal.poll p;
+  Alcotest.(check int) "coalesced to one run" 1 !runs;
+  Alcotest.(check int) "all pings counted" 3 (Softsignal.pings_sent h)
+
+let ping_during_handler_stays_pending () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () ->
+      incr runs;
+      (* A ping arriving while the handler runs must not be lost. *)
+      if !runs = 1 then ignore (Softsignal.ping h 0));
+  ignore (Softsignal.ping h 0);
+  Softsignal.poll p;
+  Alcotest.(check bool) "still pending" true (Softsignal.pending p);
+  Softsignal.poll p;
+  Alcotest.(check int) "second run" 2 !runs
+
+let ping_all_excludes_self () =
+  let h = Softsignal.create ~max_threads:3 in
+  let p0 = Softsignal.register h ~tid:0 in
+  let p1 = Softsignal.register h ~tid:1 in
+  Softsignal.ping_all h ~self:0;
+  Alcotest.(check bool) "self not pinged" false (Softsignal.pending p0);
+  Alcotest.(check bool) "peer pinged" true (Softsignal.pending p1);
+  Alcotest.(check int) "dead slot skipped" 1 (Softsignal.pings_sent h)
+
+let deregister_serves_pending () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () -> incr runs);
+  ignore (Softsignal.ping h 0);
+  Softsignal.deregister p;
+  Alcotest.(check int) "final handler run" 1 !runs;
+  Alcotest.(check bool) "inactive" false (Softsignal.is_active h 0);
+  Alcotest.(check bool) "pings now skipped" false (Softsignal.ping h 0)
+
+let reregister_after_deregister () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  Softsignal.deregister p;
+  let p' = Softsignal.register h ~tid:0 in
+  Alcotest.(check bool) "slot reusable" true (Softsignal.is_active h 0);
+  Alcotest.(check int) "tid preserved" 0 (Softsignal.tid p')
+
+let cross_domain_delivery () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p0 = Softsignal.register h ~tid:0 in
+  let served = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let p1 = Softsignal.register h ~tid:1 in
+        Softsignal.set_handler p1 (fun () -> Atomic.incr served);
+        while not (Atomic.get stop) do
+          Softsignal.poll p1
+        done;
+        Softsignal.deregister p1)
+  in
+  (* Wait for the peer to register, ping it, and wait for the handler. *)
+  while not (Softsignal.is_active h 1) do
+    Domain.cpu_relax ()
+  done;
+  ignore (Softsignal.ping h 1);
+  let t0 = Pop_runtime.Clock.now () in
+  while Atomic.get served = 0 && Pop_runtime.Clock.elapsed t0 < 5.0 do
+    Softsignal.poll p0;
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  Alcotest.(check int) "handler ran in peer" 1 (Atomic.get served);
+  Alcotest.(check int) "handler_runs counter" 1 (Softsignal.handler_runs h)
+
+let suite =
+  [
+    case "register bounds and double registration" register_bounds;
+    case "ping to inactive slot is skipped" ping_inactive_skipped;
+    case "poll runs handler exactly once per ping" poll_runs_handler_once;
+    case "concurrent pings coalesce" pings_coalesce;
+    case "ping during handler stays pending" ping_during_handler_stays_pending;
+    case "ping_all excludes self and dead slots" ping_all_excludes_self;
+    case "deregister serves the pending ping" deregister_serves_pending;
+    case "slot reusable after deregister" reregister_after_deregister;
+    case "cross-domain delivery" cross_domain_delivery;
+  ]
