@@ -275,10 +275,11 @@ let fig_signal_latency sc =
     done;
     let port = Softsignal.register hub ~tid:workers in
     let scratch = Array.make total 0 in
+    let timed_out = Array.make total false in
     let lat = Array.make rounds 0.0 in
     for i = 0 to rounds - 1 do
       let t0 = Pop_runtime.Clock.now () in
-      Pop_core.Handshake.ping_and_wait hs ~port ~scratch;
+      ignore (Pop_core.Handshake.ping_and_wait hs ~port ~scratch ~timed_out);
       lat.(i) <- Pop_runtime.Clock.elapsed t0
     done;
     Atomic.set stop true;

@@ -27,17 +27,19 @@ let smr_conv =
 let csv_header =
   "ds,smr,threads,duration,key_range,ins_pct,del_pct,reclaim_freq,mops,read_mops,total_ops,\
 max_unreclaimed,final_unreclaimed,max_live,final_live,uaf,double_free,final_size,\
-expected_size,invariants_ok,retired,freed,reclaim_passes,pop_passes,pings,publishes,restarts"
+expected_size,invariants_ok,retired,freed,reclaim_passes,pop_passes,pings,publishes,restarts,\
+handshake_timeouts"
 
 let print_csv (r : Runner.result) =
   print_endline csv_header;
-  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%d,%d,%d,%d\n"
+  Printf.printf
+    "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%d,%d,%d,%d,%d\n"
     (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
     r.r_cfg.duration r.r_cfg.key_range r.r_cfg.mix.Workload.ins_pct r.r_cfg.mix.Workload.del_pct
     r.r_cfg.reclaim_freq r.mops r.read_mops r.total_ops r.max_unreclaimed r.final_unreclaimed
     r.max_live r.final_live r.uaf r.double_free r.final_size r.expected_size r.invariants_ok
     r.smr.retired r.smr.freed r.smr.reclaim_passes r.smr.pop_passes r.smr.pings r.smr.publishes
-    r.smr.restarts
+    r.smr.restarts r.smr.handshake_timeouts
 
 let print_result (r : Runner.result) =
   Report.section
@@ -67,12 +69,13 @@ let print_result (r : Runner.result) =
         [ "pings"; string_of_int r.smr.pings ];
         [ "publishes"; string_of_int r.smr.publishes ];
         [ "nbr restarts"; string_of_int r.smr.restarts ];
+        [ "handshake timeouts"; string_of_int r.smr.handshake_timeouts ];
         [ "epoch"; string_of_int r.smr.epoch ];
       ];
   if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
 
 let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq pop_mult lrr
-    stall_for stall_polling seed csv =
+    stall_for stall_polling ping_timeout drop_ping delay_poll seed csv =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -99,6 +102,9 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq p
       pop_mult;
       long_running_reads = lrr;
       stall;
+      ping_timeout_spins = ping_timeout;
+      drop_ping;
+      delay_poll;
       seed;
     }
   in
@@ -107,15 +113,16 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq p
 
 let run_figure fig fullscale =
   let sc = if fullscale then Experiments.full else Experiments.quick in
-  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "all" ] in
+  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "deaf"; "all" ] in
   if not (List.mem fig known) then
-    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|all)" fig);
+    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|deaf|all)" fig);
   if List.mem fig [ "1"; "2"; "all" ] then ignore (Experiments.fig_update_heavy sc);
   if List.mem fig [ "3"; "all" ] then ignore (Experiments.fig_read_heavy sc);
   if List.mem fig [ "5"; "9"; "all" ] then ignore (Experiments.fig_read_heavy_appendix sc);
   if List.mem fig [ "4"; "all" ] then ignore (Experiments.fig_long_running_reads sc);
   if List.mem fig [ "10"; "11"; "all" ] then ignore (Experiments.fig_crystalline sc);
-  if List.mem fig [ "rob"; "all" ] then ignore (Experiments.fig_robustness sc)
+  if List.mem fig [ "rob"; "all" ] then ignore (Experiments.fig_robustness sc);
+  if List.mem fig [ "deaf"; "all" ] then ignore (Experiments.fig_deaf sc)
 
 let cmd =
   let ds = Arg.(value & opt ds_conv Dispatch.HML & info [ "ds" ] ~doc:"Data structure.") in
@@ -137,6 +144,22 @@ let cmd =
   let stall_polling =
     Arg.(value & opt bool true & info [ "stall-polling" ] ~doc:"Stalled thread serves pings.")
   in
+  let ping_timeout =
+    Arg.(
+      value & opt int 64
+      & info [ "ping-timeout" ]
+          ~doc:"Handshake spin budget per non-responsive peer (backoff attempts).")
+  in
+  let drop_ping =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-ping" ] ~doc:"Probability a soft signal is lost in flight (fault injection).")
+  in
+  let delay_poll =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay-poll" ] ~doc:"Probability a poll defers a pending ping (fault injection).")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the cell result as CSV.") in
   let fig =
@@ -144,17 +167,18 @@ let cmd =
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
   let main ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-      stall_polling seed csv fig fullscale =
+      stall_polling ping_timeout drop_ping delay_poll seed csv fig fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
         run_cell ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-          stall_polling seed csv
+          stall_polling ping_timeout drop_ping delay_poll seed csv
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim $ epochf
-      $ popm $ lrr $ stall_for $ stall_polling $ seed $ csv $ fig $ fullscale)
+      $ popm $ lrr $ stall_for $ stall_polling $ ping_timeout $ drop_ping $ delay_poll $ seed
+      $ csv $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

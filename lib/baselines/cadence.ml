@@ -29,6 +29,7 @@ type 'a tctx = {
   fence : Fence.cell;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
   reserved : Id_set.t;
   mutable op_counter : int;
@@ -41,7 +42,7 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
     tick = Atomic.make 2;
     tick_lock = Atomic.make false;
@@ -61,6 +62,7 @@ let register g ~tid =
       fence = Fence.make_cell ();
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
       res_scratch = Array.make nres 0;
       reserved = Id_set.create ~capacity:nres;
       op_counter = 0;
@@ -80,8 +82,16 @@ let maybe_tick ctx =
   if Clock.elapsed g.last_tick_time >= g.interval then
     if Atomic.compare_and_set g.tick_lock false true then begin
       if Clock.elapsed g.last_tick_time >= g.interval then begin
-        Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
-        Atomic.incr g.tick;
+        let timeouts =
+          Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+            ~timed_out:ctx.timeout_scratch
+        in
+        Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+        (* Only a clean round is a real barrier: a timed-out peer never
+           fenced, so its reservation stores may be unordered and the
+           tick must not advance. The clock still resets, so a deaf peer
+           costs one failed round per interval, not a ping storm. *)
+        if timeouts = 0 then Atomic.incr g.tick;
         g.last_tick_time <- Clock.now ()
       end;
       Atomic.set g.tick_lock false
@@ -115,10 +125,17 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 let reclaim ctx ~force =
   let g = ctx.g in
   if force then begin
-    (* End-of-run drain: run a round now instead of waiting a tick. *)
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
-    Atomic.incr g.tick;
-    Atomic.incr g.tick
+    (* End-of-run drain: run a round now instead of waiting a tick (two
+       tick bumps, but only when the round was clean — see maybe_tick). *)
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    if timeouts = 0 then begin
+      Atomic.incr g.tick;
+      Atomic.incr g.tick
+    end
   end;
   let now = Atomic.get g.tick in
   Counters.reclaim_pass g.c ~tid:ctx.tid;

@@ -23,6 +23,7 @@ type 'a tctx = {
   fence : Fence.cell;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
   reserved : Id_set.t;
 }
@@ -34,7 +35,7 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
   }
 
@@ -50,6 +51,7 @@ let register g ~tid =
       fence = Fence.make_cell ();
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
       res_scratch = Array.make nres 0;
       reserved = Id_set.create ~capacity:nres;
     }
@@ -83,7 +85,17 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 let reclaim ctx =
   let g = ctx.g in
   Counters.pop_pass g.c ~tid:ctx.tid;
-  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  let timeouts =
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+      ~timed_out:ctx.timeout_scratch
+  in
+  (* Only the count is needed here: the scan below already reads every
+     peer's local row racily, including a timed-out peer's. A peer deaf
+     for the whole spin budget has not executed READ since long before
+     the ping (every READ polls), so its last reservation stores are
+     visible; an in-flight unvalidated reservation is safe to honour
+     because the validating re-read retries on conflict. *)
+  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
   let k = Reservations.collect_local g.res ctx.res_scratch in
   Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
   Id_set.seal ctx.reserved;

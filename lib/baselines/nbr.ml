@@ -17,6 +17,7 @@ type 'a t = {
   c : Counters.t;
   rounds_started : int Atomic.t;
   rounds_done : int Atomic.t;
+  clean_rounds_done : int Atomic.t; (* highest round stamp with zero timeouts *)
   round_active : bool Atomic.t;
 }
 
@@ -26,6 +27,7 @@ type 'a tctx = {
   port : Softsignal.port;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
   reserved : Id_set.t;
   mutable phase : phase;
@@ -41,10 +43,11 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
     rounds_started = Atomic.make 0;
     rounds_done = Atomic.make 0;
+    clean_rounds_done = Atomic.make 0;
     round_active = Atomic.make false;
   }
 
@@ -58,6 +61,7 @@ let register g ~tid =
       port;
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
       res_scratch = Array.make nres 0;
       reserved = Id_set.create ~capacity:nres;
       phase = Quiescent;
@@ -127,16 +131,25 @@ let enter_write_phase ctx nodes =
   end;
   ctx.phase <- Write_phase
 
-(* One neutralization round; concurrent reclaimers coalesce (NBR+). *)
+(* One neutralization round; concurrent reclaimers coalesce (NBR+).
+   Returns the latest {e clean} round stamp: a peer that timed out was
+   never neutralized and may still hold references to anything, so a
+   dirty round certifies no new nodes — reclaimers keep freeing up to
+   the last clean stamp and garbage grows until the peer responds. *)
 let ensure_round ctx =
   let g = ctx.g in
   let r0 = Atomic.get g.rounds_done in
   if Atomic.compare_and_set g.round_active false true then begin
     let s = Atomic.fetch_and_add g.rounds_started 1 + 1 in
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    if timeouts = 0 then Atomic.set g.clean_rounds_done s;
     Atomic.set g.rounds_done s;
     Atomic.set g.round_active false;
-    s
+    Atomic.get g.clean_rounds_done
   end
   else begin
     let b = Backoff.make () in
@@ -144,7 +157,7 @@ let ensure_round ctx =
       Softsignal.poll ctx.port;
       Backoff.once b
     done;
-    Atomic.get g.rounds_done
+    Atomic.get g.clean_rounds_done
   end
 
 let reclaim ctx =

@@ -6,6 +6,7 @@ type t = {
   reclaim_passes : Striped.t;
   pop_passes : Striped.t;
   restarts : Striped.t;
+  hs_timeouts : Striped.t;
 }
 
 let create n =
@@ -15,6 +16,7 @@ let create n =
     reclaim_passes = Striped.create n;
     pop_passes = Striped.create n;
     restarts = Striped.create n;
+    hs_timeouts = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -26,6 +28,8 @@ let reclaim_pass t ~tid = Striped.incr t.reclaim_passes tid
 let pop_pass t ~tid = Striped.incr t.pop_passes tid
 
 let restart t ~tid = Striped.incr t.restarts tid
+
+let handshake_timeout t ~tid n = if n > 0 then Striped.add t.hs_timeouts tid n
 
 let unreclaimed t = Striped.sum t.retired - Striped.sum t.freed
 
@@ -39,6 +43,7 @@ let snapshot t ~hub ~epoch =
     pings = Softsignal.pings_sent hub;
     publishes = Softsignal.handler_runs hub;
     restarts = Striped.sum t.restarts;
+    handshake_timeouts = Striped.sum t.hs_timeouts;
     epoch;
     unreclaimed = retired - freed;
   }

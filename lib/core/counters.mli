@@ -16,6 +16,10 @@ val pop_pass : t -> tid:int -> unit
 
 val restart : t -> tid:int -> unit
 
+val handshake_timeout : t -> tid:int -> int -> unit
+(** [handshake_timeout t ~tid n] records [n] peers timing out in one of
+    [tid]'s {!Handshake.ping_and_wait} rounds (no-op when [n = 0]). *)
+
 val unreclaimed : t -> int
 (** Retired minus freed, racily summed. *)
 

@@ -25,6 +25,7 @@ type 'a tctx = {
   fence : Fence.cell;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
   reserved : Id_set.t;
   mutable op_counter : int;
@@ -42,7 +43,7 @@ let create cfg hub heap =
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     reserved_epoch;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
     epoch = Atomic.make 1;
   }
@@ -60,6 +61,7 @@ let register g ~tid =
       fence = Fence.make_cell ();
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
       res_scratch = Array.make nres 0;
       reserved = Id_set.create ~capacity:nres;
       op_counter = 0;
@@ -128,15 +130,34 @@ let reclaim_epoch ctx =
 let reclaim_pop ctx =
   let g = ctx.g in
   Counters.pop_pass g.c ~tid:ctx.tid;
-  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  let timeouts =
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+      ~timed_out:ctx.timeout_scratch
+  in
+  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
   Reservations.publish g.res ~tid:ctx.tid;
   let k = Reservations.collect_shared g.res ctx.res_scratch in
   Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
   Id_set.seal ctx.reserved;
+  (* A timed-out peer never published its reservations, but it announced
+     its epoch eagerly at STARTOP, so the EBR floor already bounds what
+     it can hold: any node it read during its current op was retired at
+     or after that announcement (the RECLAIMEPOCHFREEABLE argument).
+     Keep every node at or above the lowest stuck announcement. *)
+  let stuck_epoch = ref max_int in
+  if timeouts > 0 then
+    for tid = 0 to g.cfg.max_threads - 1 do
+      if ctx.timeout_scratch.(tid) then begin
+        let e = Striped.get g.reserved_epoch tid in
+        if e < !stuck_epoch then stuck_epoch := e
+      end
+    done;
+  let stuck_epoch = !stuck_epoch in
   let freed =
     Vec.filter_in_place
       (fun n ->
-        if Id_set.mem ctx.reserved n.Heap.id then true
+        if Id_set.mem ctx.reserved n.Heap.id || n.Heap.retire_era >= stuck_epoch then
+          true
         else begin
           Heap.free g.heap ~tid:ctx.tid n;
           false

@@ -1,8 +1,11 @@
 open Pop_runtime
 
-type t = { counters : Striped.t; hub : Softsignal.t }
+type t = { counters : Striped.t; hub : Softsignal.t; timeout_spins : int }
 
-let create hub = { counters = Striped.create (Softsignal.max_threads hub); hub }
+let create ?(timeout_spins = 64) hub =
+  if timeout_spins <= 0 then
+    invalid_arg "Handshake.create: timeout_spins must be positive";
+  { counters = Striped.create (Softsignal.max_threads hub); hub; timeout_spins }
 
 let ack t ~tid = Striped.incr t.counters tid
 
@@ -15,10 +18,11 @@ let get t tid = Striped.get t.counters tid
    thread created after a pthread_kill round, so they are excluded). *)
 let skip = -1
 
-let ping_and_wait t ~port ~scratch =
+let ping_and_wait t ~port ~scratch ~timed_out =
   let self = Softsignal.tid port in
   let n = Softsignal.max_threads t.hub in
   for tid = 0 to n - 1 do
+    timed_out.(tid) <- false;
     if tid = self then scratch.(tid) <- skip
     else begin
       (* Snapshot before pinging (COLLECTPUBLISHEDCOUNTERS before
@@ -28,15 +32,37 @@ let ping_and_wait t ~port ~scratch =
       scratch.(tid) <- (if Softsignal.ping t.hub tid then snap else skip)
     end
   done;
+  let timeouts = ref 0 in
   let b = Backoff.make () in
   for tid = 0 to n - 1 do
     if scratch.(tid) <> skip then begin
       Backoff.reset b;
-      while Softsignal.is_active t.hub tid && Striped.get t.counters tid <= scratch.(tid) do
+      let spins = ref 0 in
+      while
+        Softsignal.is_active t.hub tid
+        && Striped.get t.counters tid <= scratch.(tid)
+        && !spins < t.timeout_spins
+      do
         (* Serve pings aimed at us while we wait, or two concurrent
            reclaimers deadlock waiting for each other's publish. *)
         Softsignal.poll port;
-        Backoff.once b
-      done
+        Backoff.once b;
+        incr spins
+      done;
+      (* A POSIX signal cannot be ignored, so the paper's wait always
+         terminates; a soft-signal peer that never polls would wedge us
+         forever. After the spin budget we give up on its publish: the
+         caller must then treat everything that peer might hold as
+         reserved (its racily-readable reservation rows and/or its
+         announced epoch) instead of relying on a fresh publish. *)
+      if
+        !spins >= t.timeout_spins
+        && Softsignal.is_active t.hub tid
+        && Striped.get t.counters tid <= scratch.(tid)
+      then begin
+        timed_out.(tid) <- true;
+        incr timeouts
+      end
     end
-  done
+  done;
+  !timeouts

@@ -9,11 +9,25 @@
     concurrent pings coalesce exactly as the paper describes.
 
     The wait loop polls the waiter's own port (two reclaimers pinging
-    each other must both publish) and skips peers that deregister. *)
+    each other must both publish) and skips peers that deregister.
+
+    {b Divergence from the paper:} a POSIX signal interrupts its target,
+    so the paper's wait provably terminates; our polled substitution can
+    meet a peer that never polls (a descheduled or "deaf" thread). The
+    wait is therefore bounded by a per-peer attempt budget
+    ([timeout_spins], {!Smr_config.t.ping_timeout_spins}). On expiry the
+    peer is reported in [timed_out] and the caller must conservatively
+    treat everything that peer might hold as reserved — its racily
+    readable reservation rows and/or its announced epoch — rather than
+    waiting for a publish that may never come. See DESIGN.md "Bounded
+    handshake" for the safety argument. *)
 
 type t
 
-val create : Pop_runtime.Softsignal.t -> t
+val create : ?timeout_spins:int -> Pop_runtime.Softsignal.t -> t
+(** [timeout_spins] (default 64) is the backoff-attempt budget per
+    non-responsive peer; raises [Invalid_argument] if non-positive.
+    With the default backoff schedule 64 attempts is roughly 100 ms. *)
 
 val ack : t -> tid:int -> unit
 (** Bump [tid]'s publish counter. Called from the signal handler after
@@ -21,11 +35,21 @@ val ack : t -> tid:int -> unit
 
 val get : t -> int -> int
 
-val ping_and_wait : t -> port:Pop_runtime.Softsignal.port -> scratch:int array -> unit
+val ping_and_wait :
+  t ->
+  port:Pop_runtime.Softsignal.port ->
+  scratch:int array ->
+  timed_out:bool array ->
+  int
 (** Snapshot + ping + bounded wait, from the thread owning [port].
-    [scratch] must hold [max_threads] entries. Waits only for the
-    threads the ping actually reached: threads that register after the
-    ping round are excluded (like a thread spawned after a
-    [pthread_kill] sweep, they cannot hold references to nodes retired
-    before they existed), and threads that deregister mid-wait are
-    skipped. *)
+    [scratch] and [timed_out] must hold [max_threads] entries. Waits
+    only for the threads the ping actually reached: threads that
+    register after the ping round are excluded (like a thread spawned
+    after a [pthread_kill] sweep, they cannot hold references to nodes
+    retired before they existed), and threads that deregister mid-wait
+    are skipped.
+
+    Every entry of [timed_out] is (re)written: [timed_out.(tid)] is
+    [true] iff [tid] was pinged, stayed active, and still had not
+    published when its spin budget ran out. Returns the number of such
+    peers (0 = a clean round equivalent to the unbounded handshake). *)

@@ -23,6 +23,7 @@ type 'a tctx = {
   fence : Fence.cell;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
 }
 
@@ -33,7 +34,7 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
     epoch = Atomic.make 1;
   }
@@ -49,7 +50,10 @@ let register g ~tid =
       fence = Fence.make_cell ();
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
-      res_scratch = Array.make (g.cfg.max_threads * g.cfg.max_hp) 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
+      (* 2x: room for the shared table plus racy local-row copies of
+         timed-out peers (the bounded handshake's fallback). *)
+      res_scratch = Array.make (2 * g.cfg.max_threads * g.cfg.max_hp) 0;
     }
   in
   Softsignal.set_handler port (fun () ->
@@ -98,9 +102,24 @@ let reclaim ctx =
   let g = ctx.g in
   Counters.pop_pass g.c ~tid:ctx.tid;
   ignore (Atomic.fetch_and_add g.epoch 1);
-  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  let timeouts =
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+      ~timed_out:ctx.timeout_scratch
+  in
+  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
   Reservations.publish g.res ~tid:ctx.tid;
   let k = Reservations.collect_shared g.res ctx.res_scratch in
+  (* Timed-out peers never published: union in racy copies of their
+     private era rows (same fallback and visibility argument as
+     HazardPtrPOP — a deaf peer's last plain stores are long visible,
+     and an in-flight unvalidated era reservation is safe to honour). *)
+  let k = ref k in
+  if timeouts > 0 then
+    for tid = 0 to g.cfg.max_threads - 1 do
+      if ctx.timeout_scratch.(tid) then
+        k := Reservations.append_local_row g.res ~tid ~into:ctx.res_scratch ~pos:!k
+    done;
+  let k = !k in
   let freed =
     Vec.filter_in_place
       (fun n ->

@@ -22,6 +22,7 @@ type 'a tctx = {
   fence : Fence.cell;
   retired : 'a Heap.node Vec.t;
   counter_scratch : int array;
+  timeout_scratch : bool array;
   res_scratch : int array;
   reserved : Id_set.t;
 }
@@ -33,7 +34,7 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c = Counters.create cfg.max_threads;
   }
 
@@ -49,8 +50,11 @@ let register g ~tid =
       fence = Fence.make_cell ();
       retired = Vec.create ();
       counter_scratch = Array.make g.cfg.max_threads 0;
-      res_scratch = Array.make nres 0;
-      reserved = Id_set.create ~capacity:nres;
+      timeout_scratch = Array.make g.cfg.max_threads false;
+      (* 2x: room for the shared table plus racy local-row copies of
+         timed-out peers (the bounded handshake's fallback). *)
+      res_scratch = Array.make (2 * nres) 0;
+      reserved = Id_set.create ~capacity:(2 * nres);
     }
   in
   (* The "signal handler": publish private reservations, execute the one
@@ -87,9 +91,26 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 let reclaim ctx =
   let g = ctx.g in
   Counters.pop_pass g.c ~tid:ctx.tid;
-  Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch;
+  let timeouts =
+    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+      ~timed_out:ctx.timeout_scratch
+  in
+  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
   Reservations.publish g.res ~tid:ctx.tid;
   let k = Reservations.collect_shared g.res ctx.res_scratch in
+  (* A timed-out peer never ran its handler, so its shared row is stale.
+     Union in a racy copy of its private row: a peer deaf for the whole
+     spin budget has not executed READ since long before the ping (every
+     READ polls), so its last reservation stores are visible; and a
+     reservation written but not yet validated is safe to honour — the
+     validating re-read either confirms it or the peer retries. *)
+  let k = ref k in
+  if timeouts > 0 then
+    for tid = 0 to g.cfg.max_threads - 1 do
+      if ctx.timeout_scratch.(tid) then
+        k := Reservations.append_local_row g.res ~tid ~into:ctx.res_scratch ~pos:!k
+    done;
+  let k = !k in
   Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
   Id_set.seal ctx.reserved;
   let freed =

@@ -9,7 +9,8 @@ let reset t =
 let add t v =
   if t.len >= Array.length t.arr then invalid_arg "Id_set.add: capacity exceeded";
   t.arr.(t.len) <- v;
-  t.len <- t.len + 1
+  t.len <- t.len + 1;
+  t.sealed <- false
 
 let fill t ~except vals k =
   reset t;
@@ -17,14 +18,57 @@ let fill t ~except vals k =
     if vals.(i) <> except then add t vals.(i)
   done
 
+(* In-place sort of [arr.(lo..hi)] with monomorphic int comparisons:
+   [seal] runs on every reclamation pass, and [Array.sort compare] on an
+   [Array.sub] copy costs an allocation plus a polymorphic-compare call
+   per element pair. Median-of-three quicksort, insertion sort for small
+   partitions. *)
+let rec sort_range arr lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let v = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > v do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- v
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let a = arr.(lo) and b = arr.(mid) and c = arr.(hi) in
+    let pivot =
+      if a < b then if b < c then b else if a < c then c else a
+      else if a < c then a
+      else if b < c then c
+      else b
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while arr.(!i) < pivot do
+        incr i
+      done;
+      while arr.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = arr.(!i) in
+        arr.(!i) <- arr.(!j);
+        arr.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range arr lo !j;
+    sort_range arr !i hi
+  end
+
 let seal t =
-  let sub = Array.sub t.arr 0 t.len in
-  Array.sort compare sub;
-  Array.blit sub 0 t.arr 0 t.len;
+  if t.len > 1 then sort_range t.arr 0 (t.len - 1);
   t.sealed <- true
 
 let mem t v =
-  assert t.sealed;
+  if not t.sealed then invalid_arg "Id_set.mem: set not sealed";
   let rec search lo hi =
     if lo >= hi then false
     else

@@ -19,9 +19,12 @@ val fill : t -> except:int -> int array -> int -> unit
     values equal to [except] (the [none] reservation). *)
 
 val seal : t -> unit
-(** Sort; must be called before {!mem}. *)
+(** Sort in place (no allocation); must be called before {!mem}. *)
 
 val mem : t -> int -> bool
+(** Raises [Invalid_argument] if the set was not sealed since its last
+    mutation — an unsealed set would silently return wrong membership
+    and let a reclaimer free reserved nodes. *)
 
 val cardinal : t -> int
 

@@ -55,6 +55,15 @@ let collect_shared t scratch =
   done;
   !k
 
+let append_local_row t ~tid ~into ~pos =
+  let row = t.local.(tid) in
+  let k = ref pos in
+  for i = 0 to t.nslots - 1 do
+    into.(!k) <- row.(i);
+    incr k
+  done;
+  !k
+
 let collect_local t scratch =
   let k = ref 0 in
   for tid = 0 to Array.length t.local - 1 do

@@ -61,3 +61,11 @@ val collect_shared : t -> int array -> int
 val collect_local : t -> int array -> int
 (** Same, but reading peers' local rows with plain racy loads; only
     meaningful after a barrier round (HPAsym). *)
+
+val append_local_row : t -> tid:int -> into:int array -> pos:int -> int
+(** [append_local_row t ~tid ~into ~pos] copies [tid]'s local row into
+    [into.(pos..)] with plain racy loads and returns the next free
+    position. Used by the bounded handshake's conservative fallback: a
+    peer that timed out never published, so the reclaimer reads its
+    private row directly and treats every value found as reserved (see
+    DESIGN.md "Bounded handshake" for why this racy read is safe). *)

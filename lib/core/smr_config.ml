@@ -5,6 +5,7 @@ type t = {
   epoch_freq : int;
   pop_mult : int;
   fence_cost : int;
+  ping_timeout_spins : int;
 }
 
 let default ?(max_threads = 8) () =
@@ -15,6 +16,7 @@ let default ?(max_threads = 8) () =
     epoch_freq = 32;
     pop_mult = 2;
     fence_cost = 8;
+    ping_timeout_spins = 64;
   }
 
 let validate t =
@@ -23,4 +25,6 @@ let validate t =
   if t.reclaim_freq <= 0 then invalid_arg "Smr_config: reclaim_freq must be positive";
   if t.epoch_freq <= 0 then invalid_arg "Smr_config: epoch_freq must be positive";
   if t.pop_mult < 1 then invalid_arg "Smr_config: pop_mult must be at least 1";
-  if t.fence_cost < 0 then invalid_arg "Smr_config: fence_cost must be non-negative"
+  if t.fence_cost < 0 then invalid_arg "Smr_config: fence_cost must be non-negative";
+  if t.ping_timeout_spins <= 0 then
+    invalid_arg "Smr_config: ping_timeout_spins must be positive"

@@ -17,12 +17,19 @@ type t = {
       (** Calibrated cost (in seq_cst RMWs) of one modelled memory
           fence; see {!Pop_runtime.Fence}. 0 disables the cost model
           (every fence point then costs only its own atomic store). *)
+  ping_timeout_spins : int;
+      (** Backoff attempts {!Handshake.ping_and_wait} spends per
+          non-responsive peer before giving up on its publish and
+          falling back to the conservative timeout path (the paper's
+          signals cannot be ignored, so it has no analogue; see
+          DESIGN.md "Bounded handshake"). With the default backoff
+          schedule 64 attempts is roughly 100 ms of wall time. *)
 }
 
 val default : ?max_threads:int -> unit -> t
 (** Paper-flavoured defaults scaled to this machine: [max_hp = 8],
     [reclaim_freq = 512], [epoch_freq = 32], [pop_mult = 2],
-    [fence_cost = 8]. *)
+    [fence_cost = 8], [ping_timeout_spins = 64]. *)
 
 val validate : t -> unit
 (** Raise [Invalid_argument] on nonsensical settings. *)

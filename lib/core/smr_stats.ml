@@ -6,6 +6,7 @@ type t = {
   pings : int;
   publishes : int;
   restarts : int;
+  handshake_timeouts : int;
   epoch : int;
   unreclaimed : int;
 }
@@ -19,6 +20,7 @@ let zero =
     pings = 0;
     publishes = 0;
     restarts = 0;
+    handshake_timeouts = 0;
     epoch = 0;
     unreclaimed = 0;
   }
@@ -26,6 +28,6 @@ let zero =
 let pp fmt t =
   Format.fprintf fmt
     "retired=%d freed=%d unreclaimed=%d passes=%d pop_passes=%d pings=%d publishes=%d \
-     restarts=%d epoch=%d"
+     restarts=%d hs_timeouts=%d epoch=%d"
     t.retired t.freed t.unreclaimed t.reclaim_passes t.pop_passes t.pings t.publishes
-    t.restarts t.epoch
+    t.restarts t.handshake_timeouts t.epoch

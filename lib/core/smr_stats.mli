@@ -9,6 +9,10 @@ type t = {
   pings : int;  (** Soft signals sent by this instance's hub. *)
   publishes : int;  (** Handler executions (reservation publishes/acks). *)
   restarts : int;  (** NBR neutralization-induced operation restarts. *)
+  handshake_timeouts : int;
+      (** Peers that failed to publish within the handshake's spin
+          budget ({!Smr_config.t.ping_timeout_spins}); each one forced a
+          reclaimer onto the conservative fallback path. *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
 }

@@ -401,9 +401,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let poll ctx = R.poll ctx.rctx
 
-  let stall ctx ~seconds ~polling =
+  let stall ?wake ctx ~seconds ~polling =
     let cell = (pl ctx.s.anchor).children.(0) in
-    Common.stall_in_op ctx.rctx ~seconds ~polling ~pin:(fun () ->
+    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(fun () ->
         ignore (R.read ctx.rctx 0 cell proj))
 
   let flush ctx = R.flush ctx.rctx

@@ -51,16 +51,17 @@ module Make (R : Smr.S) = struct
       done
     end
 
-  (* Stall inside an operation for [seconds], after [pin] has taken
-     whatever reservations/epoch the caller wants pinned. With
-     [polling = false] the thread is deaf to pings for the duration. *)
-  let stall_in_op rctx ~seconds ~polling ~pin =
+  (* Stall inside an operation for [seconds] (or until [wake ()] turns
+     true), after [pin] has taken whatever reservations/epoch the caller
+     wants pinned. With [polling = false] the thread is deaf to pings
+     for the duration. *)
+  let stall_in_op ?(wake = fun () -> false) rctx ~seconds ~polling ~pin =
     let t0 = Clock.now () in
     let rec hold () =
       R.start_op rctx;
       match
         pin ();
-        while Clock.elapsed t0 < seconds do
+        while Clock.elapsed t0 < seconds && not (wake ()) do
           if polling then R.poll rctx;
           Unix.sleepf 0.0005
         done
@@ -69,7 +70,7 @@ module Make (R : Smr.S) = struct
       | exception Smr.Restart ->
           (* NBR neutralized the stalled thread — that is precisely how
              NBR stays robust; resume stalling for the remaining time. *)
-          if Clock.elapsed t0 < seconds then hold () else ()
+          if Clock.elapsed t0 < seconds && not (wake ()) then hold () else ()
     in
     hold ()
 end

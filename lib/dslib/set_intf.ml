@@ -34,12 +34,14 @@ module type SET = sig
   val poll : ctx -> unit
   (** Serve soft signals between operations. *)
 
-  val stall : ctx -> seconds:float -> polling:bool -> unit
+  val stall : ?wake:(unit -> bool) -> ctx -> seconds:float -> polling:bool -> unit
   (** Simulate a delayed thread stuck inside an operation: pin the
       current epoch/reservations for [seconds]. With [polling], the
       thread keeps serving pings from its stall (a descheduled thread
       that gets scheduled on signal delivery); without, it is deaf until
-      the stall ends. *)
+      the stall ends. The stall also ends early once [wake ()] returns
+      [true] (default: never) — the harness passes its stop flag so a
+      deaf thread cannot outlive the run. *)
 
   val flush : ctx -> unit
   (** Best-effort drain of the thread's retire list. *)

@@ -205,3 +205,56 @@ let fig_robustness sc =
            ])
          cells);
   List.map snd cells
+
+let fig_deaf sc =
+  let threads = List.fold_left max 2 sc.threads_list in
+  let duration = max 1.0 sc.duration in
+  Report.section
+    (Printf.sprintf
+       "Deaf thread: one of %d threads stalls mid-operation WITHOUT polling for the \
+        rest of the run (hml size=%d, update-heavy). Before the bounded handshake \
+        this configuration hung every ping-based scheme; now each handshake times \
+        out and falls back to the stalled thread's racy reservations / announced \
+        epoch."
+       threads sc.size_hml);
+  let smrs = Dispatch.[ NBR; HPASYM; CADENCE; HPPOP; HEPOP; EPOCHPOP ] in
+  let cells =
+    List.map
+      (fun smr ->
+        ( smr,
+          Runner.run
+            {
+              (base_cfg sc Dispatch.HML smr threads) with
+              duration;
+              (* Stall far past the run's end: the wake-on-stop hook ends
+                 the stall, so the run still finishes on time. *)
+              stall =
+                Some
+                  {
+                    Runner.stall_tid = 0;
+                    stall_after = 0.1 *. duration;
+                    stall_for = 100.0 *. duration;
+                    stall_polling = false;
+                  };
+              (* Short spin budget so even quick runs hit many timeouts. *)
+              ping_timeout_spins = 24;
+            } ))
+      smrs
+  in
+  Report.table
+    ~header:
+      [ "algo"; "Mops"; "max garbage"; "final garbage"; "hs timeouts"; "uaf"; "dfree" ]
+    ~rows:
+      (List.map
+         (fun (smr, (r : Runner.result)) ->
+           [
+             Dispatch.smr_name smr ^ flag r;
+             Report.fmt_mops r.mops;
+             Report.fmt_count r.max_unreclaimed;
+             Report.fmt_count r.final_unreclaimed;
+             Report.fmt_count r.smr.handshake_timeouts;
+             string_of_int r.uaf;
+             string_of_int r.double_free;
+           ])
+         cells);
+  List.map snd cells

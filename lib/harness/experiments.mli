@@ -58,3 +58,10 @@ val fig_robustness : scale -> Runner.result list
 (** The robustness claim (Properties 3/5): one thread stalls mid-
     operation; EBR's garbage grows unboundedly while POP algorithms stay
     bounded. *)
+
+val fig_deaf : scale -> Runner.result list
+(** Adversarial variant of {!fig_robustness} for the bounded handshake:
+    one thread goes deaf (stalls without polling) until the end of the
+    run, so every ping round against it must time out. Reports
+    throughput, garbage, and the [handshake_timeouts] counter for each
+    ping-based scheme; before bounded waiting this scenario hung. *)

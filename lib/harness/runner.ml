@@ -24,6 +24,9 @@ type cfg = {
   long_running_reads : bool;
   near_head_span : int;
   stall : stall_spec option;
+  ping_timeout_spins : int;
+  drop_ping : float;
+  delay_poll : float;
   seed : int;
 }
 
@@ -45,6 +48,9 @@ let default_cfg =
     long_running_reads = false;
     near_head_span = 64;
     stall = None;
+    ping_timeout_spins = 64;
+    drop_ping = 0.0;
+    delay_poll = 0.0;
     seed = 42;
   }
 
@@ -83,6 +89,7 @@ let smr_config cfg ~max_threads =
     epoch_freq = cfg.epoch_freq;
     pop_mult = cfg.pop_mult;
     fence_cost = cfg.fence_cost;
+    ping_timeout_spins = cfg.ping_timeout_spins;
   }
 
 let ds_config cfg =
@@ -100,6 +107,9 @@ let run cfg =
   (* Thread ids: workers use 0 .. threads-1; the main thread uses the
      extra slot for prefill and releases it before the run. *)
   let hub = Softsignal.create ~max_threads:(cfg.threads + 1) in
+  if cfg.drop_ping > 0.0 || cfg.delay_poll > 0.0 then
+    Softsignal.inject_faults hub ~seed:cfg.seed ~drop_ping:cfg.drop_ping
+      ~delay_poll:cfg.delay_poll;
   let set = S.create (smr_config cfg ~max_threads:(cfg.threads + 1)) (ds_config cfg) ~hub in
   let prefill_count = ref 0 in
   let pctx = S.register set ~tid:cfg.threads in
@@ -133,7 +143,11 @@ let run cfg =
       | Some sp
         when sp.stall_tid = tid && (not !stalled) && Clock.elapsed !t0 >= sp.stall_after ->
           stalled := true;
-          S.stall ctx ~seconds:sp.stall_for ~polling:sp.stall_polling
+          (* Wake on [stop]: a deaf stall must not outlive the run, or
+             the configured duration bound (and Domain.join) is lost. *)
+          S.stall ctx
+            ~wake:(fun () -> Atomic.get stop)
+            ~seconds:sp.stall_for ~polling:sp.stall_polling
       | _ -> ());
       let op =
         if cfg.long_running_reads then

@@ -29,6 +29,13 @@ type cfg = {
           [\[0, near_head_span)]. *)
   near_head_span : int;
   stall : stall_spec option;
+  ping_timeout_spins : int;
+      (** Handshake spin budget per non-responsive peer; see
+          {!Pop_core.Smr_config.t.ping_timeout_spins}. *)
+  drop_ping : float;
+      (** Probability a soft signal is lost in flight (fault injection;
+          0 disables). See {!Pop_runtime.Softsignal.inject_faults}. *)
+  delay_poll : float;  (** Probability a poll defers a pending ping. *)
   seed : int;
 }
 

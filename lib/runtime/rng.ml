@@ -14,6 +14,11 @@ let next t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+let hash k =
+  Int64.to_int (mix (Int64.mul (Int64.of_int k) golden_gamma)) land max_int
+
+let unit_hash k = float_of_int (hash k) /. float_of_int max_int
+
 let split t = { state = next t }
 
 let int t bound =

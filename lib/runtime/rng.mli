@@ -18,6 +18,15 @@ val split : t -> t
 val next : t -> int64
 (** Next raw 64-bit value. *)
 
+val hash : int -> int
+(** Stateless SplitMix64 finalizer of the argument, as a non-negative
+    int. A cheap deterministic per-event draw for code that cannot own a
+    generator (e.g. fault injection shared across threads: hash a seed
+    plus an atomic event counter). *)
+
+val unit_hash : int -> float
+(** [hash] scaled into [\[0, 1)]. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
 

@@ -1,9 +1,19 @@
+type faults = {
+  drop_ping : float; (* probability a ping is lost in flight *)
+  delay_poll : float; (* probability a poll defers a pending ping *)
+  fseed : int;
+  events : int Atomic.t; (* deterministic per-event draw counter *)
+}
+
 type t = {
   pending : Striped.t; (* 0 = clear, 1 = pinged *)
   active : Striped.t; (* 0 = dead, 1 = alive *)
   handlers : (unit -> unit) array;
   sent : int Atomic.t;
   runs : int Atomic.t;
+  dropped : int Atomic.t;
+  delayed : int Atomic.t;
+  mutable faults : faults option; (* set while quiescent, read racily *)
 }
 
 type port = { hub : t; id : int; my_pending : int Atomic.t }
@@ -17,7 +27,24 @@ let create ~max_threads =
     handlers = Array.make max_threads no_handler;
     sent = Atomic.make 0;
     runs = Atomic.make 0;
+    dropped = Atomic.make 0;
+    delayed = Atomic.make 0;
+    faults = None;
   }
+
+let inject_faults t ~seed ~drop_ping ~delay_poll =
+  if
+    drop_ping < 0.0 || drop_ping > 1.0 || delay_poll < 0.0 || delay_poll > 1.0
+  then invalid_arg "Softsignal.inject_faults: probabilities must be in [0,1]";
+  if drop_ping = 0.0 && delay_poll = 0.0 then t.faults <- None
+  else t.faults <- Some { drop_ping; delay_poll; fseed = seed; events = Atomic.make 0 }
+
+let clear_faults t = t.faults <- None
+
+(* One deterministic uniform draw per fault-injection event: hashing a
+   seed plus a shared event counter keeps the stream reproducible for a
+   fixed schedule without sharing mutable Rng state across domains. *)
+let draw f = Rng.unit_hash (f.fseed + Atomic.fetch_and_add f.events 1)
 
 let max_threads t = Striped.length t.pending
 
@@ -37,8 +64,13 @@ let tid p = p.id
 
 let ping t id =
   if is_active t id then begin
-    Striped.set t.pending id 1;
     Atomic.incr t.sent;
+    (match t.faults with
+    | Some f when f.drop_ping > 0.0 && draw f < f.drop_ping ->
+        (* Lost in flight: the sender believes it delivered (and must
+           fall back to its timeout path), the receiver never sees it. *)
+        Atomic.incr t.dropped
+    | _ -> Striped.set t.pending id 1);
     true
   end
   else false
@@ -51,9 +83,14 @@ let ping_all t ~self =
 let poll p =
   if Atomic.get p.my_pending = 1 then begin
     let t = p.hub in
-    Atomic.set p.my_pending 0;
-    Atomic.incr t.runs;
-    t.handlers.(p.id) ()
+    match t.faults with
+    | Some f when f.delay_poll > 0.0 && draw f < f.delay_poll ->
+        (* Delivery deferred: the flag stays up for a later poll. *)
+        Atomic.incr t.delayed
+    | _ ->
+        Atomic.set p.my_pending 0;
+        Atomic.incr t.runs;
+        t.handlers.(p.id) ()
   end
 
 let pending p = Atomic.get p.my_pending = 1
@@ -61,8 +98,20 @@ let pending p = Atomic.get p.my_pending = 1
 let deregister p =
   poll p;
   Striped.set p.hub.active p.id 0;
+  (* A ping can land between the final poll and the deactivation (or the
+     final poll may be fault-delayed). Clear the flag after deactivating
+     so a dead slot is never left permanently pending; waiters unblock
+     through the [is_active] check, like [pthread_kill] = [ESRCH]. A ping
+     that raced past our [is_active] flip can still re-raise the flag
+     afterwards, but [register] resets the slot, so no future registrant
+     inherits it. *)
+  Atomic.set p.my_pending 0;
   p.hub.handlers.(p.id) <- no_handler
 
 let pings_sent t = Atomic.get t.sent
 
 let handler_runs t = Atomic.get t.runs
+
+let pings_dropped t = Atomic.get t.dropped
+
+let polls_delayed t = Atomic.get t.delayed

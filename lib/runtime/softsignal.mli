@@ -40,7 +40,11 @@ val set_handler : port -> (unit -> unit) -> unit
 
 val deregister : port -> unit
 (** Mark the slot dead; subsequent pings skip it. Runs the handler one
-    last time if a ping is pending, so no reclaimer is left waiting. *)
+    last time if a ping is pending, so no reclaimer is left waiting, and
+    clears the pending flag afterwards so a ping racing with the
+    shutdown cannot leave a dead slot permanently flagged (waiters must
+    check {!is_active}, not just the counter — see
+    {!Handshake.ping_and_wait}). *)
 
 val is_active : t -> int -> bool
 (** Whether slot [tid] currently has a live registrant. *)
@@ -67,3 +71,28 @@ val pings_sent : t -> int
 
 val handler_runs : t -> int
 (** Total handler executions across all ports (for stats). *)
+
+(** {2 Fault injection}
+
+    Real signal delivery can be delayed arbitrarily by the OS, and the
+    bounded handshake (see {!Handshake}) must stay safe when it is. These
+    hooks let the harness exercise that path deterministically: with
+    [drop_ping] a ping is "lost in flight" (the sender still sees
+    success, the flag is never raised), with [delay_poll] a poll leaves a
+    pending flag up for a later poll. Draws are derived from [seed] plus
+    a shared event counter, so a fixed schedule replays identically. *)
+
+val inject_faults : t -> seed:int -> drop_ping:float -> delay_poll:float -> unit
+(** Enable fault injection with the given per-event probabilities (both
+    in [\[0, 1\]]; raises [Invalid_argument] otherwise). Passing both as
+    [0.0] disables injection. Call while the hub is quiescent (before
+    workers start); the configuration is read racily on hot paths. *)
+
+val clear_faults : t -> unit
+(** Disable fault injection. *)
+
+val pings_dropped : t -> int
+(** Total pings lost to [drop_ping] faults. *)
+
+val polls_delayed : t -> int
+(** Total polls deferred by [delay_poll] faults. *)

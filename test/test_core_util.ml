@@ -39,6 +39,21 @@ let id_set_capacity () =
   Alcotest.check_raises "overflow" (Invalid_argument "Id_set.add: capacity exceeded") (fun () ->
       Id_set.add s 3)
 
+let id_set_unsealed_mem_rejected () =
+  let s = Id_set.create ~capacity:4 in
+  Id_set.add s 3;
+  Alcotest.check_raises "mem before seal" (Invalid_argument "Id_set.mem: set not sealed")
+    (fun () -> ignore (Id_set.mem s 3));
+  Id_set.seal s;
+  Alcotest.(check bool) "mem after seal" true (Id_set.mem s 3);
+  (* A post-seal add unseals the set again: the sorted invariant no
+     longer holds, so mem must refuse rather than silently miss. *)
+  Id_set.add s 1;
+  Alcotest.check_raises "mem after post-seal add"
+    (Invalid_argument "Id_set.mem: set not sealed") (fun () -> ignore (Id_set.mem s 1));
+  Id_set.seal s;
+  Alcotest.(check bool) "re-sealed" true (Id_set.mem s 1)
+
 let id_set_model =
   QCheck2.Test.make ~name:"id_set mem = List.mem" ~count:300
     QCheck2.Gen.(pair (list_size (int_range 0 50) (int_range (-20) 20)) (int_range (-25) 25))
@@ -94,8 +109,11 @@ let handshake_skips_inactive () =
   let p0 = Softsignal.register hub ~tid:0 in
   let hs = Handshake.create hub in
   (* Only thread 0 is active: the wait returns immediately. *)
-  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 3 0);
-  Alcotest.(check pass) "returns with no active peers" () ()
+  let t =
+    Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 3 0)
+      ~timed_out:(Array.make 3 false)
+  in
+  Alcotest.(check int) "no active peers, no timeouts" 0 t
 
 let handshake_cross_domain () =
   let hub = Softsignal.create ~max_threads:2 in
@@ -115,10 +133,12 @@ let handshake_cross_domain () =
   while not (Softsignal.is_active hub 1) do
     Domain.cpu_relax ()
   done;
-  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  let timed_out = Array.make 2 false in
+  let t = Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0) ~timed_out in
+  Alcotest.(check int) "responsive peer, no timeout" 0 t;
   Alcotest.(check bool) "peer acked" true (Handshake.get hs 1 >= 1);
   (* A second round requires a fresh ack, not the stale counter. *)
-  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  ignore (Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0) ~timed_out);
   Alcotest.(check bool) "second ack" true (Handshake.get hs 1 >= 2);
   Atomic.set stop true;
   Domain.join d
@@ -134,12 +154,13 @@ let handshake_concurrent_reclaimers () =
     let port = Softsignal.register hub ~tid in
     Softsignal.set_handler port (fun () -> Handshake.ack hs ~tid);
     let scratch = Array.make 2 0 in
+    let timed_out = Array.make 2 false in
     (* Wait for the peer before the first round. *)
     while not (Softsignal.is_active hub (1 - tid)) do
       Domain.cpu_relax ()
     done;
     for _ = 1 to rounds do
-      Handshake.ping_and_wait hs ~port ~scratch
+      ignore (Handshake.ping_and_wait hs ~port ~scratch ~timed_out)
     done;
     Softsignal.deregister port
   in
@@ -164,7 +185,9 @@ let handshake_peer_deregisters_mid_wait () =
     Domain.cpu_relax ()
   done;
   (* Must not deadlock: the peer departs without acking. *)
-  Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0);
+  ignore
+    (Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0)
+       ~timed_out:(Array.make 2 false));
   Domain.join d;
   Alcotest.(check pass) "returned" () ()
 
@@ -188,12 +211,76 @@ let handshake_late_registration () =
   in
   let p0 = Softsignal.register hub ~tid:0 in
   let scratch = Array.make 2 0 in
+  let timed_out = Array.make 2 false in
   for _ = 1 to 200 do
-    Handshake.ping_and_wait hs ~port:p0 ~scratch
+    ignore (Handshake.ping_and_wait hs ~port:p0 ~scratch ~timed_out)
   done;
   Atomic.set stop true;
   Domain.join d;
   Alcotest.(check pass) "no hang across registration churn" () ()
+
+(* Tentpole regression: a registered peer that never polls ("deaf") must
+   not wedge the reclaimer. The bounded wait expires after the configured
+   spin budget, marks the peer in [timed_out], and returns the count. *)
+let handshake_deaf_peer_times_out () =
+  let hub = Softsignal.create ~max_threads:2 in
+  let p0 = Softsignal.register hub ~tid:0 in
+  let hs = Handshake.create ~timeout_spins:8 hub in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let p1 = Softsignal.register hub ~tid:1 in
+        (* Registered and pingable, but never polls: deaf. *)
+        while not (Atomic.get stop) do
+          Domain.cpu_relax ()
+        done;
+        Softsignal.deregister p1)
+  in
+  while not (Softsignal.is_active hub 1) do
+    Domain.cpu_relax ()
+  done;
+  let timed_out = Array.make 2 false in
+  let t = Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0) ~timed_out in
+  Alcotest.(check int) "one timeout" 1 t;
+  Alcotest.(check bool) "deaf peer flagged" true timed_out.(1);
+  Alcotest.(check bool) "self not flagged" false timed_out.(0);
+  (* A later round against a now-responsive world must clear the flag. *)
+  Atomic.set stop true;
+  Domain.join d;
+  let t = Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0) ~timed_out in
+  Alcotest.(check int) "peer gone, no timeout" 0 t;
+  Alcotest.(check bool) "flag cleared" false timed_out.(1)
+
+(* Fault injection end to end: with every ping dropped, a perfectly
+   responsive peer still cannot ack, so the round must time out instead
+   of spinning forever. *)
+let handshake_dropped_pings_time_out () =
+  let hub = Softsignal.create ~max_threads:2 in
+  Softsignal.inject_faults hub ~seed:7 ~drop_ping:1.0 ~delay_poll:0.0;
+  let p0 = Softsignal.register hub ~tid:0 in
+  let hs = Handshake.create ~timeout_spins:8 hub in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let p1 = Softsignal.register hub ~tid:1 in
+        Softsignal.set_handler p1 (fun () -> Handshake.ack hs ~tid:1);
+        while not (Atomic.get stop) do
+          Softsignal.poll p1;
+          Domain.cpu_relax ()
+        done;
+        Softsignal.deregister p1)
+  in
+  while not (Softsignal.is_active hub 1) do
+    Domain.cpu_relax ()
+  done;
+  let timed_out = Array.make 2 false in
+  let t = Handshake.ping_and_wait hs ~port:p0 ~scratch:(Array.make 2 0) ~timed_out in
+  Atomic.set stop true;
+  Domain.join d;
+  Alcotest.(check int) "lost ping forces timeout" 1 t;
+  Alcotest.(check bool) "peer flagged" true timed_out.(1);
+  Alcotest.(check bool) "drops counted" true (Softsignal.pings_dropped hub > 0);
+  Alcotest.(check int) "no ack ever arrived" 0 (Handshake.get hs 1)
 
 (* --- Smr_config / stats plumbing --- *)
 
@@ -208,6 +295,7 @@ let config_validation () =
       { ok with Smr_config.epoch_freq = 0 };
       { ok with Smr_config.pop_mult = 0 };
       { ok with Smr_config.fence_cost = -1 };
+      { ok with Smr_config.ping_timeout_spins = 0 };
     ]
   in
   List.iteri
@@ -227,6 +315,8 @@ let counters_snapshot () =
   Counters.reclaim_pass c ~tid:0;
   Counters.pop_pass c ~tid:1;
   Counters.restart c ~tid:0;
+  Counters.handshake_timeout c ~tid:0 2;
+  Counters.handshake_timeout c ~tid:1 0;
   let s = Counters.snapshot c ~hub ~epoch:5 in
   Alcotest.(check int) "retired" 3 s.Smr_stats.retired;
   Alcotest.(check int) "freed" 2 s.Smr_stats.freed;
@@ -235,6 +325,7 @@ let counters_snapshot () =
   Alcotest.(check int) "pop passes" 1 s.Smr_stats.pop_passes;
   Alcotest.(check int) "restarts" 1 s.Smr_stats.restarts;
   Alcotest.(check int) "epoch" 5 s.Smr_stats.epoch;
+  Alcotest.(check int) "handshake timeouts" 2 s.Smr_stats.handshake_timeouts;
   Alcotest.(check int) "gauge" 1 (Counters.unreclaimed c)
 
 let stats_pp_smoke () =
@@ -247,6 +338,7 @@ let suite =
     case "id_set: basic membership" id_set_basic;
     case "id_set: fill skips none, reset empties" id_set_reset_and_fill;
     case "id_set: capacity enforced" id_set_capacity;
+    case "id_set: mem requires a sealed set" id_set_unsealed_mem_rejected;
     QCheck_alcotest.to_alcotest id_set_model;
     case "reservations: local vs shared vs publish" reservations_local_shared;
     case "reservations: collect row-major" reservations_collect;
@@ -256,6 +348,8 @@ let suite =
     case "handshake: concurrent reclaimers coalesce" handshake_concurrent_reclaimers;
     case "handshake: peer deregisters mid-wait" handshake_peer_deregisters_mid_wait;
     case "handshake: late registration is not waited on" handshake_late_registration;
+    case "handshake: deaf peer times out" handshake_deaf_peer_times_out;
+    case "handshake: dropped pings time out" handshake_dropped_pings_time_out;
     case "smr_config: validation" config_validation;
     case "counters: snapshot arithmetic" counters_snapshot;
     case "smr_stats: pp" stats_pp_smoke;

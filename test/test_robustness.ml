@@ -183,6 +183,41 @@ let deaf_stall_delays_but_recovers () =
   in
   Alcotest.(check bool) "consistent after deaf stall" true (Runner.consistent r)
 
+(* Tentpole regression: a thread that goes deaf for the REST of the run
+   (stall_for far exceeds the duration; the wake-on-stop hook ends the
+   stall) used to wedge every ping round and hang the run at
+   Domain.join. With the bounded handshake the run must terminate on
+   time, stay memory-safe under the conservative fallback, and record
+   the timeouts it took. *)
+let runner_deaf smr =
+  Runner.run
+    {
+      Runner.default_cfg with
+      ds = Dispatch.HML;
+      smr;
+      threads = 3;
+      duration = 0.8;
+      key_range = 256;
+      reclaim_freq = 32;
+      ping_timeout_spins = 20;
+      stall =
+        Some
+          { Runner.stall_tid = 0; stall_after = 0.1; stall_for = 10.0; stall_polling = false };
+    }
+
+let check_deaf name (r : Runner.result) =
+  Alcotest.(check bool) (name ^ ": consistent") true (Runner.consistent r);
+  Alcotest.(check int) (name ^ ": no UAF") 0 r.Runner.uaf;
+  Alcotest.(check int) (name ^ ": no double free") 0 r.Runner.double_free;
+  Alcotest.(check bool)
+    (name ^ ": handshakes timed out")
+    true
+    (r.Runner.smr.Smr_stats.handshake_timeouts > 0)
+
+let deaf_to_the_end_epoch_pop () = check_deaf "epoch-pop" (runner_deaf Dispatch.EPOCHPOP)
+
+let deaf_to_the_end_hp_pop () = check_deaf "hp-pop" (runner_deaf Dispatch.HPPOP)
+
 let suite =
   [
     case "epoch-pop reclaims past a delayed thread" epoch_pop_reclaims_past_delayed_thread;
@@ -191,4 +226,6 @@ let suite =
     case "runner stall: ebr unbounded vs epoch-pop bounded" stalled_ebr_vs_epoch_pop;
     case "runner stall: hp-pop stays bounded" stalled_hp_pop_stays_bounded;
     case "deaf stall delays reclaimers but recovers" deaf_stall_delays_but_recovers;
+    case "deaf to the end: epoch-pop terminates safely" deaf_to_the_end_epoch_pop;
+    case "deaf to the end: hp-pop terminates safely" deaf_to_the_end_hp_pop;
   ]

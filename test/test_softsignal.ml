@@ -114,6 +114,66 @@ let cross_domain_delivery () =
   Alcotest.(check int) "handler ran in peer" 1 (Atomic.get served);
   Alcotest.(check int) "handler_runs counter" 1 (Softsignal.handler_runs h)
 
+(* Regression for the deregister race: a ping that lands during the
+   final courtesy poll (here simulated by the handler re-pinging its own
+   slot) used to leave the pending flag raised on a dead slot, so the
+   next thread to reuse the slot inherited a phantom ping and ran its
+   handler with no ping in flight. Deregister must clear the flag after
+   the slot goes inactive. *)
+let deregister_clears_stale_pending () =
+  let h = Softsignal.create ~max_threads:2 in
+  let p = Softsignal.register h ~tid:0 in
+  Softsignal.set_handler p (fun () -> ignore (Softsignal.ping h 0));
+  ignore (Softsignal.ping h 0);
+  Softsignal.deregister p;
+  Alcotest.(check bool) "no stale pending on dead slot" false (Softsignal.pending p);
+  (* The reused slot must start clean: no phantom handler run. *)
+  let p' = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p' (fun () -> incr runs);
+  Softsignal.poll p';
+  Alcotest.(check int) "fresh slot sees no phantom ping" 0 !runs
+
+let fault_drop_ping () =
+  let h = Softsignal.create ~max_threads:2 in
+  Softsignal.inject_faults h ~seed:11 ~drop_ping:1.0 ~delay_poll:0.0;
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () -> incr runs);
+  (* The sender cannot tell a dropped ping from a delivered one. *)
+  Alcotest.(check bool) "drop looks like success" true (Softsignal.ping h 0);
+  Alcotest.(check bool) "but nothing is pending" false (Softsignal.pending p);
+  Softsignal.poll p;
+  Alcotest.(check int) "handler never runs" 0 !runs;
+  Alcotest.(check int) "send counted" 1 (Softsignal.pings_sent h);
+  Alcotest.(check int) "drop counted" 1 (Softsignal.pings_dropped h);
+  Softsignal.clear_faults h;
+  ignore (Softsignal.ping h 0);
+  Softsignal.poll p;
+  Alcotest.(check int) "delivery restored" 1 !runs
+
+let fault_delay_poll () =
+  let h = Softsignal.create ~max_threads:2 in
+  Softsignal.inject_faults h ~seed:3 ~drop_ping:0.0 ~delay_poll:1.0;
+  let p = Softsignal.register h ~tid:0 in
+  let runs = ref 0 in
+  Softsignal.set_handler p (fun () -> incr runs);
+  ignore (Softsignal.ping h 0);
+  Softsignal.poll p;
+  Softsignal.poll p;
+  Alcotest.(check int) "polls deferred" 0 !runs;
+  Alcotest.(check bool) "ping still pending" true (Softsignal.pending p);
+  Alcotest.(check bool) "delays counted" true (Softsignal.polls_delayed h >= 2);
+  Softsignal.clear_faults h;
+  Softsignal.poll p;
+  Alcotest.(check int) "deferred ping eventually served" 1 !runs
+
+let fault_validation () =
+  let h = Softsignal.create ~max_threads:2 in
+  Alcotest.check_raises "probability out of range"
+    (Invalid_argument "Softsignal.inject_faults: probabilities must be in [0,1]") (fun () ->
+      Softsignal.inject_faults h ~seed:0 ~drop_ping:1.5 ~delay_poll:0.0)
+
 let suite =
   [
     case "register bounds and double registration" register_bounds;
@@ -125,4 +185,8 @@ let suite =
     case "deregister serves the pending ping" deregister_serves_pending;
     case "slot reusable after deregister" reregister_after_deregister;
     case "cross-domain delivery" cross_domain_delivery;
+    case "deregister clears a stale pending flag" deregister_clears_stale_pending;
+    case "fault injection: dropped pings" fault_drop_ping;
+    case "fault injection: delayed polls" fault_delay_poll;
+    case "fault injection: probability validation" fault_validation;
   ]
