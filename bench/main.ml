@@ -76,7 +76,7 @@ let run_bechamel ~name tests =
       let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
       rows := (label, ns, r2) :: !rows)
     results;
-  let rows = List.sort (fun (_, a, _) (_, b, _) -> compare a b) !rows in
+  let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
   Report.section (Printf.sprintf "Micro: %s (ns per op, single thread)" name);
   Report.table
     ~header:[ "case"; "ns/op"; "r^2" ]
@@ -285,7 +285,7 @@ let fig_signal_latency sc =
     Atomic.set stop true;
     List.iter Domain.join doms;
     Softsignal.deregister port;
-    Array.sort compare lat;
+    Array.sort Float.compare lat;
     let pct q = lat.(int_of_float (q *. float_of_int (rounds - 1))) *. 1e6 in
     (pct 0.5, pct 0.99, lat.(rounds - 1) *. 1e6)
   in

@@ -24,22 +24,21 @@ let smr_conv =
   in
   Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Dispatch.smr_name a))
 
+(* The SMR-stat columns come from Smr_stats.to_alist, so a stat added to
+   the record shows up here (and in the table below) by construction. *)
 let csv_header =
   "ds,smr,threads,duration,key_range,ins_pct,del_pct,reclaim_freq,mops,read_mops,total_ops,\
 max_unreclaimed,final_unreclaimed,max_live,final_live,uaf,double_free,final_size,\
-expected_size,invariants_ok,retired,freed,reclaim_passes,pop_passes,pings,publishes,restarts,\
-handshake_timeouts"
+expected_size,invariants_ok," ^ Pop_core.Smr_stats.csv_header
 
 let print_csv (r : Runner.result) =
   print_endline csv_header;
-  Printf.printf
-    "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%d,%d,%d,%d,%d\n"
+  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%s\n"
     (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
     r.r_cfg.duration r.r_cfg.key_range r.r_cfg.mix.Workload.ins_pct r.r_cfg.mix.Workload.del_pct
     r.r_cfg.reclaim_freq r.mops r.read_mops r.total_ops r.max_unreclaimed r.final_unreclaimed
     r.max_live r.final_live r.uaf r.double_free r.final_size r.expected_size r.invariants_ok
-    r.smr.retired r.smr.freed r.smr.reclaim_passes r.smr.pop_passes r.smr.pings r.smr.publishes
-    r.smr.restarts r.smr.handshake_timeouts
+    (Pop_core.Smr_stats.csv_row r.smr)
 
 let print_result (r : Runner.result) =
   Report.section
@@ -49,33 +48,27 @@ let print_result (r : Runner.result) =
   Report.table
     ~header:[ "metric"; "value" ]
     ~rows:
-      [
-        [ "throughput (Mops/s)"; Report.fmt_mops r.mops ];
-        [ "read throughput (Mops/s)"; Report.fmt_mops r.read_mops ];
-        [ "total ops"; string_of_int r.total_ops ];
-        [ "max unreclaimed (garbage)"; string_of_int r.max_unreclaimed ];
-        [ "final unreclaimed"; string_of_int r.final_unreclaimed ];
-        [ "max live nodes"; string_of_int r.max_live ];
-        [ "final live nodes"; string_of_int r.final_live ];
-        [ "use-after-free detected"; string_of_int r.uaf ];
-        [ "double frees detected"; string_of_int r.double_free ];
-        [ "final size"; string_of_int r.final_size ];
-        [ "expected size"; string_of_int r.expected_size ];
-        [ "invariants"; (if r.invariants_ok then "ok" else "VIOLATED: " ^ r.invariant_error) ];
-        [ "retired"; string_of_int r.smr.retired ];
-        [ "freed"; string_of_int r.smr.freed ];
-        [ "reclaim passes"; string_of_int r.smr.reclaim_passes ];
-        [ "pop/barrier passes"; string_of_int r.smr.pop_passes ];
-        [ "pings"; string_of_int r.smr.pings ];
-        [ "publishes"; string_of_int r.smr.publishes ];
-        [ "nbr restarts"; string_of_int r.smr.restarts ];
-        [ "handshake timeouts"; string_of_int r.smr.handshake_timeouts ];
-        [ "epoch"; string_of_int r.smr.epoch ];
-      ];
+      ([
+         [ "throughput (Mops/s)"; Report.fmt_mops r.mops ];
+         [ "read throughput (Mops/s)"; Report.fmt_mops r.read_mops ];
+         [ "total ops"; string_of_int r.total_ops ];
+         [ "max unreclaimed (garbage)"; string_of_int r.max_unreclaimed ];
+         [ "final unreclaimed"; string_of_int r.final_unreclaimed ];
+         [ "max live nodes"; string_of_int r.max_live ];
+         [ "final live nodes"; string_of_int r.final_live ];
+         [ "use-after-free detected"; string_of_int r.uaf ];
+         [ "double frees detected"; string_of_int r.double_free ];
+         [ "final size"; string_of_int r.final_size ];
+         [ "expected size"; string_of_int r.expected_size ];
+         [ "invariants"; (if r.invariants_ok then "ok" else "VIOLATED: " ^ r.invariant_error) ];
+       ]
+      @ List.map
+          (fun (k, v) -> [ k; string_of_int v ])
+          (Pop_core.Smr_stats.to_alist r.smr));
   if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
 
 let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq pop_mult lrr
-    stall_for stall_polling ping_timeout drop_ping delay_poll seed csv =
+    stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -106,6 +99,7 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq p
       drop_ping;
       delay_poll;
       seed;
+      sanitize;
     }
   in
   let r = Runner.run cfg in
@@ -161,24 +155,32 @@ let cmd =
       & info [ "delay-poll" ] ~doc:"Probability a poll defers a pending ping (fault injection).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Wrap the scheme in the SmrSan protocol sanitizer; violations are counted in the \
+             'violations' stat.")
+  in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the cell result as CSV.") in
   let fig =
     Arg.(value & opt (some string) None & info [ "fig" ] ~doc:"Run a figure sweep instead.")
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
   let main ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-      stall_polling ping_timeout drop_ping delay_poll seed csv fig fullscale =
+      stall_polling ping_timeout drop_ping delay_poll seed sanitize csv fig fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
         run_cell ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-          stall_polling ping_timeout drop_ping delay_poll seed csv
+          stall_polling ping_timeout drop_ping delay_poll seed sanitize csv
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim $ epochf
       $ popm $ lrr $ stall_for $ stall_polling $ ping_timeout $ drop_ping $ delay_poll $ seed
-      $ csv $ fig $ fullscale)
+      $ sanitize $ csv $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

@@ -163,6 +163,8 @@ let retire ctx n =
     reclaim ctx ~force:false
   end
 
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx ~force:true

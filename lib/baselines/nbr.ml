@@ -113,6 +113,8 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
 (* Publish reservations for the nodes the write phase will dereference,
    then make sure no neutralization raced the publication. *)
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase ctx nodes =
   let n = Array.length nodes in
   if n > ctx.g.cfg.max_hp then invalid_arg "Nbr.enter_write_phase: too many nodes";

@@ -35,6 +35,9 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
    it again), so allocations keep growing — the paper's NR behaviour. *)
 let retire ctx _n = Counters.retire ctx.g.c ~tid:ctx.tid
 
+(* Unpublished nodes were never shared, so even NR can recycle them. *)
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase _ctx _nodes = ()
 
 let flush _ctx = ()

@@ -36,6 +36,8 @@ let retire ctx n =
   Heap.free ctx.g.heap ~tid:ctx.tid n;
   Counters.free ctx.g.c ~tid:ctx.tid 1
 
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase _ctx _nodes = ()
 
 let flush _ctx = ()

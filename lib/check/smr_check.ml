@@ -1,0 +1,332 @@
+open Pop_core
+module Heap = Pop_sim.Heap
+
+type mode = [ `Count | `Raise ]
+
+exception Violation of string
+
+type violations = {
+  read_outside_op : int;
+  check_unreserved : int;
+  double_retire : int;
+  write_phase_misuse : int;
+  slot_out_of_bounds : int;
+  use_after_deregister : int;
+  unbalanced_op : int;
+}
+
+let zero =
+  {
+    read_outside_op = 0;
+    check_unreserved = 0;
+    double_retire = 0;
+    write_phase_misuse = 0;
+    slot_out_of_bounds = 0;
+    use_after_deregister = 0;
+    unbalanced_op = 0;
+  }
+
+(* Exhaustive record patterns, like Smr_stats.to_alist: adding a category
+   without wiring it into the total and the report is a compile error. *)
+let total
+    {
+      read_outside_op;
+      check_unreserved;
+      double_retire;
+      write_phase_misuse;
+      slot_out_of_bounds;
+      use_after_deregister;
+      unbalanced_op;
+    } =
+  read_outside_op + check_unreserved + double_retire + write_phase_misuse
+  + slot_out_of_bounds + use_after_deregister + unbalanced_op
+
+let to_alist
+    {
+      read_outside_op;
+      check_unreserved;
+      double_retire;
+      write_phase_misuse;
+      slot_out_of_bounds;
+      use_after_deregister;
+      unbalanced_op;
+    } =
+  [
+    ("read_outside_op", read_outside_op);
+    ("check_unreserved", check_unreserved);
+    ("double_retire", double_retire);
+    ("write_phase_misuse", write_phase_misuse);
+    ("slot_out_of_bounds", slot_out_of_bounds);
+    ("use_after_deregister", use_after_deregister);
+    ("unbalanced_op", unbalanced_op);
+  ]
+
+let pp fmt v =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    (fun fmt (k, n) -> Format.fprintf fmt "%s=%d" k n)
+    fmt (to_alist v)
+
+type category =
+  | Read_outside_op
+  | Check_unreserved
+  | Double_retire
+  | Write_phase_misuse
+  | Slot_out_of_bounds
+  | Use_after_deregister
+  | Unbalanced_op
+
+let n_categories = 7
+
+let category_index = function
+  | Read_outside_op -> 0
+  | Check_unreserved -> 1
+  | Double_retire -> 2
+  | Write_phase_misuse -> 3
+  | Slot_out_of_bounds -> 4
+  | Use_after_deregister -> 5
+  | Unbalanced_op -> 6
+
+let category_label = function
+  | Read_outside_op -> "read outside an operation"
+  | Check_unreserved -> "check on an unreserved node"
+  | Double_retire -> "retire of an already-retired incarnation"
+  | Write_phase_misuse -> "write-phase misuse"
+  | Slot_out_of_bounds -> "reservation slot out of bounds"
+  | Use_after_deregister -> "call on a deregistered context"
+  | Unbalanced_op -> "unbalanced start_op/end_op"
+
+module type CHECKED = sig
+  include Smr.S
+
+  val set_mode : 'a t -> mode -> unit
+  val violations : 'a t -> violations
+end
+
+module Make (S : Smr.S) : CHECKED = struct
+  let name = S.name
+
+  (* The typestate every thread context moves through. [Deregistered] is
+     terminal; Smr.Restart collapses [In_op]/[Write_phase] back to
+     [Quiescent] because the data structure's restart handler re-enters
+     through [start_op] without a matching [end_op]. *)
+  type op_state = Quiescent | In_op | Write_phase | Deregistered
+
+  type 'a t = {
+    inner : 'a S.t;
+    max_hp : int;
+    mutable mode : mode;
+    tallies : int Atomic.t array;  (* one counter per [category] *)
+    retired_mu : Pop_runtime.Spinlock.t;
+    retired_seq : (int, int) Hashtbl.t;  (* node id -> last retired incarnation *)
+  }
+
+  type 'a tctx = {
+    g : 'a t;
+    ictx : 'a S.tctx;
+    mutable st : op_state;
+    (* Shadow of this thread's reservation slots: the node id and
+       incarnation each slot currently covers, or -1 when empty. A check
+       is legitimate iff some slot holds that exact (id, seq) pair. *)
+    res_id : int array;
+    res_seq : int array;
+  }
+
+  let create cfg hub heap =
+    {
+      inner = S.create cfg hub heap;
+      max_hp = cfg.Smr_config.max_hp;
+      mode = `Count;
+      tallies = Array.init n_categories (fun _ -> Atomic.make 0);
+      retired_mu = Pop_runtime.Spinlock.create ();
+      retired_seq = Hashtbl.create 1024;
+    }
+
+  let set_mode g m = g.mode <- m
+
+  let violations g =
+    let n c = Atomic.get g.tallies.(category_index c) in
+    {
+      read_outside_op = n Read_outside_op;
+      check_unreserved = n Check_unreserved;
+      double_retire = n Double_retire;
+      write_phase_misuse = n Write_phase_misuse;
+      slot_out_of_bounds = n Slot_out_of_bounds;
+      use_after_deregister = n Use_after_deregister;
+      unbalanced_op = n Unbalanced_op;
+    }
+
+  let violate ctx cat detail =
+    Atomic.incr ctx.g.tallies.(category_index cat);
+    if ctx.g.mode = `Raise then
+      raise (Violation (Printf.sprintf "[%s] %s: %s" name (category_label cat) detail))
+
+  let clear_slots ctx =
+    Array.fill ctx.res_id 0 (Array.length ctx.res_id) (-1);
+    Array.fill ctx.res_seq 0 (Array.length ctx.res_seq) (-1)
+
+  (* Smr.Restart unwinds to the operation's checkpoint, where the data
+     structure calls [start_op] again with no [end_op] in between. *)
+  let abort_op ctx =
+    ctx.st <- Quiescent;
+    clear_slots ctx
+
+  let register g ~tid =
+    {
+      g;
+      ictx = S.register g.inner ~tid;
+      st = Quiescent;
+      res_id = Array.make (max g.max_hp 1) (-1);
+      res_seq = Array.make (max g.max_hp 1) (-1);
+    }
+
+  let start_op ctx =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "start_op"
+    | In_op | Write_phase ->
+        violate ctx Unbalanced_op "start_op while the previous operation is still open";
+        clear_slots ctx;
+        ctx.st <- In_op;
+        S.start_op ctx.ictx
+    | Quiescent ->
+        clear_slots ctx;
+        ctx.st <- In_op;
+        S.start_op ctx.ictx
+
+  let end_op ctx =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "end_op"
+    | Quiescent ->
+        violate ctx Unbalanced_op "end_op without a matching start_op";
+        S.end_op ctx.ictx
+    | In_op | Write_phase ->
+        ctx.st <- Quiescent;
+        clear_slots ctx;
+        S.end_op ctx.ictx
+
+  let read ctx slot addr proj =
+    match ctx.st with
+    | Deregistered ->
+        violate ctx Use_after_deregister "read";
+        Atomic.get addr
+    | st ->
+        if st = Quiescent then violate ctx Read_outside_op "read before start_op";
+        if slot < 0 || slot >= ctx.g.max_hp then begin
+          violate ctx Slot_out_of_bounds
+            (Printf.sprintf "reservation slot %d outside 0..%d" slot (ctx.g.max_hp - 1));
+          (* Forwarding an out-of-range slot would corrupt the scheme's
+             reservation array; fall back to an unprotected read. *)
+          Atomic.get addr
+        end
+        else begin
+          match S.read ctx.ictx slot addr proj with
+          | v ->
+              let n = proj v in
+              ctx.res_id.(slot) <- n.Heap.id;
+              ctx.res_seq.(slot) <- n.Heap.seq;
+              v
+          | exception Smr.Restart ->
+              abort_op ctx;
+              raise Smr.Restart
+        end
+
+  let check ctx n =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "check"
+    | Quiescent ->
+        violate ctx Check_unreserved
+          (Printf.sprintf "check of node %d outside an operation" n.Heap.id);
+        S.check ctx.ictx n
+    | In_op | Write_phase ->
+        let covered = ref false in
+        for slot = 0 to ctx.g.max_hp - 1 do
+          if ctx.res_id.(slot) = n.Heap.id && ctx.res_seq.(slot) = n.Heap.seq then
+            covered := true
+        done;
+        if not !covered then
+          violate ctx Check_unreserved
+            (Printf.sprintf "check of node %d, incarnation %d, with no covering reservation"
+               n.Heap.id n.Heap.seq);
+        S.check ctx.ictx n
+
+  let alloc ctx =
+    if ctx.st = Deregistered then violate ctx Use_after_deregister "alloc";
+    (* Allocation is plain heap work, safe to forward even on the
+       violation path — and [`Count] mode must return a node. *)
+    S.alloc ctx.ictx
+
+  (* Exactly-once retirement per (id, incarnation): the table remembers
+     the last retired incarnation of every node id, so retiring a
+     recycled node again is fine while retiring the same incarnation
+     twice is flagged. Shared across threads — two racing retirers of
+     the same node are exactly the bug this catches. *)
+  let record_retirement ctx what n =
+    let id = n.Heap.id and seq = n.Heap.seq in
+    Pop_runtime.Spinlock.lock ctx.g.retired_mu;
+    let dup =
+      match Hashtbl.find_opt ctx.g.retired_seq id with Some s -> s = seq | None -> false
+    in
+    if not dup then Hashtbl.replace ctx.g.retired_seq id seq;
+    Pop_runtime.Spinlock.unlock ctx.g.retired_mu;
+    if dup then
+      violate ctx Double_retire
+        (Printf.sprintf "%s of node %d, incarnation %d, which was already retired" what id seq)
+
+  let retire ctx n =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "retire"
+    | _ ->
+        record_retirement ctx "retire" n;
+        S.retire ctx.ictx n
+
+  let free_unpublished ctx n =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "free_unpublished"
+    | _ ->
+        record_retirement ctx "free_unpublished" n;
+        S.free_unpublished ctx.ictx n
+
+  let forward_enter ctx nodes =
+    match S.enter_write_phase ctx.ictx nodes with
+    | () -> ctx.st <- Write_phase
+    | exception Smr.Restart ->
+        abort_op ctx;
+        raise Smr.Restart
+
+  let enter_write_phase ctx nodes =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "enter_write_phase"
+    | Quiescent ->
+        (* Not forwarded: publishing write-phase reservations with no
+           operation open has no meaning in any scheme. *)
+        violate ctx Write_phase_misuse "enter_write_phase outside an operation"
+    | Write_phase ->
+        violate ctx Write_phase_misuse "second enter_write_phase in one operation";
+        forward_enter ctx nodes
+    | In_op -> forward_enter ctx nodes
+
+  let poll ctx =
+    if ctx.st = Deregistered then violate ctx Use_after_deregister "poll"
+    else S.poll ctx.ictx
+
+  let flush ctx =
+    if ctx.st = Deregistered then violate ctx Use_after_deregister "flush"
+    else S.flush ctx.ictx
+
+  let deregister ctx =
+    match ctx.st with
+    | Deregistered -> violate ctx Use_after_deregister "second deregister"
+    | In_op | Write_phase ->
+        violate ctx Unbalanced_op "deregister inside an open operation";
+        clear_slots ctx;
+        ctx.st <- Deregistered;
+        S.deregister ctx.ictx
+    | Quiescent ->
+        clear_slots ctx;
+        ctx.st <- Deregistered;
+        S.deregister ctx.ictx
+
+  let unreclaimed g = S.unreclaimed g.inner
+
+  let stats g = { (S.stats g.inner) with Smr_stats.violations = total (violations g) }
+end

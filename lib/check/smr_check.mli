@@ -1,0 +1,80 @@
+(** SmrSan: a protocol-typestate sanitizer for SMR schemes.
+
+    {!Make} wraps any {!Pop_core.Smr.S} implementation in a shadow-state
+    layer that enforces the contract documented in [lib/core/smr.ml] per
+    thread context, without changing the scheme's observable behaviour:
+
+    - {b operation typestate} — every context is quiescent, inside an
+      operation, in the write phase, or deregistered; each API call is
+      legal only in some of those states ([read] needs an open
+      operation, [enter_write_phase] exactly once per operation, nothing
+      after [deregister]);
+    - {b reservation coverage} — a [check] on a node is legitimate only
+      if a prior [read] in the same operation reserved that node's exact
+      incarnation (same heap [id] {e and} [seq]) in a slot that has not
+      been overwritten or cleared since;
+    - {b exactly-once retirement} — each (node, incarnation) pair may be
+      handed to [retire]/[free_unpublished] at most once, across all
+      threads;
+    - {b slot hygiene} — reservation slots must lie in
+      [0 .. max_hp - 1] ({!Pop_core.Smr_config.t.max_hp}).
+
+    [Smr.Restart] unwinding through [read] or [enter_write_phase] resets
+    the typestate to quiescent, matching the data structures' restart
+    checkpoints (which re-enter via [start_op] without an [end_op]).
+
+    Violations are tallied per category. In [`Count] mode (the default)
+    every call is still forwarded to the wrapped scheme — except calls
+    on a deregistered context and out-of-bounds slots, which would
+    corrupt the scheme's own state — so a full benchmark run completes
+    and reports its violation total through {!Pop_core.Smr_stats.t}'s
+    [violations] field. In [`Raise] mode the first violation raises
+    {!Violation}, for tests that pin down individual bugs. *)
+
+type mode = [ `Count  (** Tally violations, keep running. *) | `Raise  (** Fail fast. *) ]
+
+exception Violation of string
+(** Raised on the first violation in [`Raise] mode; the payload names
+    the scheme, the category and the offending call. *)
+
+(** Violation tallies by category. *)
+type violations = {
+  read_outside_op : int;  (** [read] with no operation open. *)
+  check_unreserved : int;
+      (** [check] on a node whose incarnation no live reservation slot
+          of this context covers. *)
+  double_retire : int;
+      (** [retire]/[free_unpublished] of an incarnation that was
+          already retired (by any thread). *)
+  write_phase_misuse : int;
+      (** [enter_write_phase] outside an operation or twice within
+          one. *)
+  slot_out_of_bounds : int;  (** [read] into a slot outside [0 .. max_hp - 1]. *)
+  use_after_deregister : int;  (** Any call on a deregistered context. *)
+  unbalanced_op : int;  (** [start_op]/[end_op]/[deregister] nesting errors. *)
+}
+
+val zero : violations
+
+val total : violations -> int
+(** Sum over all categories (exhaustive: a new category cannot be left
+    out without a compile error). *)
+
+val to_alist : violations -> (string * int) list
+(** Every category as a [(label, count)] row, in declaration order. *)
+
+val pp : Format.formatter -> violations -> unit
+
+(** The wrapped scheme: a drop-in {!Pop_core.Smr.S} plus access to the
+    sanitizer's mode and tallies. [stats] reports the violation total in
+    {!Pop_core.Smr_stats.t.violations}; everything else is forwarded. *)
+module type CHECKED = sig
+  include Pop_core.Smr.S
+
+  val set_mode : 'a t -> mode -> unit
+  (** Default is [`Count]. Affects all contexts of this instance. *)
+
+  val violations : 'a t -> violations
+end
+
+module Make (S : Pop_core.Smr.S) : CHECKED

@@ -46,4 +46,5 @@ let snapshot t ~hub ~epoch =
     handshake_timeouts = Striped.sum t.hs_timeouts;
     epoch;
     unreclaimed = retired - freed;
+    violations = 0;
   }

@@ -179,6 +179,8 @@ let retire ctx n =
       reclaim_pop ctx
   end
 
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx =

@@ -138,6 +138,8 @@ let retire ctx n =
   Counters.retire ctx.g.c ~tid:ctx.tid;
   if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
 
+let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx

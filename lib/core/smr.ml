@@ -53,6 +53,15 @@ module type S = sig
   val retire : 'a tctx -> 'a Pop_sim.Heap.node -> unit
   (** Hand over an unlinked node; may trigger a reclamation pass. *)
 
+  val free_unpublished : 'a tctx -> 'a Pop_sim.Heap.node -> unit
+  (** Return a node that was allocated in the current operation and
+      never published to shared memory (the failed-CAS path of an
+      insert) straight to the heap. No other thread can hold a
+      reservation on it, so it bypasses [retire]. This is the only
+      sanctioned way for a data structure to free a node directly —
+      [smrlint] forbids calling {!Pop_sim.Heap.free} outside the
+      reclamation schemes themselves. *)
+
   val enter_write_phase : 'a tctx -> 'a Pop_sim.Heap.node array -> unit
   (** NBR: publish reservations for the nodes the write phase will touch
       and disable neutralization; may raise {!Restart}. No-op elsewhere. *)

@@ -9,6 +9,7 @@ type t = {
   handshake_timeouts : int;
   epoch : int;
   unreclaimed : int;
+  violations : int;
 }
 
 let zero =
@@ -23,11 +24,49 @@ let zero =
     handshake_timeouts = 0;
     epoch = 0;
     unreclaimed = 0;
+    violations = 0;
   }
 
+(* The single record-to-rows function every consumer (pp, CSV, report
+   tables) is derived from. The exhaustive record pattern is the point:
+   adding a field to [t] without extending this list is a compile error
+   (warning 9 is fatal in the dev profile), so a stat can never again be
+   collected but silently left out of reports, as was once possible with
+   [handshake_timeouts]. *)
+let to_alist
+    {
+      retired;
+      freed;
+      reclaim_passes;
+      pop_passes;
+      pings;
+      publishes;
+      restarts;
+      handshake_timeouts;
+      epoch;
+      unreclaimed;
+      violations;
+    } =
+  [
+    ("retired", retired);
+    ("freed", freed);
+    ("unreclaimed", unreclaimed);
+    ("reclaim_passes", reclaim_passes);
+    ("pop_passes", pop_passes);
+    ("pings", pings);
+    ("publishes", publishes);
+    ("restarts", restarts);
+    ("handshake_timeouts", handshake_timeouts);
+    ("epoch", epoch);
+    ("violations", violations);
+  ]
+
+let csv_header = String.concat "," (List.map fst (to_alist zero))
+
+let csv_row t = String.concat "," (List.map (fun (_, v) -> string_of_int v) (to_alist t))
+
 let pp fmt t =
-  Format.fprintf fmt
-    "retired=%d freed=%d unreclaimed=%d passes=%d pop_passes=%d pings=%d publishes=%d \
-     restarts=%d hs_timeouts=%d epoch=%d"
-    t.retired t.freed t.unreclaimed t.reclaim_passes t.pop_passes t.pings t.publishes
-    t.restarts t.handshake_timeouts t.epoch
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    (fun fmt (k, v) -> Format.fprintf fmt "%s=%d" k v)
+    fmt (to_alist t)

@@ -15,8 +15,24 @@ type t = {
           reclaimer onto the conservative fallback path. *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
+  violations : int;
+      (** Protocol violations recorded by the {!Smr_check} sanitizer
+          (always 0 when the scheme is not wrapped — see
+          [--sanitize]). *)
 }
 
 val zero : t
+
+val to_alist : t -> (string * int) list
+(** Every field as a [(label, value)] row, in display order. This is the
+    single record-to-rows function: [pp], [csv_header]/[csv_row] and the
+    harness report tables all derive from it, and its exhaustive record
+    pattern makes "stat collected but never reported" a compile error. *)
+
+val csv_header : string
+(** Comma-joined labels of {!to_alist}, for benchmark CSV output. *)
+
+val csv_row : t -> string
+(** Comma-joined values, aligned with {!csv_header}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(** Relaxed external (a,b)-tree (ABT in the paper's plots), standing in
+    for Brown's LLX/SCX (a,b)-tree with the same SMR interaction:
+    copy-on-write node replacement under per-node locks, optimistic
+    lock-free traversals, wholesale retire of replaced nodes. See the
+    implementation header for the balancing rules. *)
+
+module Make (R : Pop_core.Smr.S) : Set_intf.SET

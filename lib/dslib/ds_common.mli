@@ -1,0 +1,50 @@
+(** Plumbing shared by every data-structure implementation: heap + SMR
+    construction, the operation wrapper that restarts on NBR
+    neutralization, ping-serving lock acquisition, and stall injection. *)
+
+module Make (R : Pop_core.Smr.S) : sig
+  (** One structure's heap and reclamation instance plus the configs
+      they were built from. ['p] is the node payload type. *)
+  type 'p base = {
+    heap : 'p Pop_sim.Heap.t;
+    smr : 'p R.t;
+    scfg : Pop_core.Smr_config.t;
+    dcfg : Ds_config.t;
+  }
+
+  val make_base :
+    Pop_core.Smr_config.t ->
+    Ds_config.t ->
+    Pop_runtime.Softsignal.t ->
+    (int -> 'p) ->
+    'p base
+  (** [make_base scfg dcfg hub payload] validates [dcfg] and builds the
+      heap (fresh nodes get [payload id]) and the SMR instance on it. *)
+
+  val with_op : 'p R.tctx -> (unit -> 'r) -> 'r
+  (** Run one operation: [start_op]/[end_op] bracketing plus
+      restart-on-neutralize (re-enters through [start_op] when the body
+      raises {!Pop_core.Smr.Restart}). *)
+
+  val reopen_op : 'p R.tctx -> unit
+  (** Close the current operation and open a fresh one: used to retry an
+      update from scratch (clears reservations, re-announces epochs, and
+      returns NBR to its read phase). *)
+
+  val lock_serving : 'p R.tctx -> Pop_runtime.Spinlock.t -> unit
+  (** Spinlock acquisition that keeps serving soft signals: a thread
+      spinning on a lock must still publish reservations (or be
+      neutralized), or the lock holder's reclamation pass deadlocks. *)
+
+  val stall_in_op :
+    ?wake:(unit -> bool) ->
+    'p R.tctx ->
+    seconds:float ->
+    polling:bool ->
+    pin:(unit -> unit) ->
+    unit
+  (** Stall inside an operation for [seconds] (or until [wake ()] turns
+      true), after [pin] has taken whatever reservations/epoch the
+      caller wants pinned. With [polling = false] the thread is deaf to
+      pings for the duration. *)
+end

@@ -1,0 +1,7 @@
+(** External binary search tree in the style of David, Guerraoui &
+    Trigonakis (DGT in the paper's plots): unsynchronized traversals and
+    short lock-based updates with validation — the ASCY recipe. Keys
+    live in leaves; replaced nodes are marked and retired after
+    unlock. See the implementation header for the full invariants. *)
+
+module Make (R : Pop_core.Smr.S) : Set_intf.SET

@@ -32,8 +32,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
   let bucket_of ctx key = ctx.s.buckets.(hash (Array.length ctx.s.buckets) key)
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        Core.insert_in_op ctx.rctx ctx.s.base.heap ~tid:ctx.tid (bucket_of ctx key) key)
+    Common.with_op ctx.rctx (fun () -> Core.insert_in_op ctx.rctx (bucket_of ctx key) key)
 
   let delete ctx key =
     Common.with_op ctx.rctx (fun () -> Core.delete_in_op ctx.rctx (bucket_of ctx key) key)
@@ -57,7 +56,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
   let keys_seq s =
     let acc = ref [] in
     Array.iter (fun b -> Core.iter_seq b (fun k -> acc := k :: !acc)) s.buckets;
-    List.sort compare !acc
+    List.sort Int.compare !acc
 
   let check_invariants s = Array.iter (Core.check_seq s.base.heap) s.buckets
 

@@ -1,0 +1,5 @@
+(** HMHT: a fixed-size hash table with one Harris-Michael list per
+    bucket, the paper's fifth benchmark structure. Bucket count is
+    [key_range / ht_load] (the paper's "load factor"). *)
+
+module Make (R : Pop_core.Smr.S) : Set_intf.SET

@@ -96,7 +96,7 @@ module Make (R : Smr.S) = struct
 
   let contains_in_op rctx bucket key = (find rctx bucket key).found
 
-  let rec insert_in_op rctx heap ~tid bucket key =
+  let rec insert_in_op rctx bucket key =
     let r = find rctx bucket key in
     if r.found then false
     else begin
@@ -108,10 +108,10 @@ module Make (R : Smr.S) = struct
       then true
       else begin
         (* Never published: hand the node straight back to the heap. *)
-        Heap.free heap ~tid n;
+        R.free_unpublished rctx n;
         R.end_op rctx;
         R.start_op rctx;
-        insert_in_op rctx heap ~tid bucket key
+        insert_in_op rctx bucket key
       end
     end
 

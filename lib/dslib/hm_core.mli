@@ -1,0 +1,72 @@
+(** Harris-Michael lock-free linked list machinery (Michael 2002), the
+    engine behind both the HML list and the HMHT hash table.
+
+    Deletion marks live in the deleted node's own [next] link (an
+    immutable record swapped by CAS, so expected-value comparisons are
+    physical equality). [find] unlinks marked nodes as it goes —
+    restarting the traversal as a fresh operation after each unlink,
+    which keeps the write (the unlink CAS and retire) inside an NBR
+    write phase without violating its one-write-phase-per-op rule.
+
+    Every pointer step goes through [R.read] with three rotating
+    reservation slots (prev, curr, next) and re-validates [prev.next]
+    after reading [curr.next] — the standard hazard-pointer discipline
+    that makes all reservation-based schemes in this repository safe. *)
+
+module Make (R : Pop_core.Smr.S) : sig
+  type data = { mutable key : int; next : link Atomic.t }
+
+  and link = { tgt : data Pop_sim.Heap.node option; marked : bool }
+
+  type bucket = { head : data Pop_sim.Heap.node }
+
+  exception Retry_find
+
+  val payload : int -> data
+  (** Fresh-node payload builder, for {!Ds_common.Make.make_base}. *)
+
+  val proj : link -> data Pop_sim.Heap.node
+  (** The link's target; the projection passed to [R.read]. *)
+
+  val node_key : data Pop_sim.Heap.node -> int
+
+  val next_cell : data Pop_sim.Heap.node -> link Atomic.t
+
+  val make_tail : data Pop_sim.Heap.t -> data Pop_sim.Heap.node
+  (** The shared [max_int] sentinel every bucket's chain ends with. *)
+
+  val make_bucket : data Pop_sim.Heap.t -> tail:data Pop_sim.Heap.node -> bucket
+  (** A [min_int] head sentinel linked straight to [tail]. *)
+
+  (** Result of a completed traversal, positioned at the first node with
+      key >= the search key. *)
+  type find_res = {
+    found : bool;
+    fprev : data Pop_sim.Heap.node;
+    fprev_cell : link Atomic.t;
+    fcurr_link : link;  (** value read at [fprev_cell]; its target is curr *)
+    fnext_link : link;  (** value of curr.next (meaningful when curr < tail) *)
+  }
+
+  val find : data R.tctx -> bucket -> int -> find_res
+  (** Traverse, unlinking marked nodes along the way; retries
+      internally, so it never raises {!Retry_find}. Must run inside an
+      operation. *)
+
+  val contains_in_op : data R.tctx -> bucket -> int -> bool
+
+  val insert_in_op : data R.tctx -> bucket -> int -> bool
+
+  val delete_in_op : data R.tctx -> bucket -> int -> bool
+  (** The [_in_op] bodies assume the caller bracketed them with
+      [start_op]/[end_op] (see {!Ds_common.Make.with_op}). *)
+
+  val iter_seq : bucket -> (int -> unit) -> unit
+  (** Quiescent in-order iteration over unmarked keys. *)
+
+  val size_seq : bucket -> int
+
+  val check_seq : data Pop_sim.Heap.t -> bucket -> unit
+  (** Structural invariants: strictly ascending keys from head to tail,
+      and every linked node live. Raises [Failure] on violation. *)
+end

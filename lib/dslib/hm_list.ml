@@ -24,8 +24,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
   let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        Core.insert_in_op ctx.rctx ctx.s.base.heap ~tid:ctx.tid ctx.s.bucket key)
+    Common.with_op ctx.rctx (fun () -> Core.insert_in_op ctx.rctx ctx.s.bucket key)
 
   let delete ctx key =
     Common.with_op ctx.rctx (fun () -> Core.delete_in_op ctx.rctx ctx.s.bucket key)

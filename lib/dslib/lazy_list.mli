@@ -1,0 +1,9 @@
+(** Lazy list (Heller et al. 2005): wait-free-style unsynchronized
+    traversals, lock-based inserts/deletes with post-lock validation, and
+    a logical [marked] flag on nodes (LL in the paper's plots).
+
+    Locks are taken only after [enter_write_phase] (NBR's discipline) and
+    spun with {!Ds_common.Make.lock_serving} so a spinning thread keeps
+    serving pings. Nodes are retired after unlock. *)
+
+module Make (R : Pop_core.Smr.S) : Set_intf.SET

@@ -1,0 +1,7 @@
+(** Michael-Scott lock-free FIFO queue (Michael & Scott 1996) over the
+    uniform SMR interface — the classic second testbed for hazard
+    pointers, included to demonstrate that the POP algorithms are
+    drop-in for everything hazard pointers apply to, not just ordered
+    sets. *)
+
+module Make (R : Pop_core.Smr.S) : Queue_intf.QUEUE

@@ -1,0 +1,11 @@
+(** Lazy skip list (Herlihy & Shavit ch. 14.3): optimistic
+    unsynchronized traversals, lock-based inserts/deletes with per-level
+    validation, [marked] and [fully_linked] node flags.
+
+    Not one of the paper's five structures — included as the extension
+    the paper's generality claim invites, and as a reservation-pressure
+    stressor: one operation holds up to [2*levels + 2] simultaneous
+    reservations, so [Smr_config.max_hp] must be at least that
+    ([create] enforces it; the harness sizes it automatically). *)
+
+module Make (R : Pop_core.Smr.S) : Set_intf.SET

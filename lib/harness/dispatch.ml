@@ -75,7 +75,7 @@ let smr_of_string s =
   | "unsafe" | "unsafe-free" -> Some UNSAFE
   | _ -> None
 
-let smr_module : smr_kind -> (module Pop_core.Smr.S) = function
+let base_smr_module : smr_kind -> (module Pop_core.Smr.S) = function
   | NR -> (module Pop_baselines.Nr)
   | HP -> (module Pop_baselines.Hp)
   | HPASYM -> (module Pop_baselines.Hp_asym)
@@ -90,8 +90,12 @@ let smr_module : smr_kind -> (module Pop_core.Smr.S) = function
   | CADENCE -> (module Pop_baselines.Cadence)
   | UNSAFE -> (module Pop_baselines.Unsafe_free)
 
-let set_module ds smr : (module Set_intf.SET) =
-  let (module R : Pop_core.Smr.S) = smr_module smr in
+let smr_module ?(sanitize = false) kind : (module Pop_core.Smr.S) =
+  let ((module S : Pop_core.Smr.S) as base) = base_smr_module kind in
+  if sanitize then (module Pop_check.Smr_check.Make (S)) else base
+
+let set_module ?(sanitize = false) ds smr : (module Set_intf.SET) =
+  let (module R : Pop_core.Smr.S) = smr_module ~sanitize smr in
   match ds with
   | HML -> (module Hm_list.Make (R))
   | LL -> (module Lazy_list.Make (R))

@@ -38,6 +38,10 @@ val ds_of_string : string -> ds_kind option
 
 val smr_of_string : string -> smr_kind option
 
-val smr_module : smr_kind -> (module Pop_core.Smr.S)
+val smr_module : ?sanitize:bool -> smr_kind -> (module Pop_core.Smr.S)
+(** With [~sanitize:true] (default [false]), the scheme is wrapped in the
+    {!Pop_check.Smr_check} typestate sanitizer in counting mode; its
+    violation total surfaces through [Smr_stats.violations]. *)
 
-val set_module : ds_kind -> smr_kind -> (module Pop_ds.Set_intf.SET)
+val set_module : ?sanitize:bool -> ds_kind -> smr_kind -> (module Pop_ds.Set_intf.SET)
+(** [sanitize] is passed through to {!smr_module}. *)

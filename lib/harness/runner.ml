@@ -28,6 +28,7 @@ type cfg = {
   drop_ping : float;
   delay_poll : float;
   seed : int;
+  sanitize : bool;
 }
 
 let default_cfg =
@@ -52,6 +53,7 @@ let default_cfg =
     drop_ping = 0.0;
     delay_poll = 0.0;
     seed = 42;
+    sanitize = false;
   }
 
 type result = {
@@ -103,7 +105,7 @@ let ds_config cfg =
 let run cfg =
   Workload.validate cfg.mix;
   if cfg.threads < 1 then invalid_arg "Runner.run: need at least one thread";
-  let (module S) = Dispatch.set_module cfg.ds cfg.smr in
+  let (module S) = Dispatch.set_module ~sanitize:cfg.sanitize cfg.ds cfg.smr in
   (* Thread ids: workers use 0 .. threads-1; the main thread uses the
      extra slot for prefill and releases it before the run. *)
   let hub = Softsignal.create ~max_threads:(cfg.threads + 1) in

@@ -37,6 +37,10 @@ type cfg = {
           0 disables). See {!Pop_runtime.Softsignal.inject_faults}. *)
   delay_poll : float;  (** Probability a poll defers a pending ping. *)
   seed : int;
+  sanitize : bool;
+      (** Wrap the scheme in the {!Pop_check.Smr_check} typestate
+          sanitizer (counting mode); the run's violation total lands in
+          [result.smr.violations]. *)
 }
 
 val default_cfg : cfg

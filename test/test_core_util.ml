@@ -326,12 +326,33 @@ let counters_snapshot () =
   Alcotest.(check int) "restarts" 1 s.Smr_stats.restarts;
   Alcotest.(check int) "epoch" 5 s.Smr_stats.epoch;
   Alcotest.(check int) "handshake timeouts" 2 s.Smr_stats.handshake_timeouts;
+  Alcotest.(check int) "violations" 0 s.Smr_stats.violations;
   Alcotest.(check int) "gauge" 1 (Counters.unreclaimed c)
 
 let stats_pp_smoke () =
   let s = Smr_stats.zero in
   let str = Format.asprintf "%a" Smr_stats.pp s in
   Alcotest.(check bool) "prints something" true (String.length str > 10)
+
+(* The CSV/report surface is derived from the one total [to_alist]
+   function; check the alignment invariants that derivation guarantees. *)
+let stats_total_rows () =
+  let rows = Smr_stats.to_alist Smr_stats.zero in
+  let labels = List.map fst rows in
+  Alcotest.(check (list string))
+    "csv header matches row labels"
+    (String.split_on_char ',' Smr_stats.csv_header)
+    labels;
+  Alcotest.(check int)
+    "csv row arity matches header"
+    (List.length labels)
+    (List.length (String.split_on_char ',' (Smr_stats.csv_row Smr_stats.zero)));
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "field %s reported" field)
+        true (List.mem field labels))
+    [ "retired"; "freed"; "handshake_timeouts"; "violations" ]
 
 let suite =
   [
@@ -353,4 +374,5 @@ let suite =
     case "smr_config: validation" config_validation;
     case "counters: snapshot arithmetic" counters_snapshot;
     case "smr_stats: pp" stats_pp_smoke;
+    case "smr_stats: total row derivation" stats_total_rows;
   ]

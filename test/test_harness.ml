@@ -62,11 +62,11 @@ let prefill_is_half () =
   Alcotest.(check int) "half the range" 50 (List.length keys);
   List.iter (fun k -> if k mod 2 <> 0 || k < 0 || k >= 100 then Alcotest.failf "bad key %d" k) keys;
   Alcotest.(check (list int)) "even keys (shuffled)" (List.init 50 (fun i -> 2 * i))
-    (List.sort compare keys);
+    (List.sort Int.compare keys);
   Alcotest.(check bool) "not in ascending order (no degenerate BSTs)" true
-    (keys <> List.sort compare keys);
+    (keys <> List.sort Int.compare keys);
   let keys_odd = Workload.prefill_keys ~key_range:7 in
-  Alcotest.(check (list int)) "odd range" [ 0; 2; 4; 6 ] (List.sort compare keys_odd)
+  Alcotest.(check (list int)) "odd range" [ 0; 2; 4; 6 ] (List.sort Int.compare keys_odd)
 
 let report_formatting () =
   Alcotest.(check string) "mops" "1.234" (Report.fmt_mops 1.2341);

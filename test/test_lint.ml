@@ -1,0 +1,165 @@
+(** Unit tests for the smrlint rule engine (Pop_lint.Lint_engine):
+    stripping of comments/strings/chars, each lexical rule's positive
+    and negative cases, path scoping, the missing-mli tree rule and the
+    allowlist. All synthetic sources live in string literals, which the
+    engine strips — so this file cannot trip the repo-wide lint gate it
+    is testing. *)
+
+module L = Pop_lint.Lint_engine
+
+let rules_of path src = List.map (fun d -> (d.L.rule, d.L.line)) (L.check_source ~path src)
+
+let flags rule path src = List.exists (fun (r, _) -> r = rule) (rules_of path src)
+
+let sp n = String.make n ' '
+
+let strip_basics () =
+  Alcotest.(check string)
+    "comments blanked, newlines kept"
+    ("let x = 1\n" ^ sp (String.length "(* gone *)") ^ "\nlet y = 2")
+    (L.strip "let x = 1\n(* gone *)\nlet y = 2");
+  Alcotest.(check string) "nested comments"
+    (sp (String.length "(* a (* nested *) b *)") ^ "123" ^ sp (String.length "(* c *)"))
+    (L.strip "(* a (* nested *) b *)123(* c *)");
+  Alcotest.(check string)
+    "strings blanked, quotes too"
+    ("let s = " ^ sp 5 ^ " in f s")
+    (L.strip "let s = \"abc\" in f s");
+  Alcotest.(check string)
+    "escaped quote stays inside the string"
+    ("let s = " ^ sp 6)
+    (L.strip "let s = \"a\\\"b\"");
+  Alcotest.(check string) "char literal blanked" ("let c = " ^ sp 3) (L.strip "let c = 'x'");
+  Alcotest.(check string)
+    "type variables survive" "type 'a t = 'a list" (L.strip "type 'a t = 'a list")
+
+let strip_hides_tokens () =
+  Alcotest.(check bool) "magic in comment ignored" false
+    (flags "obj-magic" "lib/core/x.ml" "let x = 1 (* Obj.magic *)");
+  Alcotest.(check bool) "magic in string ignored" false
+    (flags "obj-magic" "lib/core/x.ml" "let x = \"Obj.magic\"");
+  Alcotest.(check bool) "compare in comment ignored" false
+    (flags "poly-compare" "lib/core/x.ml" "(* Array.sort compare is slow *) let x = 1")
+
+let obj_magic () =
+  Alcotest.(check bool) "flagged" true
+    (flags "obj-magic" "lib/core/x.ml" "let f x = Obj.magic x");
+  Alcotest.(check bool) "applies to every directory" true
+    (flags "obj-magic" "bin/main.ml" "let f x = Obj.magic x")
+
+let poly_compare () =
+  Alcotest.(check bool) "bare compare as argument" true
+    (flags "poly-compare" "lib/a.ml" "let xs = List.sort compare ys");
+  Alcotest.(check bool) "Stdlib.compare" true
+    (flags "poly-compare" "lib/a.ml" "let xs = List.sort Stdlib.compare ys");
+  Alcotest.(check bool) "typed comparator accepted" false
+    (flags "poly-compare" "lib/a.ml" "let xs = List.sort Int.compare ys");
+  Alcotest.(check bool) "local definition accepted" false
+    (flags "poly-compare" "lib/a.ml" "let compare a b = Int.compare a.key b.key");
+  Alcotest.(check bool) "identifier containing the word accepted" false
+    (flags "poly-compare" "lib/a.ml" "let x = compare_keys a b")
+
+let node_eq () =
+  Alcotest.(check bool) "structural = on a node read" true
+    (flags "node-eq" "lib/a.ml" "if Atomic.get n.next = m then x");
+  Alcotest.(check bool) "structural <> on a node read" true
+    (flags "node-eq" "lib/a.ml" "if Atomic.get pred.nexts.(0) <> succ then x");
+  Alcotest.(check bool) "physical equality accepted" false
+    (flags "node-eq" "lib/a.ml" "if Atomic.get n.next == m then x");
+  Alcotest.(check bool) "int cells accepted" false
+    (flags "node-eq" "lib/a.ml" "if Atomic.get p.my_pending = 1 then x");
+  Alcotest.(check bool) "binder ends the comparison phrase" false
+    (flags "node-eq" "lib/a.ml" "let v = Atomic.get n.next in w = v.marked")
+
+let direct_free () =
+  let src = "let f ctx n = Heap.free ctx.heap ~tid:0 n" in
+  Alcotest.(check bool) "client code flagged" true (flags "direct-free" "lib/dslib/a.ml" src);
+  Alcotest.(check bool) "tests flagged" true (flags "direct-free" "test/a.ml" src);
+  Alcotest.(check bool) "schemes may free" false
+    (flags "direct-free" "lib/baselines/a.ml" src);
+  Alcotest.(check bool) "the heap may free" false
+    (flags "direct-free" "lib/simheap/heap.ml" src);
+  Alcotest.(check bool) "free_unpublished accepted" false
+    (flags "direct-free" "lib/dslib/a.ml" "let g ctx n = R.free_unpublished ctx n");
+  Alcotest.(check bool) "freed_total accepted" false
+    (flags "direct-free" "test/a.ml" "let x = Heap.freed_total h")
+
+let diagnostics_have_positions () =
+  match L.check_source ~path:"lib/a.ml" "let a = 1\nlet b = Obj.magic a\n" with
+  | [ d ] ->
+      Alcotest.(check int) "line" 2 d.L.line;
+      Alcotest.(check string) "file" "lib/a.ml" d.L.file;
+      Alcotest.(check string) "format" "lib/a.ml:2: [obj-magic]"
+        (String.sub (L.format_diagnostic d) 0 23)
+  | ds -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds)
+
+let parse_allow () =
+  Alcotest.(check (list (pair string string)))
+    "pairs"
+    [ ("direct-free", "test/test_heap.ml"); ("missing-mli", "lib/core/smr.ml") ]
+    (L.parse_allow
+       "; comment\n((direct-free test/test_heap.ml) ; why\n (missing-mli lib/core/smr.ml))\n");
+  Alcotest.(check bool) "dangling token rejected" true
+    (match L.parse_allow "(direct-free)" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Tree-level checks need a real directory: build a tiny fake repo. *)
+let with_fake_repo f =
+  let root = Filename.temp_file "smrlint" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  Unix.mkdir (Filename.concat root "lib") 0o755;
+  let write rel contents =
+    let oc = open_out (Filename.concat root rel) in
+    output_string oc contents;
+    close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat (Filename.concat root "lib") e))
+        (Sys.readdir (Filename.concat root "lib"));
+      Unix.rmdir (Filename.concat root "lib");
+      Unix.rmdir root)
+    (fun () -> f root write)
+
+let missing_mli () =
+  with_fake_repo (fun root write ->
+      write "lib/bare.ml" "let x = 1\n";
+      write "lib/sealed.ml" "let x = 1\n";
+      write "lib/sealed.mli" "val x : int\n";
+      write "lib/thing_intf.ml" "module type T = sig end\n";
+      let diags, notes = L.check_tree ~root ~allow:[] in
+      Alcotest.(check (list (pair string string)))
+        "only the bare module is flagged"
+        [ ("missing-mli", "lib/bare.ml") ]
+        (List.map (fun d -> (d.L.rule, d.L.file)) diags);
+      Alcotest.(check (list string)) "no notes" [] notes)
+
+let allowlist_filters () =
+  with_fake_repo (fun root write ->
+      write "lib/bare.ml" "let x = 1\n";
+      write "lib/bare.mli" "val x : int\n";
+      let allow =
+        [ ("missing-mli", "lib/bare.ml") (* stale: bare.mli exists now *) ]
+      in
+      let diags, notes = L.check_tree ~root ~allow in
+      Alcotest.(check int) "clean tree" 0 (List.length diags);
+      Alcotest.(check int) "stale allow entry noted" 1 (List.length notes))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    case "strip: comments, strings, chars" strip_basics;
+    case "strip hides tokens from rules" strip_hides_tokens;
+    case "rule: obj-magic" obj_magic;
+    case "rule: poly-compare" poly_compare;
+    case "rule: node-eq heuristic" node_eq;
+    case "rule: direct-free scoping" direct_free;
+    case "diagnostics carry file:line" diagnostics_have_positions;
+    case "allow.sexp parsing" parse_allow;
+    case "rule: missing-mli over a tree" missing_mli;
+    case "allowlist filtering and stale notes" allowlist_filters;
+  ]

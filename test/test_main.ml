@@ -6,6 +6,8 @@ let () =
       ("heap", Test_heap.suite);
       ("core-util", Test_core_util.suite);
       ("smr-unit", Test_smr_unit.suite);
+      ("sanitizer", Test_sanitizer.suite);
+      ("lint", Test_lint.suite);
       ("data-structures", Test_ds.suite);
       ("queue", Test_queue.suite);
       ("stress", Test_stress.suite);

@@ -124,9 +124,9 @@ let concurrent_producers_consumers (module Q : Queue_intf.QUEUE) () =
   in
   let all = List.concat_map Domain.join doms in
   Alcotest.(check int) "no loss, no duplication" total (List.length all);
-  let sorted = List.sort compare all in
+  let sorted = List.sort Int.compare all in
   let expected =
-    List.sort compare
+    List.sort Int.compare
       (List.concat_map
          (fun tid -> List.init per_producer (fun i -> (tid * 1_000_000) + i))
          (List.init producers Fun.id))

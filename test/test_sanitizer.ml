@@ -1,0 +1,250 @@
+(** SmrSan (Pop_check.Smr_check) tests: each protocol-violation category
+    is seeded against a wrapped scheme and must be counted in [`Count]
+    mode and raised in [`Raise] mode; clean sequences must stay at zero.
+    Then the paper's full scheme × structure matrix runs under the
+    sanitizer (zero violations expected), and the unsafe-free scheme
+    must be flagged by the shadow state even when the heap's own UAF
+    oracle misses the race. *)
+
+open Pop_core
+open Pop_harness
+module Check = Pop_check.Smr_check
+open Tu
+
+module C = Check.Make (Pop_baselines.Hp)
+
+let with_rig f =
+  let rig = make_rig () in
+  let g = C.create rig.cfg rig.hub rig.heap in
+  let ctx = C.register g ~tid:0 in
+  f rig g ctx
+
+let vcheck name expect got = Alcotest.(check int) name expect got
+
+let clean_sequence () =
+  with_rig (fun _rig g ctx ->
+      for _ = 1 to 5 do
+        C.start_op ctx;
+        let n = C.alloc ctx in
+        let cell = Atomic.make n in
+        let v = C.read ctx 0 cell Fun.id in
+        C.check ctx v;
+        C.enter_write_phase ctx [| v |];
+        C.end_op ctx;
+        C.retire ctx v;
+        C.poll ctx
+      done;
+      C.flush ctx;
+      C.deregister ctx;
+      vcheck "no violations" 0 (Check.total (C.violations g));
+      vcheck "stats surface" 0 (C.stats g).Smr_stats.violations)
+
+let double_retire () =
+  with_rig (fun _rig g ctx ->
+      C.start_op ctx;
+      let n = C.alloc ctx in
+      C.end_op ctx;
+      C.retire ctx n;
+      C.retire ctx n;
+      vcheck "double retire counted" 1 (C.violations g).Check.double_retire;
+      vcheck "nothing else fired" 1 (Check.total (C.violations g));
+      vcheck "stats carry the total" 1 (C.stats g).Smr_stats.violations)
+
+let check_unreserved () =
+  with_rig (fun _rig g ctx ->
+      C.start_op ctx;
+      let a = C.alloc ctx in
+      (* Never read into a slot: not covered. *)
+      C.check ctx a;
+      vcheck "unreserved check" 1 (C.violations g).Check.check_unreserved;
+      (* Reserve it: covered now. *)
+      let _ = C.read ctx 0 (Atomic.make a) Fun.id in
+      C.check ctx a;
+      vcheck "covered check is clean" 1 (C.violations g).Check.check_unreserved;
+      (* Overwrite the slot with another node: coverage is gone. *)
+      let b = C.alloc ctx in
+      let _ = C.read ctx 0 (Atomic.make b) Fun.id in
+      C.check ctx a;
+      vcheck "overwritten slot no longer covers" 2 (C.violations g).Check.check_unreserved;
+      C.end_op ctx;
+      (* A check outside any operation is also unreserved. *)
+      C.check ctx b;
+      vcheck "check outside op" 3 (C.violations g).Check.check_unreserved)
+
+let read_outside_op () =
+  with_rig (fun _rig g ctx ->
+      let n = C.alloc ctx in
+      let got = C.read ctx 0 (Atomic.make n) Fun.id in
+      Alcotest.(check bool) "read still returns the value" true (got == n);
+      vcheck "read outside op" 1 (C.violations g).Check.read_outside_op)
+
+let slot_out_of_bounds () =
+  with_rig (fun rig g ctx ->
+      C.start_op ctx;
+      let n = C.alloc ctx in
+      let got = C.read ctx rig.cfg.Smr_config.max_hp (Atomic.make n) Fun.id in
+      Alcotest.(check bool) "fallback read returns the value" true (got == n);
+      vcheck "slot out of bounds" 1 (C.violations g).Check.slot_out_of_bounds;
+      C.end_op ctx)
+
+let write_phase_misuse () =
+  with_rig (fun _rig g ctx ->
+      C.enter_write_phase ctx [||];
+      vcheck "outside an operation" 1 (C.violations g).Check.write_phase_misuse;
+      C.start_op ctx;
+      C.enter_write_phase ctx [||];
+      C.enter_write_phase ctx [||];
+      vcheck "second enter in one op" 2 (C.violations g).Check.write_phase_misuse;
+      C.end_op ctx;
+      vcheck "only write-phase misuse fired" 2 (Check.total (C.violations g)))
+
+let unbalanced_op () =
+  with_rig (fun _rig g ctx ->
+      C.start_op ctx;
+      C.start_op ctx;
+      vcheck "nested start_op" 1 (C.violations g).Check.unbalanced_op;
+      C.end_op ctx;
+      C.end_op ctx;
+      vcheck "spurious end_op" 2 (C.violations g).Check.unbalanced_op)
+
+let use_after_deregister () =
+  with_rig (fun _rig g ctx ->
+      let n = C.alloc ctx in
+      let cell = Atomic.make n in
+      C.deregister ctx;
+      C.start_op ctx;
+      let got = C.read ctx 0 cell Fun.id in
+      Alcotest.(check bool) "read degrades to a plain load" true (got == n);
+      C.retire ctx n;
+      C.deregister ctx;
+      vcheck "every call counted" 4 (C.violations g).Check.use_after_deregister;
+      vcheck "nothing else fired" 4 (Check.total (C.violations g)))
+
+let raise_mode () =
+  with_rig (fun _rig g ctx ->
+      C.set_mode g `Raise;
+      let raises f = match f () with _ -> false | exception Check.Violation _ -> true in
+      let n = C.alloc ctx in
+      Alcotest.(check bool) "read outside op raises" true
+        (raises (fun () -> C.read ctx 0 (Atomic.make n) Fun.id));
+      C.start_op ctx;
+      Alcotest.(check bool) "unreserved check raises" true
+        (raises (fun () -> C.check ctx n));
+      C.end_op ctx;
+      C.retire ctx n;
+      Alcotest.(check bool) "double retire raises" true
+        (raises (fun () -> C.retire ctx n));
+      (* Back in count mode the same class of violation only counts. *)
+      C.set_mode g `Count;
+      Alcotest.(check bool) "count mode does not raise" false
+        (raises (fun () -> C.retire ctx n)))
+
+(* Restart interplay: wrap NBR and drive a neutralization through the
+   sanitizer. The Restart must reset the typestate so the usual
+   catch-and-restart pattern (start_op with no end_op) is not counted
+   as unbalanced. *)
+module N = Check.Make (Pop_baselines.Nbr)
+
+let restart_resets_typestate () =
+  let rig = make_rig () in
+  let g = N.create rig.cfg rig.hub rig.heap in
+  let ctx = N.register g ~tid:0 in
+  let peer = N.register g ~tid:1 in
+  let n = N.alloc ctx in
+  let cell = Atomic.make n in
+  let restarted = ref false in
+  (try
+     N.start_op ctx;
+     let _ = N.read ctx 0 cell Fun.id in
+     (* A peer's reclamation round neutralizes every read-phase thread;
+        our next read must raise Smr.Restart through the sanitizer. *)
+     N.retire peer (N.alloc peer);
+     N.flush peer;
+     ignore (N.read ctx 1 cell Fun.id)
+   with Smr.Restart -> restarted := true);
+  if !restarted then begin
+    (* The canonical recovery: start over with no end_op in between. *)
+    N.start_op ctx;
+    let v = N.read ctx 0 cell Fun.id in
+    N.enter_write_phase ctx [| v |];
+    N.check ctx v;
+    N.end_op ctx
+  end;
+  Alcotest.(check bool) "neutralization observed" true !restarted;
+  Alcotest.(check int) "no violations from the restart path" 0 (Check.total (N.violations g))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-matrix integration through the harness                        *)
+
+let sanitized_cfg ds smr =
+  {
+    Runner.default_cfg with
+    ds;
+    smr;
+    threads = 3;
+    duration = 0.12;
+    key_range = 192;
+    reclaim_freq = 24;
+    epoch_freq = 8;
+    fence_cost = 1;
+    ab_branch = 4;
+    ht_load = 2;
+    sanitize = true;
+  }
+
+let sanitized_cell ds smr () =
+  let r = Runner.run (sanitized_cfg ds smr) in
+  if r.Runner.uaf <> 0 then Alcotest.failf "UAF: %d" r.Runner.uaf;
+  if r.Runner.double_free <> 0 then Alcotest.failf "double free: %d" r.Runner.double_free;
+  if not r.Runner.invariants_ok then Alcotest.failf "invariants: %s" r.Runner.invariant_error;
+  if r.Runner.total_ops = 0 then Alcotest.fail "no operations executed";
+  let v = r.Runner.smr.Smr_stats.violations in
+  if v <> 0 then Alcotest.failf "%d protocol violations under %s" v (Dispatch.smr_name smr)
+
+(* The unsafe scheme frees retired nodes immediately, so a reserved
+   incarnation dies under a live reservation and the next check misses
+   its (id, seq) pair — the sanitizer flags runs the heap's racy UAF
+   counter can miss. Unsafety is probabilistic; retry a few seeds. *)
+let unsafe_sanitized () =
+  let rec attempt n =
+    let r =
+      Runner.run
+        {
+          (sanitized_cfg Dispatch.HML Dispatch.UNSAFE) with
+          key_range = 64;
+          duration = 0.4;
+          reclaim_freq = 4;
+          threads = 4;
+          seed = 2000 + n;
+        }
+    in
+    if r.Runner.smr.Smr_stats.violations > 0 then ()
+    else if n > 0 then attempt (n - 1)
+    else Alcotest.fail "sanitized unsafe-free run reported no violations"
+  in
+  attempt 3
+
+let suite =
+  [
+    case "clean sequence stays at zero" clean_sequence;
+    case "double retire" double_retire;
+    case "check on unreserved node" check_unreserved;
+    case "read outside an operation" read_outside_op;
+    case "reservation slot out of bounds" slot_out_of_bounds;
+    case "write-phase misuse" write_phase_misuse;
+    case "unbalanced start/end" unbalanced_op;
+    case "use after deregister" use_after_deregister;
+    case "raise mode fails fast" raise_mode;
+    case "NBR restart resets the typestate" restart_resets_typestate;
+  ]
+  @ List.concat_map
+      (fun smr ->
+        List.map
+          (fun ds ->
+            case
+              (Printf.sprintf "sanitized %s/%s: zero violations" (Dispatch.ds_name ds)
+                 (Dispatch.smr_name smr))
+              (sanitized_cell ds smr))
+          Dispatch.all_ds)
+      Dispatch.paper_smrs
+  @ [ case "unsafe-free is flagged by the sanitizer" unsafe_sanitized ]

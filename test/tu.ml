@@ -136,7 +136,7 @@ let check_against_model (module S : Pop_ds.Set_intf.SET) ops =
     ops;
   S.check_invariants s;
   let keys = S.keys_seq s in
-  let expected = List.sort compare !model in
+  let expected = List.sort Int.compare !model in
   if keys <> expected then
     Alcotest.failf "%s: final keys diverge from model (%d vs %d keys)" S.name
       (List.length keys) (List.length expected);

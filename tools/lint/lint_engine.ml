@@ -1,0 +1,396 @@
+(* The smrlint rule engine: a lexical/structural pass over OCaml sources.
+
+   Not a parser — sources are stripped of comments, string literals and
+   character literals (preserving line structure), then a declarative
+   rule table runs over the lines. That keeps the whole gate under a
+   second while still catching the classes of bug that survive the type
+   checker: polymorphic comparison of cyclic node graphs (diverges or
+   lies), [Obj.magic], and data-structure code freeing heap nodes behind
+   the reclamation scheme's back. *)
+
+type diagnostic = { file : string; line : int; rule : string; message : string }
+
+let format_diagnostic d = Printf.sprintf "%s:%d: [%s] %s" d.file d.line d.rule d.message
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* ------------------------------------------------------------------ *)
+(* Source stripping                                                    *)
+
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  (* Blank a string literal body starting after its opening quote;
+     returns the index just past the closing quote. *)
+  let rec skip_string j =
+    if j >= n then j
+    else
+      match src.[j] with
+      | '\\' ->
+          blank j;
+          if j + 1 < n then blank (j + 1);
+          skip_string (j + 2)
+      | '"' ->
+          blank j;
+          j + 1
+      | _ ->
+          blank j;
+          skip_string (j + 1)
+  in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let two p = !i + 1 < n && src.[!i + 1] = p in
+    if !depth > 0 then
+      if c = '(' && two '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && two ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else if c = '"' then begin
+        (* A string inside a comment still hides comment closers. *)
+        blank !i;
+        i := skip_string (!i + 1)
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    else if c = '(' && two '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      i := skip_string (!i + 1)
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then begin
+      (* Simple char literal, including '"' and '('. *)
+      blank !i;
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 3
+    end
+    else if c = '\'' && two '\\' then begin
+      (* Escaped char literal: blank through the closing quote. *)
+      let j = ref (!i + 2) in
+      while !j < n && src.[!j] <> '\'' && !j - !i < 6 do
+        incr j
+      done;
+      for k = !i to min !j (n - 1) do
+        blank k
+      done;
+      i := !j + 1
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* ------------------------------------------------------------------ *)
+(* Token scanning                                                      *)
+
+let find_sub line sub from =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go from
+
+(* Occurrences of [tok] in [line] delimited by non-identifier characters
+   on both sides. A ['.'] immediately before is reported through the
+   callback so rules can inspect the qualifier. *)
+let iter_token line tok f =
+  let m = String.length tok in
+  let rec go from =
+    match find_sub line tok from with
+    | None -> ()
+    | Some i ->
+        let before_ok = i = 0 || not (is_ident_char line.[i - 1]) in
+        let after_ok = i + m >= String.length line || not (is_ident_char line.[i + m]) in
+        if before_ok && after_ok then f i;
+        go (i + m)
+  in
+  go 0
+
+let has_token line tok =
+  let found = ref false in
+  iter_token line tok (fun _ -> found := true);
+  !found
+
+(* The word forming a [Module.]-style qualifier ending at [dot_idx]
+   (the index of the '.'), or "" when the token is unqualified. *)
+let qualifier line idx =
+  if idx = 0 || line.[idx - 1] <> '.' then ""
+  else begin
+    let stop = idx - 1 in
+    let start = ref stop in
+    while !start > 0 && is_ident_char line.[!start - 1] do
+      decr start
+    done;
+    String.sub line !start (stop - !start)
+  end
+
+let preceding_word line idx =
+  let j = ref (idx - 1) in
+  while !j >= 0 && line.[!j] = ' ' do
+    decr j
+  done;
+  let stop = !j + 1 in
+  while !j >= 0 && is_ident_char line.[!j] do
+    decr j
+  done;
+  String.sub line (!j + 1) (stop - !j - 1)
+
+let op_char c = String.contains "=<>!:+*/&|@^~-" c
+
+(* A standalone [=] or [<>] in [line.[from..upto)]: not part of [==],
+   [<=], [:=], [->] and friends. *)
+let has_structural_eq line from upto =
+  let n = min upto (String.length line) in
+  let standalone i len =
+    (i = 0 || not (op_char line.[i - 1]))
+    && (i + len >= n || not (op_char line.[i + len]))
+  in
+  let rec go i =
+    if i >= n then false
+    else if line.[i] = '<' && i + 1 < n && line.[i + 1] = '>' && standalone i 2 then true
+    else if line.[i] = '=' && standalone i 1 then true
+    else go (i + 1)
+  in
+  go from
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+type rule = {
+  name : string;
+  applies : string -> bool;  (* repo-relative path, '/'-separated *)
+  check : string -> string option;  (* one stripped source line *)
+  doc : string;
+}
+
+let ml_file path = Filename.check_suffix path ".ml"
+
+let under dir path =
+  let d = dir ^ "/" in
+  String.length path >= String.length d && String.sub path 0 (String.length d) = d
+
+(* Directories whose modules own node freeing: the schemes themselves
+   and the heap. Everything else must go through retire or
+   free_unpublished. *)
+let scheme_land path =
+  under "lib/core" path || under "lib/simheap" path || under "lib/baselines" path
+
+let node_accessors = [ ".next"; ".nexts"; ".tgt"; ".left"; ".right"; ".children"; ".free_next" ]
+
+let segment_stoppers = [ " in "; " let "; ";"; "{"; "}"; " then"; " else"; " done"; " do " ]
+
+let check_node_eq line =
+  (* Heuristic: a structural [=]/[<>] applied to the result of a
+     protected read — [Atomic.get] followed, before any binder or
+     delimiter, by a bare comparison in a phrase that mentions a node
+     link field. Node graphs are cyclic, so polymorphic equality on
+     them diverges; compare with [==] or by [Heap.node] id instead. *)
+  let hit = ref None in
+  iter_token line "Atomic.get" (fun i ->
+      if !hit = None then begin
+        let seg_end =
+          List.fold_left
+            (fun acc stop ->
+              match find_sub line stop (i + 10) with Some j -> min acc j | None -> acc)
+            (String.length line) segment_stoppers
+        in
+        let seg = String.sub line i (seg_end - i) in
+        if
+          has_structural_eq line (i + 10) seg_end
+          && List.exists (fun a -> find_sub seg a 0 <> None) node_accessors
+        then
+          hit :=
+            Some
+              "structural =/<> on the result of a protected node read; node graphs are \
+               cyclic - compare with == (physical) or by node id"
+      end);
+  !hit
+
+let check_poly_compare line =
+  let hit = ref None in
+  iter_token line "compare" (fun i ->
+      if !hit = None then begin
+        let q = qualifier line i in
+        let unqualified = q = "" in
+        let banned_qualifier = q = "Stdlib" || q = "Poly" in
+        let is_definition = unqualified && preceding_word line i = "let" in
+        if (unqualified || banned_qualifier) && not is_definition then
+          hit :=
+            Some
+              "polymorphic compare; use a typed comparator (Int.compare, Float.compare, \
+               ...) - on node graphs it diverges"
+      end);
+  !hit
+
+let rules =
+  [
+    {
+      name = "obj-magic";
+      applies = (fun _ -> true);
+      check =
+        (fun line ->
+          if has_token line "Obj.magic" then
+            Some "Obj.magic defeats the type system; no use of it is sound here"
+          else None);
+      doc = "forbid Obj.magic everywhere";
+    };
+    {
+      name = "poly-compare";
+      applies = ml_file;
+      check = check_poly_compare;
+      doc = "forbid bare/Stdlib./Poly. polymorphic compare";
+    };
+    {
+      name = "node-eq";
+      applies = ml_file;
+      check = check_node_eq;
+      doc = "forbid structural =/<> on protected node reads";
+    };
+    {
+      name = "direct-free";
+      applies = (fun path -> ml_file path && not (scheme_land path));
+      check =
+        (fun line ->
+          if has_token line "Heap.free" then
+            Some
+              "direct Heap.free outside the reclamation schemes; use retire, or \
+               free_unpublished for nodes that were never published"
+          else None);
+      doc = "forbid Heap.free outside lib/core, lib/simheap, lib/baselines";
+    };
+  ]
+
+let check_source ~path contents =
+  let stripped = strip contents in
+  let lines = String.split_on_char '\n' stripped in
+  let applicable = List.filter (fun r -> r.applies path) rules in
+  let diags = ref [] in
+  List.iteri
+    (fun idx line ->
+      List.iter
+        (fun r ->
+          match r.check line with
+          | Some message -> diags := { file = path; line = idx + 1; rule = r.name; message } :: !diags
+          | None -> ())
+        applicable)
+    lines;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Tree walking and the missing-mli rule                               *)
+
+let scan_dirs = [ "lib"; "bin"; "test"; "bench"; "examples" ]
+
+let list_sources root =
+  let acc = ref [] in
+  let rec walk rel abs =
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false ->
+        if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli" then
+          acc := rel :: !acc
+    | true ->
+        Array.iter
+          (fun entry ->
+            (* Skip _build, .objs and other tool litter. *)
+            if entry <> "" && entry.[0] <> '.' && entry.[0] <> '_' then
+              walk (rel ^ "/" ^ entry) (Filename.concat abs entry))
+          (Sys.readdir abs)
+  in
+  List.iter (fun d -> walk d (Filename.concat root d)) scan_dirs;
+  List.sort String.compare !acc
+
+let missing_mli files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun f ->
+      if
+        under "lib" f
+        && Filename.check_suffix f ".ml"
+        && (not (Filename.check_suffix f "_intf.ml"))
+        && not (Hashtbl.mem set (f ^ "i"))
+      then
+        Some
+          {
+            file = f;
+            line = 1;
+            rule = "missing-mli";
+            message = "library module without an interface file; add " ^ f ^ "i";
+          }
+      else None)
+    files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* allow.sexp: a flat list of [(rule path)] pairs, [;] comments. *)
+let parse_allow contents =
+  let no_comments =
+    String.split_on_char '\n' contents
+    |> List.map (fun l -> match String.index_opt l ';' with Some i -> String.sub l 0 i | None -> l)
+    |> String.concat " "
+  in
+  let tokens =
+    String.map (function '(' | ')' | '\t' -> ' ' | c -> c) no_comments
+    |> String.split_on_char ' '
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec pair = function
+    | rule :: path :: rest -> (rule, path) :: pair rest
+    | [ stray ] -> invalid_arg ("allow.sexp: dangling token " ^ stray)
+    | [] -> []
+  in
+  pair tokens
+
+let check_tree ~root ~allow =
+  let files = list_sources root in
+  let lexical =
+    List.concat_map
+      (fun f -> check_source ~path:f (read_file (Filename.concat root f)))
+      files
+  in
+  let all = lexical @ missing_mli files in
+  let used = Hashtbl.create 8 in
+  let kept =
+    List.filter
+      (fun d ->
+        let grandfathered = List.mem (d.rule, d.file) allow in
+        if grandfathered then Hashtbl.replace used (d.rule, d.file) ();
+        not grandfathered)
+      all
+  in
+  let notes =
+    List.filter_map
+      (fun (rule, path) ->
+        if Hashtbl.mem used (rule, path) then None
+        else Some (Printf.sprintf "note: unused allow.sexp entry (%s %s)" rule path))
+      allow
+  in
+  (kept, notes)

@@ -1,0 +1,45 @@
+(** The [smrlint] rule engine: a lexical/structural pass over OCaml
+    sources, shared by the command-line tool and the test suite.
+
+    Sources are stripped of comments (nested), string literals and
+    character literals — preserving line structure — and then matched
+    against a declarative rule table:
+
+    - [obj-magic] — no [Obj.magic], anywhere;
+    - [poly-compare] — no bare (or [Stdlib.]/[Poly.]-qualified)
+      polymorphic [compare]; typed comparators only;
+    - [node-eq] — no structural [=]/[<>] on the result of a protected
+      node read (heuristic: [Atomic.get] followed by a bare comparison
+      in a phrase mentioning a node link field);
+    - [direct-free] — no [Heap.free] outside the reclamation schemes
+      ([lib/core], [lib/simheap], [lib/baselines]);
+    - [missing-mli] — every [lib/] module except [*_intf.ml] carries an
+      interface file.
+
+    Findings can be grandfathered in [tools/lint/allow.sexp], a flat
+    list of [(rule path)] pairs. *)
+
+type diagnostic = { file : string; line : int; rule : string; message : string }
+
+val format_diagnostic : diagnostic -> string
+(** ["file:line: [rule] message"]. *)
+
+val strip : string -> string
+(** Replace comments, string literals and char literals with spaces,
+    byte for byte; newlines survive, so line/column structure does. *)
+
+val check_source : path:string -> string -> diagnostic list
+(** Run every line-level rule that applies to [path] (repo-relative,
+    '/'-separated) over the given contents, in source order. *)
+
+val parse_allow : string -> (string * string) list
+(** Parse [allow.sexp] contents into [(rule, path)] pairs. Raises
+    [Invalid_argument] on an odd token count. *)
+
+val check_tree :
+  root:string -> allow:(string * string) list -> diagnostic list * string list
+(** Walk [lib bin test bench examples] under [root], run {!check_source}
+    on every [.ml]/[.mli] plus the [missing-mli] rule, and drop
+    allowlisted findings. Returns remaining diagnostics and notes about
+    allowlist entries that no longer fire (stale entries should be
+    deleted, but they do not fail the gate). *)

@@ -1,0 +1,41 @@
+(* smrlint: the repository's source-level lint gate.
+
+   Usage: smrlint [--root DIR] [--allow FILE]
+
+   Scans lib/ bin/ test/ bench/ examples/ under the root and exits
+   non-zero if any rule fires (see Lint_engine for the rule table).
+   Diagnostics are file:line so editors and CI can jump to them. *)
+
+module Lint_engine = Pop_lint.Lint_engine
+
+let () =
+  let root = ref "." in
+  let allow_file = ref "" in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
+      ("--allow", Arg.Set_string allow_file, "FILE allowlist of (rule path) pairs");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "smrlint [--root DIR] [--allow FILE]";
+  let allow =
+    if !allow_file = "" then []
+    else
+      let ic = open_in !allow_file in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Lint_engine.parse_allow contents
+  in
+  let diags, notes = Lint_engine.check_tree ~root:!root ~allow in
+  List.iter (fun d -> print_endline (Lint_engine.format_diagnostic d)) diags;
+  List.iter prerr_endline notes;
+  match diags with
+  | [] -> print_endline "smrlint: ok"
+  | _ :: _ ->
+      Printf.eprintf "smrlint: %d violation(s)\n" (List.length diags);
+      exit 1

@@ -2,12 +2,14 @@
 # Tier-1 gate: everything a PR must keep green.
 #   1. full build (libs, binaries, benches, examples, tests)
 #   2. the whole test suite
-#   3. dune-file formatting (@fmt is restricted to dune files in
+#   3. smrlint, the source-level protocol/style gate (tools/lint)
+#   4. dune-file formatting (@fmt is restricted to dune files in
 #      dune-project because ocamlformat is not in the build image)
 # Run from the repository root: sh tools/tier1.sh
 set -e
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+dune build @lint
 dune build @fmt
 echo "tier-1: ok"
