@@ -83,13 +83,15 @@ let run_bechamel ~name tests =
     ~rows:
       (List.map
          (fun (label, ns, r2) -> [ label; Printf.sprintf "%.1f" ns; Printf.sprintf "%.3f" r2 ])
-         rows)
+         rows);
+  (* Bechamel's grouped labels already carry the group name. *)
+  rows
 
 let fig_micro () =
-  run_bechamel ~name:"reservation primitives" primitive_tests;
-  run_bechamel ~name:"hml contains, size 256 (paper sec. 2.1.2)"
-    (List.map read_path_test Dispatch.paper_smrs);
-  run_bechamel ~name:"hml 50i/50d, size 256" (List.map update_path_test Dispatch.paper_smrs)
+  run_bechamel ~name:"reservation primitives" primitive_tests
+  @ run_bechamel ~name:"hml contains, size 256 (paper sec. 2.1.2)"
+      (List.map read_path_test Dispatch.paper_smrs)
+  @ run_bechamel ~name:"hml 50i/50d, size 256" (List.map update_path_test Dispatch.paper_smrs)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation sweeps over the design knobs DESIGN.md calls out            *)
@@ -313,8 +315,52 @@ let fig_ablation sc =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* JSON emission: one BENCH_<fig>.json per figure when --json is set,
+   so figure reruns can be diffed against committed baselines. *)
+
+let json_out = ref false
+
+let emit_json fig results =
+  if !json_out then begin
+    let label (r : Runner.result) =
+      Printf.sprintf "%s/%s/t%d"
+        (Dispatch.ds_name r.Runner.r_cfg.ds)
+        (Dispatch.smr_name r.Runner.r_cfg.smr)
+        r.Runner.r_cfg.threads
+    in
+    let path = Printf.sprintf "BENCH_%s.json" fig in
+    Runner.write_json path (List.map (fun r -> (label r, r)) results);
+    Printf.printf "wrote %s (%d cells)\n" path (List.length results)
+  end
+
+let emit_micro_json rows =
+  if !json_out then begin
+    let path = "BENCH_micro.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "[\n";
+        let escape s =
+          String.concat ""
+            (List.map
+               (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+               (List.of_seq (String.to_seq s)))
+        in
+        List.iteri
+          (fun i (label, ns, r2) ->
+            if i > 0 then output_string oc ",\n";
+            let num f = if Float.is_finite f then Printf.sprintf "%.4f" f else "0.0" in
+            Printf.fprintf oc "  {\"label\": \"%s\", \"ns_per_op\": %s, \"r_square\": %s}"
+              (escape label) (num ns) (num r2))
+          rows;
+        output_string oc "\n]\n");
+    Printf.printf "wrote %s (%d cases)\n" path (List.length rows)
+  end
+
 let usage () =
-  prerr_endline "usage: main.exe [--fig micro|1|...|11|rob|over|latency|ablation|all] [--full]";
+  prerr_endline
+    "usage: main.exe [--fig micro|1|...|11|rob|over|latency|ablation|all] [--full] [--json]";
   exit 2
 
 let () =
@@ -326,6 +372,9 @@ let () =
         parse rest
     | "--full" :: rest ->
         full := true;
+        parse rest
+    | "--json" :: rest ->
+        json_out := true;
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | x :: _ ->
@@ -340,13 +389,13 @@ let () =
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
-  if want [ "micro" ] then fig_micro ();
-  if want [ "1"; "2" ] then ignore (Experiments.fig_update_heavy sc);
-  if want [ "3" ] then ignore (Experiments.fig_read_heavy sc);
-  if want [ "5"; "9" ] then ignore (Experiments.fig_read_heavy_appendix sc);
-  if want [ "4" ] then ignore (Experiments.fig_long_running_reads sc);
-  if want [ "10"; "11" ] then ignore (Experiments.fig_crystalline sc);
-  if want [ "rob" ] then ignore (Experiments.fig_robustness sc);
+  if want [ "micro" ] then emit_micro_json (fig_micro ());
+  if want [ "1"; "2" ] then emit_json "1" (Experiments.fig_update_heavy sc);
+  if want [ "3" ] then emit_json "3" (Experiments.fig_read_heavy sc);
+  if want [ "5"; "9" ] then emit_json "5" (Experiments.fig_read_heavy_appendix sc);
+  if want [ "4" ] then emit_json "4" (Experiments.fig_long_running_reads sc);
+  if want [ "10"; "11" ] then emit_json "10" (Experiments.fig_crystalline sc);
+  if want [ "rob" ] then emit_json "rob" (Experiments.fig_robustness sc);
   if want [ "over" ] then fig_oversubscription sc;
   if want [ "latency" ] then fig_signal_latency sc;
   if want [ "ablation" ] then fig_ablation sc;

@@ -67,8 +67,9 @@ let print_result (r : Runner.result) =
           (Pop_core.Smr_stats.to_alist r.smr));
   if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
 
-let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq pop_mult lrr
-    stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv =
+let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scale epoch_freq
+    pop_mult lrr stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv
+    json =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -91,6 +92,7 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq p
       key_range;
       mix;
       reclaim_freq;
+      reclaim_scale;
       epoch_freq;
       pop_mult;
       long_running_reads = lrr;
@@ -103,7 +105,13 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq epoch_freq p
     }
   in
   let r = Runner.run cfg in
-  if csv then print_csv r else print_result r
+  if csv then print_csv r else print_result r;
+  match json with
+  | None -> ()
+  | Some file ->
+      let label = Printf.sprintf "%s/%s/t%d" (Dispatch.ds_name ds) (Dispatch.smr_name smr) threads in
+      Runner.write_json file [ (label, r) ];
+      Printf.printf "wrote %s\n" file
 
 let run_figure fig fullscale =
   let sc = if fullscale then Experiments.full else Experiments.quick in
@@ -127,6 +135,14 @@ let cmd =
   let ins = Arg.(value & opt int 50 & info [ "inserts" ] ~doc:"Insert percentage.") in
   let del = Arg.(value & opt int 50 & info [ "deletes" ] ~doc:"Delete percentage.") in
   let reclaim = Arg.(value & opt int 512 & info [ "reclaim-freq" ] ~doc:"Retire threshold.") in
+  let reclaim_scale =
+    Arg.(
+      value & opt int 0
+      & info [ "reclaim-scale" ]
+          ~doc:
+            "Adaptive retire threshold: scale x threads x max_hp, floored at --reclaim-freq \
+             (0 keeps the flat threshold).")
+  in
   let epochf = Arg.(value & opt int 32 & info [ "epoch-freq" ] ~doc:"Epoch frequency.") in
   let popm = Arg.(value & opt int 2 & info [ "pop-mult" ] ~doc:"EpochPOP C multiplier.") in
   let lrr =
@@ -164,23 +180,30 @@ let cmd =
              'violations' stat.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the cell result as CSV.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the cell result as JSON to $(docv).")
+  in
   let fig =
     Arg.(value & opt (some string) None & info [ "fig" ] ~doc:"Run a figure sweep instead.")
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
-  let main ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-      stall_polling ping_timeout drop_ping delay_poll seed sanitize csv fig fullscale =
+  let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr
+      stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv json fig
+      fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
-        run_cell ds smr threads duration key_range ins del reclaim epochf popm lrr stall_for
-          stall_polling ping_timeout drop_ping delay_poll seed sanitize csv
+        run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
+          lrr stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv json
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
-      const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim $ epochf
-      $ popm $ lrr $ stall_for $ stall_polling $ ping_timeout $ drop_ping $ delay_poll $ seed
-      $ sanitize $ csv $ fig $ fullscale)
+      const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim
+      $ reclaim_scale $ epochf $ popm $ lrr $ stall_for $ stall_polling $ ping_timeout
+      $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

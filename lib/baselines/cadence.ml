@@ -15,6 +15,7 @@ type 'a t = {
   res : Reservations.t; (* local rows are the visible table (plain stores) *)
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   tick : int Atomic.t;
   tick_lock : bool Atomic.t;
   mutable last_tick_time : float; (* racy; only gates the tick attempt *)
@@ -27,23 +28,23 @@ type 'a tctx = {
   port : Softsignal.port;
   row : int array;
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
-  reserved : Id_set.t;
   mutable op_counter : int;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     tick = Atomic.make 2;
     tick_lock = Atomic.make false;
     last_tick_time = Clock.now ();
@@ -60,11 +61,9 @@ let register g ~tid =
       port;
       row = Reservations.local_row g.res ~tid;
       fence = Fence.make_cell ();
-      retired = Vec.create ();
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
       counter_scratch = Array.make g.cfg.max_threads 0;
       timeout_scratch = Array.make g.cfg.max_threads false;
-      res_scratch = Array.make nres 0;
-      reserved = Id_set.create ~capacity:nres;
       op_counter = 0;
     }
   in
@@ -91,7 +90,10 @@ let maybe_tick ctx =
            fenced, so its reservation stores may be unordered and the
            tick must not advance. The clock still resets, so a deaf peer
            costs one failed round per interval, not a ping storm. *)
-        if timeouts = 0 then Atomic.incr g.tick;
+        if timeouts = 0 then begin
+          Atomic.incr g.tick;
+          Reclaimer.invalidate g.eng
+        end;
         g.last_tick_time <- Clock.now ()
       end;
       Atomic.set g.tick_lock false
@@ -121,7 +123,11 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
 (* Free nodes retired at least two ticks ago (a complete barrier round
    has made every reservation that could cover them visible) and not
-   found in the visible reservation table. *)
+   found in the visible reservation table. Cadence has no handshake per
+   pass — reservation visibility is tick-delayed — so a cached snapshot
+   can miss a reservation that became visible after it was collected.
+   Every pass therefore collects fresh ([~force:true]); the table read
+   is cheap (racy local rows, no ping round). *)
 let reclaim ctx ~force =
   let g = ctx.g in
   if force then begin
@@ -134,40 +140,32 @@ let reclaim ctx ~force =
     Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
     if timeouts = 0 then begin
       Atomic.incr g.tick;
-      Atomic.incr g.tick
+      Atomic.incr g.tick;
+      Reclaimer.invalidate g.eng
     end
   end;
   let now = Atomic.get g.tick in
-  Counters.reclaim_pass g.c ~tid:ctx.tid;
-  let k = Reservations.collect_local g.res ctx.res_scratch in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if n.Heap.retire_era + 2 > now || Id_set.mem ctx.reserved n.Heap.id then true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ~force:true ~kind:Reclaimer.Plain
+       ~collect:(fun scratch -> Reservations.collect_local g.res scratch)
+       ~except:no_id
+       ~keep:(fun n ->
+         n.Heap.retire_era + 2 > now || Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id)
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.tick;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then begin
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then begin
     maybe_tick ctx;
     reclaim ctx ~force:false
   end
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx ~force:true
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ctx ~force:true
 
 let deregister ctx =
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;

@@ -10,6 +10,7 @@ type 'a t = {
   heap : 'a Heap.t;
   reserved_epoch : Striped.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   epoch : int Atomic.t;
 }
 
@@ -19,7 +20,7 @@ type 'a tctx = {
   port : Softsignal.port;
   my_epoch : int Atomic.t; (* cached announcement slot *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   mutable op_counter : int;
   mutable last_min_epoch : int; (* skip-rescan guard *)
 }
@@ -30,7 +31,16 @@ let create cfg hub heap =
   for tid = 0 to cfg.max_threads - 1 do
     Striped.set reserved_epoch tid max_int
   done;
-  { cfg; hub; heap; reserved_epoch; c = Counters.create cfg.max_threads; epoch = Atomic.make 1 }
+  let c = Counters.create cfg.max_threads in
+  {
+    cfg;
+    hub;
+    heap;
+    reserved_epoch;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
+    epoch = Atomic.make 1;
+  }
 
 let register g ~tid =
   {
@@ -39,7 +49,7 @@ let register g ~tid =
     port = Softsignal.register g.hub ~tid;
     my_epoch = Striped.cell g.reserved_epoch tid;
     fence = Fence.make_cell ();
-    retired = Vec.create ();
+    rl = Reclaimer.register g.eng ~tid ~scratch_slots:1;
     op_counter = 0;
     last_min_epoch = -1;
   }
@@ -47,8 +57,10 @@ let register g ~tid =
 (* One fenced announcement per operation — EBR's whole read-side cost. *)
 let start_op ctx =
   ctx.op_counter <- ctx.op_counter + 1;
-  if ctx.op_counter mod ctx.g.cfg.epoch_freq = 0 then
+  if ctx.op_counter mod ctx.g.cfg.epoch_freq = 0 then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    Reclaimer.invalidate ctx.g.eng
+  end;
   Atomic.set ctx.my_epoch (Atomic.get ctx.g.epoch);
   Fence.execute ctx.fence (ctx.g.cfg.fence_cost - 1)
 
@@ -80,33 +92,26 @@ let reclaim ctx =
     (* Future retirees are stamped with at least the current epoch, so
        anything beyond it cannot make this scan's outcome stale. *)
     ctx.last_min_epoch <- min min_epoch (Atomic.get g.epoch);
-    Counters.reclaim_pass g.c ~tid:ctx.tid;
-    let freed =
-      Vec.filter_in_place
-        (fun n ->
-          if n.Heap.retire_era < min_epoch then begin
-            Heap.free g.heap ~tid:ctx.tid n;
-            false
-          end
-          else true)
-        ctx.retired
-    in
-    Counters.free g.c ~tid:ctx.tid freed
+    ignore
+      (Reclaimer.scan_plain ~kind:Reclaimer.Plain
+         ~keep:(fun n -> n.Heap.retire_era >= min_epoch)
+         ctx.rl)
   end
+  else Reclaimer.note_skip ctx.rl
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired mod ctx.g.cfg.reclaim_freq = 0 then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.pending ctx.rl mod Reclaimer.threshold ctx.g.eng = 0 then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx =
-  if not (Vec.is_empty ctx.retired) then begin
+  if not (Reclaimer.is_empty ctx.rl) then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    Reclaimer.invalidate ctx.g.eng;
     ctx.last_min_epoch <- -1;
     reclaim ctx
   end

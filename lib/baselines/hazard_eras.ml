@@ -12,6 +12,7 @@ type 'a t = {
   heap : 'a Heap.t;
   res : Reservations.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   epoch : int Atomic.t;
 }
 
@@ -21,18 +22,19 @@ type 'a tctx = {
   port : Softsignal.port;
   srow : int Atomic.t array; (* cached shared era row *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
-  res_scratch : int array;
+  rl : 'a Reclaimer.local;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -43,8 +45,7 @@ let register g ~tid =
     port = Softsignal.register g.hub ~tid;
     srow = Reservations.shared_row g.res ~tid;
     fence = Fence.make_cell ();
-    retired = Vec.create ();
-    res_scratch = Array.make (g.cfg.max_threads * g.cfg.max_hp) 0;
+    rl = Reclaimer.register g.eng ~tid ~scratch_slots:(g.cfg.max_threads * g.cfg.max_hp);
   }
 
 let start_op _ctx = ()
@@ -72,42 +73,32 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
 
-let can_free scratch k n =
-  let ok = ref true in
-  for i = 0 to k - 1 do
-    let e = scratch.(i) in
-    if e <> no_era && e >= n.Heap.birth_era && e <= n.Heap.retire_era then ok := false
-  done;
-  !ok
-
-let reclaim ctx =
+(* Freeable when no collected era lies within the node's lifespan — a
+   range-emptiness query on the sorted snapshot. *)
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.reclaim_pass g.c ~tid:ctx.tid;
-  ignore (Atomic.fetch_and_add g.epoch 1);
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if can_free ctx.res_scratch k n then begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end
-        else true)
-      ctx.retired
+  let collect scratch =
+    ignore (Atomic.fetch_and_add g.epoch 1);
+    Reclaimer.invalidate g.eng;
+    Reservations.collect_shared g.res scratch
   in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Plain ~collect ~except:no_era
+       ~keep:(fun n ->
+         Id_set.exists_in_range (Reclaimer.snapshot ctx.rl) ~lo:n.Heap.birth_era
+           ~hi:n.Heap.retire_era)
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_shared ctx.g.res ~tid:ctx.tid;

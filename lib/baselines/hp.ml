@@ -12,6 +12,7 @@ type 'a t = {
   heap : 'a Heap.t;
   res : Reservations.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
 type 'a tctx = {
@@ -20,19 +21,19 @@ type 'a tctx = {
   port : Softsignal.port;
   srow : int Atomic.t array; (* cached shared reservation row *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
-  res_scratch : int array;
-  reserved : Id_set.t;
+  rl : 'a Reclaimer.local;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
   }
 
 let register g ~tid =
@@ -43,9 +44,7 @@ let register g ~tid =
     port = Softsignal.register g.hub ~tid;
     srow = Reservations.shared_row g.res ~tid;
     fence = Fence.make_cell ();
-    retired = Vec.create ();
-    res_scratch = Array.make nres 0;
-    reserved = Id_set.create ~capacity:nres;
+    rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
   }
 
 let start_op _ctx = ()
@@ -67,34 +66,24 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
-let reclaim ctx =
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.reclaim_pass g.c ~tid:ctx.tid;
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if Id_set.mem ctx.reserved n.Heap.id then true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Plain
+       ~collect:(fun scratch -> Reservations.collect_shared g.res scratch)
+       ~except:no_id
+       ~keep:(fun n -> Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id)
+       ctx.rl)
 
 let retire ctx n =
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_shared ctx.g.res ~tid:ctx.tid;

@@ -13,6 +13,7 @@ type 'a t = {
   res : Reservations.t; (* local rows double as the visible table *)
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
 type 'a tctx = {
@@ -21,22 +22,22 @@ type 'a tctx = {
   port : Softsignal.port;
   row : int array; (* plain SWMR reservation row (no fence) *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
-  reserved : Id_set.t;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
   }
 
 let register g ~tid =
@@ -49,17 +50,17 @@ let register g ~tid =
       port;
       row = Reservations.local_row g.res ~tid;
       fence = Fence.make_cell ();
-      retired = Vec.create ();
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
       counter_scratch = Array.make g.cfg.max_threads 0;
       timeout_scratch = Array.make g.cfg.max_threads false;
-      res_scratch = Array.make nres 0;
-      reserved = Id_set.create ~capacity:nres;
     }
   in
   (* The "membarrier": the handler only fences and acknowledges, which
-     orders the thread's earlier plain reservation stores. *)
+     orders the thread's earlier plain reservation stores — newly
+     visible reservation state, so cached snapshots go stale. *)
   Softsignal.set_handler port (fun () ->
       Fence.execute ctx.fence g.cfg.fence_cost;
+      Reclaimer.invalidate g.eng;
       Handshake.ack g.hs ~tid);
   ctx
 
@@ -82,45 +83,36 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
-let reclaim ctx =
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.pop_pass g.c ~tid:ctx.tid;
-  let timeouts =
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
-      ~timed_out:ctx.timeout_scratch
+  let collect scratch =
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    (* Only the count is needed here: the scan below already reads every
+       peer's local row racily, including a timed-out peer's. A peer deaf
+       for the whole spin budget has not executed READ since long before
+       the ping (every READ polls), so its last reservation stores are
+       visible; an in-flight unvalidated reservation is safe to honour
+       because the validating re-read retries on conflict. *)
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    Reservations.collect_local g.res scratch
   in
-  (* Only the count is needed here: the scan below already reads every
-     peer's local row racily, including a timed-out peer's. A peer deaf
-     for the whole spin budget has not executed READ since long before
-     the ping (every READ polls), so its last reservation stores are
-     visible; an in-flight unvalidated reservation is safe to honour
-     because the validating re-read retries on conflict. *)
-  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
-  let k = Reservations.collect_local g.res ctx.res_scratch in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if Id_set.mem ctx.reserved n.Heap.id then true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_id
+       ~keep:(fun n -> Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id)
+       ctx.rl)
 
 let retire ctx n =
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;

@@ -20,28 +20,28 @@ type 'a t = {
   heap : 'a Heap.t;
   slots : 'a slot_state Atomic.t array;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
-type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port; retired : 'a Heap.node Vec.t }
+type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port; rl : 'a Reclaimer.local }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     slots = Array.init cfg.max_threads (fun _ -> Atomic.make idle);
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
   }
 
-let register g ~tid = { g; tid; port = Softsignal.register g.hub ~tid; retired = Vec.create () }
+let register g ~tid =
+  { g; tid; port = Softsignal.register g.hub ~tid; rl = Reclaimer.register g.eng ~tid ~scratch_slots:1 }
 
 let release ctx batch =
-  if Atomic.fetch_and_add batch.refs (-1) = 1 then begin
-    let g = ctx.g in
-    Array.iter (fun n -> Heap.free g.heap ~tid:ctx.tid n) batch.nodes;
-    Counters.free g.c ~tid:ctx.tid (Array.length batch.nodes)
-  end
+  if Atomic.fetch_and_add batch.refs (-1) = 1 then Reclaimer.free_array ctx.rl batch.nodes
 
 let start_op ctx =
   let old = Atomic.exchange ctx.g.slots.(ctx.tid) entered in
@@ -85,20 +85,17 @@ let distribute ctx batch =
 
 let reclaim ctx =
   Counters.reclaim_pass ctx.g.c ~tid:ctx.tid;
-  let nodes = Array.init (Vec.length ctx.retired) (Vec.get ctx.retired) in
-  Vec.clear ctx.retired;
-  distribute ctx { nodes; refs = Atomic.make 1 }
+  distribute ctx { nodes = Reclaimer.take_all ctx.rl; refs = Atomic.make 1 }
 
 let retire ctx n =
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ctx
 
 let deregister ctx =
   end_op ctx;

@@ -15,6 +15,7 @@ type 'a t = {
   heap : 'a Heap.t;
   res : Reservations.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   epoch : int Atomic.t;
 }
 
@@ -25,20 +26,21 @@ type 'a tctx = {
   lo_cell : int Atomic.t;
   hi_cell : int Atomic.t;
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
-  res_scratch : int array;
+  rl : 'a Reclaimer.local;
   mutable cached_hi : int;
   mutable alloc_counter : int;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:2 ~none:max_int;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -51,8 +53,7 @@ let register g ~tid =
     lo_cell = row.(lo_slot);
     hi_cell = row.(hi_slot);
     fence = Fence.make_cell ();
-    retired = Vec.create ();
-    res_scratch = Array.make (g.cfg.max_threads * 2) 0;
+    rl = Reclaimer.register g.eng ~tid ~scratch_slots:(g.cfg.max_threads * 2);
     cached_hi = -1;
     alloc_counter = 0;
   }
@@ -88,12 +89,16 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx =
   ctx.alloc_counter <- ctx.alloc_counter + 1;
-  if ctx.alloc_counter mod ctx.g.cfg.epoch_freq = 0 then
+  if ctx.alloc_counter mod ctx.g.cfg.epoch_freq = 0 then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    Reclaimer.invalidate ctx.g.eng
+  end;
   Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
 
 (* Free when the node's lifespan intersects no published interval:
-   for every thread, retire < lo or birth > hi. *)
+   for every thread, retire < lo or birth > hi. The intervals are
+   positional (per-thread lo/hi pairs), which a sorted set cannot
+   represent — this is the engine's raw-scratch scan. *)
 let can_free scratch nthreads n =
   let ok = ref true in
   for tid = 0 to nthreads - 1 do
@@ -102,37 +107,32 @@ let can_free scratch nthreads n =
   done;
   !ok
 
-let reclaim ctx =
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.reclaim_pass g.c ~tid:ctx.tid;
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  assert (k = g.cfg.max_threads * 2);
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if can_free ctx.res_scratch g.cfg.max_threads n then begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end
-        else true)
-      ctx.retired
+  let collect scratch =
+    let k = Reservations.collect_shared g.res scratch in
+    assert (k = g.cfg.max_threads * 2);
+    k
   in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~fill:false ~kind:Reclaimer.Plain ~collect ~except:max_int
+       ~keep:(fun n -> not (can_free (Reclaimer.raw ctx.rl) g.cfg.max_threads n))
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired mod ctx.g.cfg.reclaim_freq = 0 then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.pending ctx.rl mod Reclaimer.threshold ctx.g.eng = 0 then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx =
-  if not (Vec.is_empty ctx.retired) then begin
+  if not (Reclaimer.is_empty ctx.rl) then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
-    reclaim ctx
+    Reclaimer.invalidate ctx.g.eng;
+    reclaim ~force:true ctx
   end
 
 let deregister ctx =

@@ -15,6 +15,7 @@ type 'a t = {
   res : Reservations.t; (* write-phase reservations, published eagerly *)
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   rounds_started : int Atomic.t;
   rounds_done : int Atomic.t;
   clean_rounds_done : int Atomic.t; (* highest round stamp with zero timeouts *)
@@ -25,11 +26,10 @@ type 'a tctx = {
   g : 'a t;
   tid : int;
   port : Softsignal.port;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
-  reserved : Id_set.t;
+  mutable round_stamp : int; (* clean stamp captured by the last collect *)
   mutable phase : phase;
   mutable neutralized : bool;
   mutable published_slots : int;
@@ -38,13 +38,15 @@ type 'a tctx = {
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     rounds_started = Atomic.make 0;
     rounds_done = Atomic.make 0;
     clean_rounds_done = Atomic.make 0;
@@ -59,11 +61,10 @@ let register g ~tid =
       g;
       tid;
       port;
-      retired = Vec.create ();
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
       counter_scratch = Array.make g.cfg.max_threads 0;
       timeout_scratch = Array.make g.cfg.max_threads false;
-      res_scratch = Array.make nres 0;
-      reserved = Id_set.create ~capacity:nres;
+      round_stamp = 0;
       phase = Quiescent;
       neutralized = false;
       published_slots = 0;
@@ -111,10 +112,10 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
+
 (* Publish reservations for the nodes the write phase will dereference,
    then make sure no neutralization raced the publication. *)
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
-
 let enter_write_phase ctx nodes =
   let n = Array.length nodes in
   if n > ctx.g.cfg.max_hp then invalid_arg "Nbr.enter_write_phase: too many nodes";
@@ -151,6 +152,9 @@ let ensure_round ctx =
     if timeouts = 0 then Atomic.set g.clean_rounds_done s;
     Atomic.set g.rounds_done s;
     Atomic.set g.round_active false;
+    (* A completed round is new visibility: stale snapshot caches must
+       not outlive it. *)
+    Reclaimer.invalidate g.eng;
     Atomic.get g.clean_rounds_done
   end
   else begin
@@ -162,34 +166,28 @@ let ensure_round ctx =
     Atomic.get g.clean_rounds_done
   end
 
-let reclaim ctx =
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.pop_pass g.c ~tid:ctx.tid;
-  let s = ensure_round ctx in
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        (* retire_era holds the round stamp: only nodes retired before
-           round [s] began were certainly unlinked before its pings. *)
-        if n.Heap.retire_era >= s || Id_set.mem ctx.reserved n.Heap.id then true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
+  let collect scratch =
+    ctx.round_stamp <- ensure_round ctx;
+    Reservations.collect_shared g.res scratch
   in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_id
+       ~keep:(fun n ->
+         (* retire_era holds the round stamp: only nodes retired before
+            the collect's clean round began were certainly unlinked
+            before its pings. *)
+         n.Heap.retire_era >= ctx.round_stamp
+         || Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id)
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.rounds_started;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   clear_published ctx;

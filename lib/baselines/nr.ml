@@ -9,15 +9,18 @@ type 'a t = {
   hub : Softsignal.t;
   heap : 'a Heap.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
-type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port }
+type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port; rl : 'a Reclaimer.local }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
-  { cfg; hub; heap; c = Counters.create cfg.max_threads }
+  let c = Counters.create cfg.max_threads in
+  { cfg; hub; heap; c; eng = Reclaimer.create cfg ~heap ~counters:c }
 
-let register g ~tid = { g; tid; port = Softsignal.register g.hub ~tid }
+let register g ~tid =
+  { g; tid; port = Softsignal.register g.hub ~tid; rl = Reclaimer.register g.eng ~tid ~scratch_slots:1 }
 
 let start_op _ctx = ()
 
@@ -33,10 +36,10 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
 (* Leak: the node is dropped on the floor (the simulated heap never sees
    it again), so allocations keep growing — the paper's NR behaviour. *)
-let retire ctx _n = Counters.retire ctx.g.c ~tid:ctx.tid
+let retire ctx n = Reclaimer.retire_leak ctx.rl n
 
 (* Unpublished nodes were never shared, so even NR can recycle them. *)
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 

@@ -9,15 +9,18 @@ type 'a t = {
   hub : Softsignal.t;
   heap : 'a Heap.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
-type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port }
+type 'a tctx = { g : 'a t; tid : int; port : Softsignal.port; rl : 'a Reclaimer.local }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
-  { cfg; hub; heap; c = Counters.create cfg.max_threads }
+  let c = Counters.create cfg.max_threads in
+  { cfg; hub; heap; c; eng = Reclaimer.create cfg ~heap ~counters:c }
 
-let register g ~tid = { g; tid; port = Softsignal.register g.hub ~tid }
+let register g ~tid =
+  { g; tid; port = Softsignal.register g.hub ~tid; rl = Reclaimer.register g.eng ~tid ~scratch_slots:1 }
 
 let start_op _ctx = ()
 
@@ -31,12 +34,11 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
-let retire ctx n =
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  Heap.free ctx.g.heap ~tid:ctx.tid n;
-  Counters.free ctx.g.c ~tid:ctx.tid 1
+(* Free immediately: no grace period at all, the lower bound every SMR
+   scheme is measured against (and the source of use-after-free hits). *)
+let retire ctx n = Reclaimer.retire_now ctx.rl n
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 

@@ -7,6 +7,9 @@ type t = {
   pop_passes : Striped.t;
   restarts : Striped.t;
   hs_timeouts : Striped.t;
+  scan_skips : Striped.t;
+  snapshot_reuses : Striped.t;
+  retire_segments : Striped.t;
 }
 
 let create n =
@@ -17,6 +20,9 @@ let create n =
     pop_passes = Striped.create n;
     restarts = Striped.create n;
     hs_timeouts = Striped.create n;
+    scan_skips = Striped.create n;
+    snapshot_reuses = Striped.create n;
+    retire_segments = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -31,6 +37,12 @@ let restart t ~tid = Striped.incr t.restarts tid
 
 let handshake_timeout t ~tid n = if n > 0 then Striped.add t.hs_timeouts tid n
 
+let scan_skip t ~tid = Striped.incr t.scan_skips tid
+
+let snapshot_reuse t ~tid = Striped.incr t.snapshot_reuses tid
+
+let segment t ~tid = Striped.incr t.retire_segments tid
+
 let unreclaimed t = Striped.sum t.retired - Striped.sum t.freed
 
 let snapshot t ~hub ~epoch =
@@ -42,6 +54,9 @@ let snapshot t ~hub ~epoch =
     pop_passes = Striped.sum t.pop_passes;
     pings = Softsignal.pings_sent hub;
     publishes = Softsignal.handler_runs hub;
+    scan_skips = Striped.sum t.scan_skips;
+    snapshot_reuses = Striped.sum t.snapshot_reuses;
+    retire_segments = Striped.sum t.retire_segments;
     restarts = Striped.sum t.restarts;
     handshake_timeouts = Striped.sum t.hs_timeouts;
     epoch;

@@ -20,6 +20,15 @@ val handshake_timeout : t -> tid:int -> int -> unit
 (** [handshake_timeout t ~tid n] records [n] peers timing out in one of
     [tid]'s {!Handshake.ping_and_wait} rounds (no-op when [n = 0]). *)
 
+val scan_skip : t -> tid:int -> unit
+(** A triggered pass that skipped rescanning already-checked nodes. *)
+
+val snapshot_reuse : t -> tid:int -> unit
+(** A triggered pass served from the cached reservation snapshot. *)
+
+val segment : t -> tid:int -> unit
+(** A fresh scan pass sealed a new checked segment of a retire list. *)
+
 val unreclaimed : t -> int
 (** Retired minus freed, racily summed. *)
 

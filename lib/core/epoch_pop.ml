@@ -13,6 +13,7 @@ type 'a t = {
   reserved_epoch : Striped.t; (* eager per-op epoch announcements (EBR part) *)
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   epoch : int Atomic.t;
 }
 
@@ -23,11 +24,10 @@ type 'a tctx = {
   row : int array; (* cached private reservation row *)
   my_epoch : int Atomic.t; (* cached reserved-epoch announcement slot *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
-  reserved : Id_set.t;
+  mutable stuck_epoch : int; (* floor captured by the last pop collect *)
   mutable op_counter : int;
 }
 
@@ -37,6 +37,7 @@ let create cfg hub heap =
   for tid = 0 to cfg.max_threads - 1 do
     Striped.set reserved_epoch tid max_int
   done;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
@@ -44,7 +45,8 @@ let create cfg hub heap =
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     reserved_epoch;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -59,16 +61,16 @@ let register g ~tid =
       row = Reservations.local_row g.res ~tid;
       my_epoch = Striped.cell g.reserved_epoch tid;
       fence = Fence.make_cell ();
-      retired = Vec.create ();
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
       counter_scratch = Array.make g.cfg.max_threads 0;
       timeout_scratch = Array.make g.cfg.max_threads false;
-      res_scratch = Array.make nres 0;
-      reserved = Id_set.create ~capacity:nres;
+      stuck_epoch = max_int;
       op_counter = 0;
     }
   in
   Softsignal.set_handler port (fun () ->
       Reservations.publish g.res ~tid;
+      Reclaimer.invalidate g.eng;
       Fence.execute ctx.fence g.cfg.fence_cost;
       Handshake.ack g.hs ~tid);
   ctx
@@ -77,8 +79,10 @@ let register g ~tid =
    operations and announce the epoch we run in. *)
 let start_op ctx =
   ctx.op_counter <- ctx.op_counter + 1;
-  if ctx.op_counter mod ctx.g.cfg.epoch_freq = 0 then
+  if ctx.op_counter mod ctx.g.cfg.epoch_freq = 0 then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    Reclaimer.invalidate ctx.g.eng
+  end;
   (* The epoch announcement is the one fenced write per operation, just
      like EBR's. *)
   Atomic.set ctx.my_epoch (Atomic.get ctx.g.epoch);
@@ -107,87 +111,73 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.
 (* Algorithm 3, RECLAIMEPOCHFREEABLE: plain EBR reclamation. *)
 let reclaim_epoch ctx =
   let g = ctx.g in
-  Counters.reclaim_pass g.c ~tid:ctx.tid;
   let min_epoch = ref max_int in
   for tid = 0 to g.cfg.max_threads - 1 do
     let e = Striped.get g.reserved_epoch tid in
     if e < !min_epoch then min_epoch := e
   done;
   let min_epoch = !min_epoch in
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if n.Heap.retire_era < min_epoch then begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end
-        else true)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan_plain ~kind:Reclaimer.Plain
+       ~keep:(fun n -> n.Heap.retire_era >= min_epoch)
+       ctx.rl)
 
 (* Algorithm 3 line 26: the POP fallback (RECLAIMHPFREEABLE). *)
-let reclaim_pop ctx =
+let reclaim_pop ?force ctx =
   let g = ctx.g in
-  Counters.pop_pass g.c ~tid:ctx.tid;
-  let timeouts =
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
-      ~timed_out:ctx.timeout_scratch
+  let collect scratch =
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    Reservations.publish g.res ~tid:ctx.tid;
+    let k = Reservations.collect_shared g.res scratch in
+    (* A timed-out peer never published its reservations, but it announced
+       its epoch eagerly at STARTOP, so the EBR floor already bounds what
+       it can hold: any node it read during its current op was retired at
+       or after that announcement (the RECLAIMEPOCHFREEABLE argument).
+       Keep every node at or above the lowest stuck announcement. *)
+    let stuck_epoch = ref max_int in
+    if timeouts > 0 then
+      for tid = 0 to g.cfg.max_threads - 1 do
+        if ctx.timeout_scratch.(tid) then begin
+          let e = Striped.get g.reserved_epoch tid in
+          if e < !stuck_epoch then stuck_epoch := e
+        end
+      done;
+    ctx.stuck_epoch <- !stuck_epoch;
+    k
   in
-  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
-  Reservations.publish g.res ~tid:ctx.tid;
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  (* A timed-out peer never published its reservations, but it announced
-     its epoch eagerly at STARTOP, so the EBR floor already bounds what
-     it can hold: any node it read during its current op was retired at
-     or after that announcement (the RECLAIMEPOCHFREEABLE argument).
-     Keep every node at or above the lowest stuck announcement. *)
-  let stuck_epoch = ref max_int in
-  if timeouts > 0 then
-    for tid = 0 to g.cfg.max_threads - 1 do
-      if ctx.timeout_scratch.(tid) then begin
-        let e = Striped.get g.reserved_epoch tid in
-        if e < !stuck_epoch then stuck_epoch := e
-      end
-    done;
-  let stuck_epoch = !stuck_epoch in
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if Id_set.mem ctx.reserved n.Heap.id || n.Heap.retire_era >= stuck_epoch then
-          true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_id
+       ~keep:(fun n ->
+         Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id
+         || n.Heap.retire_era >= ctx.stuck_epoch)
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  let len = Vec.length ctx.retired in
-  if len mod ctx.g.cfg.reclaim_freq = 0 then begin
+  Reclaimer.retire ctx.rl n;
+  let len = Reclaimer.pending ctx.rl in
+  let freq = Reclaimer.threshold ctx.g.eng in
+  if len mod freq = 0 then begin
     reclaim_epoch ctx;
     (* Still too much garbage after an epoch pass: suspect a delayed
        thread and fall back to publish-on-ping. *)
-    if Vec.length ctx.retired >= ctx.g.cfg.pop_mult * ctx.g.cfg.reclaim_freq then
-      reclaim_pop ctx
+    if Reclaimer.pending ctx.rl >= ctx.g.cfg.pop_mult * freq then reclaim_pop ctx
   end
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
 let flush ctx =
-  if not (Vec.is_empty ctx.retired) then begin
+  if not (Reclaimer.is_empty ctx.rl) then begin
     ignore (Atomic.fetch_and_add ctx.g.epoch 1);
+    Reclaimer.invalidate ctx.g.eng;
     reclaim_epoch ctx;
-    if not (Vec.is_empty ctx.retired) then reclaim_pop ctx
+    if not (Reclaimer.is_empty ctx.rl) then reclaim_pop ~force:true ctx
   end
 
 let deregister ctx =

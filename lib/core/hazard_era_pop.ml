@@ -12,6 +12,7 @@ type 'a t = {
   res : Reservations.t;
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
   epoch : int Atomic.t;
 }
 
@@ -21,21 +22,22 @@ type 'a tctx = {
   port : Softsignal.port;
   row : int array; (* cached private era row *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -48,16 +50,16 @@ let register g ~tid =
       port;
       row = Reservations.local_row g.res ~tid;
       fence = Fence.make_cell ();
-      retired = Vec.create ();
-      counter_scratch = Array.make g.cfg.max_threads 0;
-      timeout_scratch = Array.make g.cfg.max_threads false;
       (* 2x: room for the shared table plus racy local-row copies of
          timed-out peers (the bounded handshake's fallback). *)
-      res_scratch = Array.make (2 * g.cfg.max_threads * g.cfg.max_hp) 0;
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:(2 * g.cfg.max_threads * g.cfg.max_hp);
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
     }
   in
   Softsignal.set_handler port (fun () ->
       Reservations.publish g.res ~tid;
+      Reclaimer.invalidate g.eng;
       Fence.execute ctx.fence g.cfg.fence_cost;
       Handshake.ack g.hs ~tid);
   ctx
@@ -89,60 +91,50 @@ let check ctx n = Heap.check_access ctx.g.heap n
 
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
 
-(* A node is freeable when no collected era lies within its lifespan. *)
-let can_free scratch k n =
-  let ok = ref true in
-  for i = 0 to k - 1 do
-    let e = scratch.(i) in
-    if e <> no_era && e >= n.Heap.birth_era && e <= n.Heap.retire_era then ok := false
-  done;
-  !ok
-
-let reclaim ctx =
+(* A node is freeable when no collected era lies within its lifespan —
+   a range-emptiness query on the sorted snapshot instead of the former
+   O(k) rescan of the raw table per node. *)
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.pop_pass g.c ~tid:ctx.tid;
-  ignore (Atomic.fetch_and_add g.epoch 1);
-  let timeouts =
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
-      ~timed_out:ctx.timeout_scratch
+  let collect scratch =
+    ignore (Atomic.fetch_and_add g.epoch 1);
+    Reclaimer.invalidate g.eng;
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    Reservations.publish g.res ~tid:ctx.tid;
+    let k = Reservations.collect_shared g.res scratch in
+    (* Timed-out peers never published: union in racy copies of their
+       private era rows (same fallback and visibility argument as
+       HazardPtrPOP — a deaf peer's last plain stores are long visible,
+       and an in-flight unvalidated era reservation is safe to honour). *)
+    let k = ref k in
+    if timeouts > 0 then
+      for tid = 0 to g.cfg.max_threads - 1 do
+        if ctx.timeout_scratch.(tid) then
+          k := Reservations.append_local_row g.res ~tid ~into:scratch ~pos:!k
+      done;
+    !k
   in
-  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
-  Reservations.publish g.res ~tid:ctx.tid;
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  (* Timed-out peers never published: union in racy copies of their
-     private era rows (same fallback and visibility argument as
-     HazardPtrPOP — a deaf peer's last plain stores are long visible,
-     and an in-flight unvalidated era reservation is safe to honour). *)
-  let k = ref k in
-  if timeouts > 0 then
-    for tid = 0 to g.cfg.max_threads - 1 do
-      if ctx.timeout_scratch.(tid) then
-        k := Reservations.append_local_row g.res ~tid ~into:ctx.res_scratch ~pos:!k
-    done;
-  let k = !k in
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if can_free ctx.res_scratch k n then begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end
-        else true)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_era
+       ~keep:(fun n ->
+         Id_set.exists_in_range (Reclaimer.snapshot ctx.rl) ~lo:n.Heap.birth_era
+           ~hi:n.Heap.retire_era)
+       ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;

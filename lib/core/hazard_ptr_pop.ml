@@ -12,6 +12,7 @@ type 'a t = {
   res : Reservations.t;
   hs : Handshake.t;
   c : Counters.t;
+  eng : 'a Reclaimer.t;
 }
 
 type 'a tctx = {
@@ -20,22 +21,22 @@ type 'a tctx = {
   port : Softsignal.port;
   row : int array; (* cached private reservation row *)
   fence : Fence.cell;
-  retired : 'a Heap.node Vec.t;
+  rl : 'a Reclaimer.local;
   counter_scratch : int array;
   timeout_scratch : bool array;
-  res_scratch : int array;
-  reserved : Id_set.t;
 }
 
 let create cfg hub heap =
   Smr_config.validate cfg;
+  let c = Counters.create cfg.max_threads in
   {
     cfg;
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
-    c = Counters.create cfg.max_threads;
+    c;
+    eng = Reclaimer.create cfg ~heap ~counters:c;
   }
 
 let register g ~tid =
@@ -48,19 +49,19 @@ let register g ~tid =
       port;
       row = Reservations.local_row g.res ~tid;
       fence = Fence.make_cell ();
-      retired = Vec.create ();
-      counter_scratch = Array.make g.cfg.max_threads 0;
-      timeout_scratch = Array.make g.cfg.max_threads false;
       (* 2x: room for the shared table plus racy local-row copies of
          timed-out peers (the bounded handshake's fallback). *)
-      res_scratch = Array.make (2 * nres) 0;
-      reserved = Id_set.create ~capacity:(2 * nres);
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:(2 * nres);
+      counter_scratch = Array.make g.cfg.max_threads 0;
+      timeout_scratch = Array.make g.cfg.max_threads false;
     }
   in
   (* The "signal handler": publish private reservations, execute the one
-     fence Algorithm 2 requires, then ack. *)
+     fence Algorithm 2 requires, then ack. The publish is new visible
+     reservation state, so it stales cached snapshots. *)
   Softsignal.set_handler port (fun () ->
       Reservations.publish g.res ~tid;
+      Reclaimer.invalidate g.eng;
       Fence.execute ctx.fence g.cfg.fence_cost;
       Handshake.ack g.hs ~tid);
   ctx
@@ -87,54 +88,47 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
 (* Algorithm 2, RECLAIMHPFREEABLE preceded by the handshake. The
    reclaimer publishes its own row itself: PINGALLTOPUBLISH skips self,
-   but the scan must see the reclaimer's reservations too. *)
-let reclaim ctx =
+   but the scan must see the reclaimer's reservations too. The whole
+   handshake lives in the collect closure, so a cache-served pass skips
+   the ping round entirely. *)
+let reclaim ?force ctx =
   let g = ctx.g in
-  Counters.pop_pass g.c ~tid:ctx.tid;
-  let timeouts =
-    Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
-      ~timed_out:ctx.timeout_scratch
+  let collect scratch =
+    let timeouts =
+      Handshake.ping_and_wait g.hs ~port:ctx.port ~scratch:ctx.counter_scratch
+        ~timed_out:ctx.timeout_scratch
+    in
+    Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
+    Reservations.publish g.res ~tid:ctx.tid;
+    let k = Reservations.collect_shared g.res scratch in
+    (* A timed-out peer never ran its handler, so its shared row is stale.
+       Union in a racy copy of its private row: a peer deaf for the whole
+       spin budget has not executed READ since long before the ping (every
+       READ polls), so its last reservation stores are visible; and a
+       reservation written but not yet validated is safe to honour — the
+       validating re-read either confirms it or the peer retries. *)
+    let k = ref k in
+    if timeouts > 0 then
+      for tid = 0 to g.cfg.max_threads - 1 do
+        if ctx.timeout_scratch.(tid) then
+          k := Reservations.append_local_row g.res ~tid ~into:scratch ~pos:!k
+      done;
+    !k
   in
-  Counters.handshake_timeout g.c ~tid:ctx.tid timeouts;
-  Reservations.publish g.res ~tid:ctx.tid;
-  let k = Reservations.collect_shared g.res ctx.res_scratch in
-  (* A timed-out peer never ran its handler, so its shared row is stale.
-     Union in a racy copy of its private row: a peer deaf for the whole
-     spin budget has not executed READ since long before the ping (every
-     READ polls), so its last reservation stores are visible; and a
-     reservation written but not yet validated is safe to honour — the
-     validating re-read either confirms it or the peer retries. *)
-  let k = ref k in
-  if timeouts > 0 then
-    for tid = 0 to g.cfg.max_threads - 1 do
-      if ctx.timeout_scratch.(tid) then
-        k := Reservations.append_local_row g.res ~tid ~into:ctx.res_scratch ~pos:!k
-    done;
-  let k = !k in
-  Id_set.fill ctx.reserved ~except:no_id ctx.res_scratch k;
-  Id_set.seal ctx.reserved;
-  let freed =
-    Vec.filter_in_place
-      (fun n ->
-        if Id_set.mem ctx.reserved n.Heap.id then true
-        else begin
-          Heap.free g.heap ~tid:ctx.tid n;
-          false
-        end)
-      ctx.retired
-  in
-  Counters.free g.c ~tid:ctx.tid freed
+  ignore
+    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_id
+       ~keep:(fun n -> Id_set.mem (Reclaimer.snapshot ctx.rl) n.Heap.id)
+       ctx.rl)
 
 let retire ctx n =
-  Vec.push ctx.retired n;
-  Counters.retire ctx.g.c ~tid:ctx.tid;
-  if Vec.length ctx.retired >= ctx.g.cfg.reclaim_freq then reclaim ctx
+  Reclaimer.retire ctx.rl n;
+  if Reclaimer.due ctx.rl then reclaim ctx
 
-let free_unpublished ctx n = Heap.free ctx.g.heap ~tid:ctx.tid n
+let free_unpublished ctx n = Reclaimer.free_unpublished ctx.rl n
 
 let enter_write_phase _ctx _nodes = ()
 
-let flush ctx = if not (Vec.is_empty ctx.retired) then reclaim ctx
+let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;

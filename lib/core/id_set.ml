@@ -22,28 +22,21 @@ let fill t ~except vals k =
    [seal] runs on every reclamation pass, and [Array.sort compare] on an
    [Array.sub] copy costs an allocation plus a polymorphic-compare call
    per element pair. Median-of-three quicksort, insertion sort for small
-   partitions. *)
-let rec sort_range arr lo hi =
-  if hi - lo < 16 then
-    for i = lo + 1 to hi do
-      let v = arr.(i) in
-      let j = ref (i - 1) in
-      while !j >= lo && arr.(!j) > v do
-        arr.(!j + 1) <- arr.(!j);
-        decr j
-      done;
-      arr.(!j + 1) <- v
-    done
-  else begin
-    let mid = lo + ((hi - lo) / 2) in
-    let a = arr.(lo) and b = arr.(mid) and c = arr.(hi) in
+   partitions. Only the smaller partition recurses; the larger one loops,
+   so the stack stays O(log n) even on sorted or duplicate-heavy input
+   (reservation tables are exactly that shape between epoch advances). *)
+let rec sort_range arr lo0 hi0 =
+  let lo = ref lo0 and hi = ref hi0 in
+  while !hi - !lo >= 16 do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    let a = arr.(!lo) and b = arr.(mid) and c = arr.(!hi) in
     let pivot =
       if a < b then if b < c then b else if a < c then c else a
       else if a < c then a
       else if b < c then c
       else b
     in
-    let i = ref lo and j = ref hi in
+    let i = ref !lo and j = ref !hi in
     while !i <= !j do
       while arr.(!i) < pivot do
         incr i
@@ -59,16 +52,33 @@ let rec sort_range arr lo hi =
         decr j
       end
     done;
-    sort_range arr lo !j;
-    sort_range arr !i hi
-  end
+    if !j - !lo < !hi - !i then begin
+      sort_range arr !lo !j;
+      lo := !i
+    end
+    else begin
+      sort_range arr !i !hi;
+      hi := !j
+    end
+  done;
+  for i = !lo + 1 to !hi do
+    let v = arr.(i) in
+    let j = ref (i - 1) in
+    while !j >= !lo && arr.(!j) > v do
+      arr.(!j + 1) <- arr.(!j);
+      decr j
+    done;
+    arr.(!j + 1) <- v
+  done
 
 let seal t =
   if t.len > 1 then sort_range t.arr 0 (t.len - 1);
   t.sealed <- true
 
+let require_sealed t op = if not t.sealed then invalid_arg (op ^ ": set not sealed")
+
 let mem t v =
-  if not t.sealed then invalid_arg "Id_set.mem: set not sealed";
+  require_sealed t "Id_set.mem";
   let rec search lo hi =
     if lo >= hi then false
     else
@@ -78,6 +88,22 @@ let mem t v =
   in
   search 0 t.len
 
+(* Index of the first element >= v, or len when none. *)
+let lower_bound t v =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.arr.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let exists_in_range t ~lo ~hi =
+  require_sealed t "Id_set.exists_in_range";
+  lo <= hi
+  &&
+  let i = lower_bound t lo in
+  i < t.len && t.arr.(i) <= hi
+
 let cardinal t = t.len
 
 let iter t f =
@@ -86,8 +112,5 @@ let iter t f =
   done
 
 let min_elt t =
-  let m = ref max_int in
-  for i = 0 to t.len - 1 do
-    if t.arr.(i) < !m then m := t.arr.(i)
-  done;
-  !m
+  require_sealed t "Id_set.min_elt";
+  if t.len = 0 then None else Some t.arr.(0)

@@ -19,16 +19,27 @@ val fill : t -> except:int -> int array -> int -> unit
     values equal to [except] (the [none] reservation). *)
 
 val seal : t -> unit
-(** Sort in place (no allocation); must be called before {!mem}. *)
+(** Sort in place (no allocation); must be called before any query. The
+    sort recurses only on the smaller partition, so the stack stays
+    O(log n) even on sorted or duplicate-heavy reservation tables. *)
 
 val mem : t -> int -> bool
 (** Raises [Invalid_argument] if the set was not sealed since its last
     mutation — an unsealed set would silently return wrong membership
     and let a reclaimer free reserved nodes. *)
 
+val exists_in_range : t -> lo:int -> hi:int -> bool
+(** [exists_in_range t ~lo ~hi] is true when some element lies in
+    [lo, hi] (inclusive; false when [lo > hi]). O(log n) — this is the
+    era-scheme freeability test ("is any reserved era within the node's
+    lifespan?") without the O(k) rescan of the raw table. Raises
+    [Invalid_argument] when unsealed, like {!mem}. *)
+
 val cardinal : t -> int
 
 val iter : t -> (int -> unit) -> unit
 
-val min_elt : t -> int
-(** Smallest element, or [max_int] when empty (handy for epoch scans). *)
+val min_elt : t -> int option
+(** Smallest element, or [None] when empty. Raises [Invalid_argument]
+    when unsealed — a silently-wrong minimum would unpin an epoch floor
+    and free reserved nodes. *)

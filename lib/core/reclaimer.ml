@@ -1,0 +1,159 @@
+open Pop_runtime
+module Heap = Pop_sim.Heap
+
+type pass = Plain | Pop
+
+type 'a t = {
+  heap : 'a Heap.t;
+  c : Counters.t;
+  gen : int Atomic.t;
+  threshold : int;
+}
+
+let create (cfg : Smr_config.t) ~heap ~counters =
+  let threshold =
+    if cfg.reclaim_scale = 0 then cfg.reclaim_freq
+    else max cfg.reclaim_freq (cfg.reclaim_scale * cfg.max_threads * cfg.max_hp)
+  in
+  { heap; c = counters; gen = Atomic.make 0; threshold }
+
+let threshold t = t.threshold
+
+let counters t = t.c
+
+let invalidate t = Atomic.incr t.gen
+
+let generation t = Atomic.get t.gen
+
+type 'a local = {
+  r : 'a t;
+  tid : int;
+  retired : 'a Heap.node Vec.t;
+  reserved : Id_set.t;
+  scratch : int array;
+  mutable scratch_len : int;
+  mutable checked : int;
+      (* Nodes in [0, checked) already survived a scan against the cached
+         snapshot; they stay covered by it forever (see the .mli). *)
+  mutable snap_gen : int;
+      (* Generation observed when the snapshot was collected; -1 before
+         the first fresh pass. *)
+}
+
+let register r ~tid ~scratch_slots =
+  {
+    r;
+    tid;
+    (* The sentinel is permanently live, so scrubbed slots of the retire
+       buffer never pin a reclaimable node. *)
+    retired = Vec.create ~dummy:(Heap.sentinel r.heap) ();
+    reserved = Id_set.create ~capacity:scratch_slots;
+    scratch = Array.make (max 1 scratch_slots) 0;
+    scratch_len = 0;
+    checked = 0;
+    snap_gen = -1;
+  }
+
+let retire l n =
+  Vec.push l.retired n;
+  Counters.retire l.r.c ~tid:l.tid
+
+let retire_leak l (_ : 'a Heap.node) = Counters.retire l.r.c ~tid:l.tid
+
+let retire_now l n =
+  Counters.retire l.r.c ~tid:l.tid;
+  Heap.free l.r.heap ~tid:l.tid n;
+  Counters.free l.r.c ~tid:l.tid 1
+
+let free_unpublished l n = Heap.free l.r.heap ~tid:l.tid n
+
+let free_array l nodes =
+  Array.iter (fun n -> Heap.free l.r.heap ~tid:l.tid n) nodes;
+  Counters.free l.r.c ~tid:l.tid (Array.length nodes)
+
+let pending l = Vec.length l.retired
+
+let is_empty l = Vec.is_empty l.retired
+
+let due l = Vec.length l.retired >= l.r.threshold
+
+let snapshot l = l.reserved
+
+let raw l = l.scratch
+
+let raw_len l = l.scratch_len
+
+let take_all l =
+  let nodes = Array.init (Vec.length l.retired) (Vec.get l.retired) in
+  Vec.clear l.retired;
+  l.checked <- 0;
+  nodes
+
+let note_skip l = Counters.scan_skip l.r.c ~tid:l.tid
+
+let count_pass l = function
+  | Plain -> Counters.reclaim_pass l.r.c ~tid:l.tid
+  | Pop -> Counters.pop_pass l.r.c ~tid:l.tid
+
+(* Free the non-kept nodes of [retired.(pos .. pos+len)], preserving the
+   covered-prefix bookkeeping when the filtered range overlaps it. *)
+let filter_free l ~pos ~len keep =
+  let freed = ref 0 in
+  let removed =
+    Vec.filter_sub l.retired ~pos ~len (fun n ->
+        if keep n then true
+        else begin
+          Heap.free l.r.heap ~tid:l.tid n;
+          incr freed;
+          false
+        end)
+  in
+  ignore removed;
+  !freed
+
+let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
+  let gen = Atomic.get l.r.gen in
+  let uncovered = Vec.length l.retired - l.checked in
+  if (not force) && l.snap_gen = gen && uncovered < l.r.threshold then begin
+    (* Served from the cache: the covered prefix already survived this
+       very snapshot (rescanning it cannot free anything — reservations
+       on unreachable nodes only disappear, and a disappearance would
+       have bumped nothing we can observe without re-collecting), and
+       the uncovered suffix may only be freed against a fresh collect.
+       O(1) instead of the seed's O(T×H + n log n + n) pass. *)
+    Counters.snapshot_reuse l.r.c ~tid:l.tid;
+    Counters.scan_skip l.r.c ~tid:l.tid;
+    0
+  end
+  else begin
+    count_pass l kind;
+    let k = collect l.scratch in
+    l.scratch_len <- k;
+    if fill then begin
+      Id_set.fill l.reserved ~except l.scratch k;
+      Id_set.seal l.reserved
+    end;
+    let freed = filter_free l ~pos:0 ~len:(Vec.length l.retired) keep in
+    (* Capture the generation only now: everything published before the
+       collect read the table is in this snapshot, so handler bumps
+       caused by our own ping round must not mark it stale. *)
+    l.snap_gen <- Atomic.get l.r.gen;
+    l.checked <- Vec.length l.retired;
+    Counters.segment l.r.c ~tid:l.tid;
+    Counters.free l.r.c ~tid:l.tid freed;
+    freed
+  end
+
+let scan_plain ~kind ~keep l =
+  count_pass l kind;
+  (* Epoch-style passes don't use the snapshot; filter the covered
+     prefix and the uncovered suffix separately so [checked] keeps
+     delimiting nodes the cached snapshot has vetted. *)
+  let covered = l.checked in
+  let freed_prefix = filter_free l ~pos:0 ~len:covered keep in
+  l.checked <- covered - freed_prefix;
+  let suffix = Vec.length l.retired - l.checked in
+  let freed_suffix = filter_free l ~pos:l.checked ~len:suffix keep in
+  let freed = freed_prefix + freed_suffix in
+  Counters.free l.r.c ~tid:l.tid freed;
+  freed

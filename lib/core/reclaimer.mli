@@ -1,0 +1,145 @@
+(** The shared retire-buffer + scan engine behind every scheme.
+
+    Each scheme used to carry its own copy of the same block: a retired
+    {!Pop_runtime.Vec}, a raw reservation scratch, [Id_set.fill] /
+    [seal], and a [filter_in_place] that frees non-reserved nodes. This
+    module owns that block once, and adds three amortizations the copies
+    could not share:
+
+    {b Cached snapshots.} A fresh pass collects the reservation table
+    and seals it into an {!Id_set} snapshot. Every node that survives
+    the scan is {e covered} by that snapshot, and stays soundly covered
+    forever: a reservation protecting a node in this thread's retire
+    list must predate the node's retirement (readers validate
+    reachability, and an unlinked node cannot be newly reserved), and
+    the pass's handshake (or the scheme's eager publication) made every
+    such pre-existing reservation visible to the collect. Reservations
+    on retired nodes can only disappear afterwards, so rescanning the
+    covered prefix against the same snapshot can never wrongly free —
+    it can only fail to free. The engine therefore answers a triggered
+    pass in O(1) — no ping round, no O(T×H) collect, no sort, no
+    rescan — whenever the generation counter is unchanged and the
+    uncovered suffix is below the threshold ([scan_skips],
+    [snapshot_reuses] in {!Smr_stats}).
+
+    {b Generation counter.} Schemes call {!invalidate} whenever shared
+    reclamation state moves: a handler publishes private reservations,
+    a global epoch advances, a barrier tick or neutralization round
+    completes. The counter governs only freshness (when a new collect
+    could change a decision), never soundness — a stale cache merely
+    keeps nodes longer, until the next fresh pass.
+
+    {b Segmented retire lists.} [checked] splits each retire list into
+    a covered prefix and an uncovered suffix (the open segment). A pass
+    goes fresh when the open segment alone reaches the threshold, so
+    per-pass work is bounded by the segment size plus the survivors,
+    not by the total garbage a slow peer pins.
+
+    {b Adaptive threshold.} With {!Smr_config.t.reclaim_scale} set, the
+    trigger threshold scales with [threads × max_hp] (Michael-style
+    amortization); the flat [reclaim_freq] remains the fallback and the
+    floor. *)
+
+module Heap := Pop_sim.Heap
+
+type pass =
+  | Plain  (** Counted as a [reclaim_pass] (epoch/eager scan). *)
+  | Pop  (** Counted as a [pop_pass] (ping/neutralization based). *)
+
+type 'a t
+(** Shared engine state for one scheme instance. *)
+
+val create : Smr_config.t -> heap:'a Heap.t -> counters:Counters.t -> 'a t
+
+val threshold : 'a t -> int
+(** The effective pass-trigger threshold: [reclaim_freq], or
+    [max reclaim_freq (reclaim_scale * max_threads * max_hp)] when the
+    adaptive knob is set. *)
+
+val counters : 'a t -> Counters.t
+
+val invalidate : 'a t -> unit
+(** Bump the snapshot generation: some reservation state just became
+    visible (publish, epoch advance, tick, round). Cheap — one relaxed
+    atomic increment. *)
+
+val generation : 'a t -> int
+
+type 'a local
+(** Per-thread retire buffer + scan state. Single-owner, like the
+    scheme [tctx] that embeds it. *)
+
+val register : 'a t -> tid:int -> scratch_slots:int -> 'a local
+(** [scratch_slots] sizes the collect scratch and the snapshot (e.g.
+    [2 * max_threads * max_hp] when the scheme unions in racy local
+    rows of timed-out peers). *)
+
+val retire : 'a local -> 'a Heap.node -> unit
+(** Buffer a retired node and count it. The caller decides when to
+    {!scan} (schemes keep their trigger shapes: [>=], [mod], dual). *)
+
+val retire_leak : 'a local -> 'a Heap.node -> unit
+(** Count the retire and drop the node on the floor (the NR baseline). *)
+
+val retire_now : 'a local -> 'a Heap.node -> unit
+(** Count the retire and free immediately (the unsafe-free baseline). *)
+
+val free_unpublished : 'a local -> 'a Heap.node -> unit
+(** Return a never-published node straight to the heap (no counters —
+    it was never counted retired). *)
+
+val free_array : 'a local -> 'a Heap.node array -> unit
+(** Free a drained batch and count the frees (Hyaline's release). *)
+
+val pending : 'a local -> int
+
+val is_empty : 'a local -> bool
+
+val due : 'a local -> bool
+(** [pending l >= threshold]. *)
+
+val snapshot : 'a local -> Id_set.t
+(** The current sealed reservation snapshot; valid inside a [keep]
+    callback of a fresh {!scan}. *)
+
+val raw : 'a local -> int array
+(** The raw collect scratch (for IBR's positional interval pairs, which
+    a sorted set cannot represent). *)
+
+val raw_len : 'a local -> int
+
+val take_all : 'a local -> 'a Heap.node array
+(** Drain the buffer without freeing (Hyaline hands the batch over to
+    its reference-counted lists). *)
+
+val note_skip : 'a local -> unit
+(** Record an engine-external pass suppression (EBR's unchanged-epoch
+    guard) in [scan_skips]. *)
+
+val scan :
+  ?force:bool ->
+  ?fill:bool ->
+  kind:pass ->
+  collect:(int array -> int) ->
+  except:int ->
+  keep:('a Heap.node -> bool) ->
+  'a local ->
+  int
+(** [scan ~kind ~collect ~except ~keep l] runs one reclamation pass and
+    returns how many nodes were freed. When the cached snapshot is
+    still fresh ([generation] unchanged since it was collected) and the
+    open segment is below the threshold, the pass is answered from the
+    cache in O(1) and frees nothing. Otherwise the pass goes fresh:
+    [collect] fills the scratch with the reservation table (this is
+    where schemes run their handshake / ping round) and returns the
+    element count; the scratch is sealed into the snapshot (skipped
+    with [~fill:false], for IBR); every buffered node with [keep n =
+    false] is freed. [~force:true] (flush, cadence's tick-driven scans)
+    always goes fresh. [keep] must be monotone in the snapshot: it may
+    consult {!snapshot} / {!raw} and per-scheme floors captured by the
+    [collect] closure. *)
+
+val scan_plain : kind:pass -> keep:('a Heap.node -> bool) -> 'a local -> int
+(** A snapshot-less pass (EBR and EpochPOP's epoch scan): always runs,
+    filters the whole buffer against [keep], and maintains the covered
+    prefix across the compaction. *)

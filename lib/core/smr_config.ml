@@ -6,6 +6,7 @@ type t = {
   pop_mult : int;
   fence_cost : int;
   ping_timeout_spins : int;
+  reclaim_scale : int;
 }
 
 let default ?(max_threads = 8) () =
@@ -17,6 +18,7 @@ let default ?(max_threads = 8) () =
     pop_mult = 2;
     fence_cost = 8;
     ping_timeout_spins = 64;
+    reclaim_scale = 0;
   }
 
 let validate t =
@@ -27,4 +29,5 @@ let validate t =
   if t.pop_mult < 1 then invalid_arg "Smr_config: pop_mult must be at least 1";
   if t.fence_cost < 0 then invalid_arg "Smr_config: fence_cost must be non-negative";
   if t.ping_timeout_spins <= 0 then
-    invalid_arg "Smr_config: ping_timeout_spins must be positive"
+    invalid_arg "Smr_config: ping_timeout_spins must be positive";
+  if t.reclaim_scale < 0 then invalid_arg "Smr_config: reclaim_scale must be non-negative"

@@ -24,12 +24,20 @@ type t = {
           signals cannot be ignored, so it has no analogue; see
           DESIGN.md "Bounded handshake"). With the default backoff
           schedule 64 attempts is roughly 100 ms of wall time. *)
+  reclaim_scale : int;
+      (** Adaptive reclaim threshold: when positive, a pass is triggered
+          at [max reclaim_freq (reclaim_scale * max_threads * max_hp)]
+          pending retires — Michael-style amortization, which keeps the
+          per-retire scan cost O(1) amortized and the per-thread garbage
+          O(scale · T · H) regardless of the flat [reclaim_freq]. 0 (the
+          default) falls back to the flat [reclaim_freq] threshold. *)
 }
 
 val default : ?max_threads:int -> unit -> t
 (** Paper-flavoured defaults scaled to this machine: [max_hp = 8],
     [reclaim_freq = 512], [epoch_freq = 32], [pop_mult = 2],
-    [fence_cost = 8], [ping_timeout_spins = 64]. *)
+    [fence_cost = 8], [ping_timeout_spins = 64], [reclaim_scale = 0]
+    (flat threshold). *)
 
 val validate : t -> unit
 (** Raise [Invalid_argument] on nonsensical settings. *)

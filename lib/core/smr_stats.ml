@@ -3,6 +3,9 @@ type t = {
   freed : int;
   reclaim_passes : int;
   pop_passes : int;
+  scan_skips : int;
+  snapshot_reuses : int;
+  retire_segments : int;
   pings : int;
   publishes : int;
   restarts : int;
@@ -18,6 +21,9 @@ let zero =
     freed = 0;
     reclaim_passes = 0;
     pop_passes = 0;
+    scan_skips = 0;
+    snapshot_reuses = 0;
+    retire_segments = 0;
     pings = 0;
     publishes = 0;
     restarts = 0;
@@ -39,6 +45,9 @@ let to_alist
       freed;
       reclaim_passes;
       pop_passes;
+      scan_skips;
+      snapshot_reuses;
+      retire_segments;
       pings;
       publishes;
       restarts;
@@ -53,6 +62,9 @@ let to_alist
     ("unreclaimed", unreclaimed);
     ("reclaim_passes", reclaim_passes);
     ("pop_passes", pop_passes);
+    ("scan_skips", scan_skips);
+    ("snapshot_reuses", snapshot_reuses);
+    ("retire_segments", retire_segments);
     ("pings", pings);
     ("publishes", publishes);
     ("restarts", restarts);

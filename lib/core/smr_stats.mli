@@ -6,6 +6,17 @@ type t = {
   reclaim_passes : int;  (** Ordinary reclamation passes (epoch or scan). *)
   pop_passes : int;  (** Ping-based (publish-on-ping / membarrier /
                          neutralization) passes. *)
+  scan_skips : int;
+      (** Triggered passes the {!Reclaimer} answered without rescanning
+          already-checked nodes (the snapshot generation was unchanged
+          and no new segment had reached the threshold). Each one is a
+          full seed-style pass avoided. *)
+  snapshot_reuses : int;
+      (** Triggered passes served from the cached sealed reservation
+          snapshot instead of a fresh O(T×H) collect + sort. *)
+  retire_segments : int;
+      (** Fresh scan passes, each of which sealed a new checked segment
+          of some thread's retire list. *)
   pings : int;  (** Soft signals sent by this instance's hub. *)
   publishes : int;  (** Handler executions (reservation publishes/acks). *)
   restarts : int;  (** NBR neutralization-induced operation restarts. *)

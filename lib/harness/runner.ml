@@ -15,6 +15,7 @@ type cfg = {
   key_range : int;
   mix : Workload.mix;
   reclaim_freq : int;
+  reclaim_scale : int;
   epoch_freq : int;
   pop_mult : int;
   fence_cost : int;
@@ -40,6 +41,7 @@ let default_cfg =
     key_range = 2048;
     mix = Workload.update_heavy;
     reclaim_freq = 512;
+    reclaim_scale = 0;
     epoch_freq = 32;
     pop_mult = 2;
     fence_cost = 8;
@@ -88,6 +90,7 @@ let smr_config cfg ~max_threads =
     Pop_core.Smr_config.max_threads;
     max_hp = max cfg.max_hp needed_hp;
     reclaim_freq = cfg.reclaim_freq;
+    reclaim_scale = cfg.reclaim_scale;
     epoch_freq = cfg.epoch_freq;
     pop_mult = cfg.pop_mult;
     fence_cost = cfg.fence_cost;
@@ -226,3 +229,76 @@ let run cfg =
 
 let consistent r =
   r.final_size = r.expected_size && r.invariants_ok && r.uaf = 0 && r.double_free = 0
+
+(* Hand-rolled JSON (no JSON library in the toolchain): every emitted
+   value is a bool, an int, a finite float, or an escaped string. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
+
+let to_json ?(label = "") r =
+  let b = Buffer.create 1024 in
+  let field name value = Buffer.add_string b (Printf.sprintf "\"%s\": %s, " name value) in
+  Buffer.add_string b "{";
+  field "label" (Printf.sprintf "\"%s\"" (json_escape label));
+  field "ds" (Printf.sprintf "\"%s\"" (json_escape (Dispatch.ds_name r.r_cfg.ds)));
+  field "smr" (Printf.sprintf "\"%s\"" (json_escape (Dispatch.smr_name r.r_cfg.smr)));
+  field "threads" (string_of_int r.r_cfg.threads);
+  field "duration" (json_float r.r_cfg.duration);
+  field "reclaim_freq" (string_of_int r.r_cfg.reclaim_freq);
+  field "reclaim_scale" (string_of_int r.r_cfg.reclaim_scale);
+  field "mops" (json_float r.mops);
+  field "read_mops" (json_float r.read_mops);
+  field "total_ops" (string_of_int r.total_ops);
+  field "read_ops" (string_of_int r.read_ops);
+  field "update_ops" (string_of_int r.update_ops);
+  field "max_live" (string_of_int r.max_live);
+  field "max_unreclaimed" (string_of_int r.max_unreclaimed);
+  field "final_unreclaimed" (string_of_int r.final_unreclaimed);
+  field "uaf" (string_of_int r.uaf);
+  field "double_free" (string_of_int r.double_free);
+  field "consistent" (if consistent r then "true" else "false");
+  (* Amortization stats: frees per pass and the cache-hit ratio of the
+     shared reclaimer's snapshot reuse. *)
+  let alist = Pop_core.Smr_stats.to_alist r.smr in
+  let lookup k = try List.assoc k alist with Not_found -> 0 in
+  let passes = lookup "reclaim_passes" + lookup "pop_passes" in
+  field "frees_per_pass"
+    (json_float (if passes = 0 then 0.0 else float_of_int (lookup "freed") /. float_of_int passes));
+  field "snapshot_reuse_ratio"
+    (json_float
+       (let total = passes + lookup "snapshot_reuses" in
+        if total = 0 then 0.0 else float_of_int (lookup "snapshot_reuses") /. float_of_int total));
+  Buffer.add_string b "\"smr\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" k v))
+    alist;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (label, r) ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc ("  " ^ to_json ~label r))
+        results;
+      output_string oc "\n]\n")

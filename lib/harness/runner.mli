@@ -17,6 +17,9 @@ type cfg = {
   key_range : int;
   mix : Workload.mix;
   reclaim_freq : int;
+  reclaim_scale : int;
+      (** Adaptive reclaim-threshold multiplier; 0 keeps the flat
+          [reclaim_freq]. See {!Pop_core.Smr_config.t.reclaim_scale}. *)
   epoch_freq : int;
   pop_mult : int;
   fence_cost : int;  (** Modelled fence cost; see {!Pop_runtime.Fence}. *)
@@ -70,3 +73,14 @@ val run : cfg -> result
 
 val consistent : result -> bool
 (** Sizes match, invariants hold, and no UAF / double free occurred. *)
+
+val to_json : ?label:string -> result -> string
+(** One result as a flat JSON object: throughput ([mops]), memory peaks
+    ([max_unreclaimed]), safety counters ([uaf], [double_free]),
+    amortization stats ([frees_per_pass], [snapshot_reuse_ratio]) and
+    the full {!Pop_core.Smr_stats} record under ["smr"]. Handwritten
+    emitter — no JSON library dependency. *)
+
+val write_json : string -> (string * result) list -> unit
+(** [write_json path results] writes a JSON array of labelled results
+    to [path] (e.g. [BENCH_micro.json]). *)

@@ -1,15 +1,29 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a option }
 
-let create () = { data = [||]; len = 0 }
+let create ?dummy () = { data = [||]; len = 0; dummy }
 
 let length t = t.len
 
 let is_empty t = t.len = 0
 
+(* Overwrite every vacated slot in [len, cap) so the backing array never
+   pins values the vector no longer contains. With no dummy the only
+   always-live filler is an element still held in [0, len); once the
+   vector empties there is none, so the array itself is dropped. *)
+let scrub t =
+  let cap = Array.length t.data in
+  if cap > t.len then
+    match t.dummy with
+    | Some d -> Array.fill t.data t.len (cap - t.len) d
+    | None -> if t.len = 0 then t.data <- [||] else Array.fill t.data t.len (cap - t.len) t.data.(0)
+
 let grow t x =
   let cap = Array.length t.data in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  let ndata = Array.make ncap x in
+  (* Fill with the dummy when there is one; [x] is about to be pushed
+     (hence live) so it is an acceptable filler otherwise. *)
+  let filler = match t.dummy with Some d -> d | None -> x in
+  let ndata = Array.make ncap filler in
   Array.blit t.data 0 ndata 0 t.len;
   t.data <- ndata
 
@@ -19,7 +33,7 @@ let push t x =
   t.len <- t.len + 1
 
 let get t i =
-  assert (i >= 0 && i < t.len);
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
   t.data.(i)
 
 let iter f t =
@@ -27,20 +41,29 @@ let iter f t =
     f t.data.(i)
   done
 
-let clear t = t.len <- 0
+let clear t =
+  t.len <- 0;
+  scrub t
 
-let filter_in_place keep t =
-  let j = ref 0 in
-  for i = 0 to t.len - 1 do
+let filter_sub t ~pos ~len keep =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Vec.filter_sub: bad range";
+  let j = ref pos in
+  for i = pos to pos + len - 1 do
     let x = t.data.(i) in
     if keep x then begin
       t.data.(!j) <- x;
       incr j
     end
   done;
-  let removed = t.len - !j in
-  t.len <- !j;
+  let removed = pos + len - !j in
+  if removed > 0 then begin
+    Array.blit t.data (pos + len) t.data !j (t.len - (pos + len));
+    t.len <- t.len - removed;
+    scrub t
+  end;
   removed
+
+let filter_in_place keep t = filter_sub t ~pos:0 ~len:t.len keep
 
 let to_list t =
   let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in

@@ -2,11 +2,21 @@
 
     Retire lists are single-owner: only the retiring thread pushes, filters
     and drains, so no synchronization is needed. [filter_in_place] is the
-    hot reclamation operation — it compacts survivors without allocating. *)
+    hot reclamation operation — it compacts survivors without allocating.
+
+    Slots of the backing array beyond [length] never retain dropped
+    elements: every operation that vacates a slot overwrites it with the
+    [dummy] (when the vector was created with one) or with an element the
+    vector still contains. Without a dummy, emptying the vector releases
+    the backing array entirely (capacity is lost); supply [~dummy] for
+    retire lists that must keep their capacity across drains. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?dummy:'a -> unit -> 'a t
+(** [create ?dummy ()] makes an empty vector. [dummy] is a permanently
+    safe-to-retain filler (e.g. a heap sentinel) used to scrub vacated
+    slots so the array never pins removed elements. *)
 
 val length : 'a t -> int
 
@@ -15,11 +25,22 @@ val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit
 
 val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when the index is out of bounds — an
+    unconditional check, not an [assert]: a stale slot read in a release
+    build would resurrect a freed node. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 
 val clear : 'a t -> unit
-(** Drop all elements (keeps capacity). *)
+(** Drop all elements. Keeps capacity when a [dummy] was supplied. *)
+
+val filter_sub : 'a t -> pos:int -> len:int -> ('a -> bool) -> int
+(** [filter_sub t ~pos ~len keep] filters only the range
+    [pos, pos + len), shifting any suffix left to close the gap, and
+    returns how many elements were removed. Order is preserved. The
+    reclaimer's segmented scans use this to re-filter one segment of a
+    retire list without touching the rest. Raises [Invalid_argument] on a
+    range outside [0, length]. *)
 
 val filter_in_place : ('a -> bool) -> 'a t -> int
 (** [filter_in_place keep t] removes the elements for which [keep] is

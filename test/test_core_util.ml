@@ -18,7 +18,7 @@ let id_set_basic () =
   Alcotest.(check bool) "mem 1" true (Id_set.mem s 1);
   Alcotest.(check bool) "mem 9" true (Id_set.mem s 9);
   Alcotest.(check bool) "not mem 2" false (Id_set.mem s 2);
-  Alcotest.(check int) "min" 1 (Id_set.min_elt s)
+  Alcotest.(check (option int)) "min" (Some 1) (Id_set.min_elt s)
 
 let id_set_reset_and_fill () =
   let s = Id_set.create ~capacity:8 in
@@ -30,7 +30,55 @@ let id_set_reset_and_fill () =
   Id_set.reset s;
   Alcotest.(check int) "empty after reset" 0 (Id_set.cardinal s);
   Id_set.seal s;
-  Alcotest.(check int) "min of empty" max_int (Id_set.min_elt s)
+  Alcotest.(check (option int)) "min of empty" None (Id_set.min_elt s)
+
+let id_set_min_requires_sealed () =
+  let s = Id_set.create ~capacity:4 in
+  Id_set.add s 2;
+  Alcotest.check_raises "min before seal" (Invalid_argument "Id_set.min_elt: set not sealed")
+    (fun () -> ignore (Id_set.min_elt s))
+
+let id_set_exists_in_range () =
+  let s = Id_set.create ~capacity:8 in
+  List.iter (Id_set.add s) [ 3; 8; 8; 15 ];
+  Id_set.seal s;
+  Alcotest.(check bool) "hit exact" true (Id_set.exists_in_range s ~lo:8 ~hi:8);
+  Alcotest.(check bool) "hit interior" true (Id_set.exists_in_range s ~lo:4 ~hi:9);
+  Alcotest.(check bool) "hit at hi" true (Id_set.exists_in_range s ~lo:1 ~hi:3);
+  Alcotest.(check bool) "miss gap" false (Id_set.exists_in_range s ~lo:9 ~hi:14);
+  Alcotest.(check bool) "miss below" false (Id_set.exists_in_range s ~lo:0 ~hi:2);
+  Alcotest.(check bool) "miss above" false (Id_set.exists_in_range s ~lo:16 ~hi:100);
+  Alcotest.(check bool) "empty range" false (Id_set.exists_in_range s ~lo:9 ~hi:8);
+  let e = Id_set.create ~capacity:2 in
+  Id_set.seal e;
+  Alcotest.(check bool) "empty set" false (Id_set.exists_in_range e ~lo:min_int ~hi:max_int)
+
+(* Quicksort worst cases: pre-sorted input and all-duplicates input must
+   not blow the stack (the recursion only descends into the smaller
+   partition, so depth is O(log n)). *)
+let id_set_sort_stress () =
+  let n = 100_000 in
+  let sorted = Id_set.create ~capacity:n in
+  for i = 0 to n - 1 do
+    Id_set.add sorted i
+  done;
+  Id_set.seal sorted;
+  Alcotest.(check (option int)) "sorted: min" (Some 0) (Id_set.min_elt sorted);
+  Alcotest.(check bool) "sorted: mem last" true (Id_set.mem sorted (n - 1));
+  let rev = Id_set.create ~capacity:n in
+  for i = n - 1 downto 0 do
+    Id_set.add rev i
+  done;
+  Id_set.seal rev;
+  Alcotest.(check bool) "reversed: mem mid" true (Id_set.mem rev (n / 2));
+  let dups = Id_set.create ~capacity:n in
+  for _ = 1 to n do
+    Id_set.add dups 7
+  done;
+  Id_set.seal dups;
+  Alcotest.(check (option int)) "duplicates: min" (Some 7) (Id_set.min_elt dups);
+  Alcotest.(check bool) "duplicates: mem" true (Id_set.mem dups 7);
+  Alcotest.(check bool) "duplicates: not mem" false (Id_set.mem dups 8)
 
 let id_set_capacity () =
   let s = Id_set.create ~capacity:2 in
@@ -292,6 +340,7 @@ let config_validation () =
       { ok with Smr_config.max_threads = 0 };
       { ok with Smr_config.max_hp = 0 };
       { ok with Smr_config.reclaim_freq = 0 };
+      { ok with Smr_config.reclaim_scale = -1 };
       { ok with Smr_config.epoch_freq = 0 };
       { ok with Smr_config.pop_mult = 0 };
       { ok with Smr_config.fence_cost = -1 };
@@ -360,6 +409,9 @@ let suite =
     case "id_set: fill skips none, reset empties" id_set_reset_and_fill;
     case "id_set: capacity enforced" id_set_capacity;
     case "id_set: mem requires a sealed set" id_set_unsealed_mem_rejected;
+    case "id_set: min_elt requires a sealed set" id_set_min_requires_sealed;
+    case "id_set: exists_in_range" id_set_exists_in_range;
+    case "id_set: sort stress (sorted / reversed / duplicates)" id_set_sort_stress;
     QCheck_alcotest.to_alcotest id_set_model;
     case "reservations: local vs shared vs publish" reservations_local_shared;
     case "reservations: collect row-major" reservations_collect;

@@ -5,6 +5,7 @@ let () =
       ("softsignal", Test_softsignal.suite);
       ("heap", Test_heap.suite);
       ("core-util", Test_core_util.suite);
+      ("reclaimer", Test_reclaimer.suite);
       ("smr-unit", Test_smr_unit.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("lint", Test_lint.suite);

@@ -1,0 +1,296 @@
+(** Tests for the shared retire-buffer + scan engine ({!Pop_core.Reclaimer}).
+
+    The equivalence tests replay random retire/reserve/scan traces
+    through the engine and through a reimplementation of the seed's
+    always-fresh per-scheme logic, and require identical frees at every
+    forced pass. The invalidation tests pin the snapshot-cache contract:
+    a generation bump forces the next pass fresh, and a reservation held
+    since before a node's retirement is never violated, cache or no
+    cache. *)
+
+open Pop_runtime
+open Pop_core
+module Heap = Pop_sim.Heap
+open Tu
+
+let cfg ?(reclaim_freq = 4) ?(reclaim_scale = 0) ?(max_threads = 2) ?(max_hp = 4) () =
+  { (Smr_config.default ()) with Smr_config.max_threads; max_hp; reclaim_freq; reclaim_scale }
+
+let make ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp () =
+  let cfg = cfg ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp () in
+  let heap = Heap.create ~max_threads:cfg.Smr_config.max_threads ~payload:(fun _ -> ()) in
+  let c = Counters.create cfg.Smr_config.max_threads in
+  let eng = Reclaimer.create cfg ~heap ~counters:c in
+  (heap, c, eng, Reclaimer.register eng ~tid:0 ~scratch_slots:64)
+
+let stats c =
+  let hub = Softsignal.create ~max_threads:1 in
+  Counters.snapshot c ~hub ~epoch:0
+
+(* Collect closure over a mutable reservation table; flips [called] so a
+   test can observe whether a pass went fresh or was served from cache. *)
+let table_collect table called scratch =
+  called := true;
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun id () ->
+      scratch.(!k) <- id;
+      incr k)
+    table;
+  !k
+
+let keep_reserved rl n = Id_set.mem (Reclaimer.snapshot rl) n.Heap.id
+
+(* --- adaptive threshold --- *)
+
+let adaptive_threshold () =
+  let mk ~reclaim_freq ~reclaim_scale =
+    let cfg = cfg ~reclaim_freq ~reclaim_scale ~max_threads:3 ~max_hp:5 () in
+    let heap = Heap.create ~max_threads:3 ~payload:(fun _ -> ()) in
+    Reclaimer.create cfg ~heap ~counters:(Counters.create 3)
+  in
+  Alcotest.(check int) "scale off: flat freq" 7
+    (Reclaimer.threshold (mk ~reclaim_freq:7 ~reclaim_scale:0));
+  Alcotest.(check int) "scale on: threads*hp*scale" 30
+    (Reclaimer.threshold (mk ~reclaim_freq:7 ~reclaim_scale:2));
+  Alcotest.(check int) "flat freq is the floor" 100
+    (Reclaimer.threshold (mk ~reclaim_freq:100 ~reclaim_scale:2))
+
+(* --- snapshot cache + invalidation --- *)
+
+let cache_and_invalidate () =
+  let heap, c, eng, rl = make ~reclaim_freq:4 () in
+  let table = Hashtbl.create 8 in
+  let called = ref false in
+  let scan ?force () =
+    called := false;
+    Reclaimer.scan ?force ~kind:Reclaimer.Plain
+      ~collect:(table_collect table called)
+      ~except:(-1) ~keep:(keep_reserved rl) rl
+  in
+  let nodes = Array.init 4 (fun _ -> Heap.alloc heap ~tid:0 ~birth_era:0) in
+  Hashtbl.replace table nodes.(1).Heap.id ();
+  Array.iter (Reclaimer.retire rl) nodes;
+  Alcotest.(check bool) "due at threshold" true (Reclaimer.due rl);
+  Alcotest.(check int) "fresh pass frees unreserved" 3 (scan ());
+  Alcotest.(check bool) "collect ran" true !called;
+  Alcotest.(check int) "survivor pending" 1 (Reclaimer.pending rl);
+  (* Same generation, suffix below threshold: served from the cache. *)
+  Alcotest.(check int) "cached pass frees nothing" 0 (scan ());
+  Alcotest.(check bool) "collect skipped" false !called;
+  let s = stats c in
+  Alcotest.(check int) "snapshot reuse counted" 1 s.Smr_stats.snapshot_reuses;
+  Alcotest.(check int) "scan skip counted" 1 s.Smr_stats.scan_skips;
+  Alcotest.(check int) "one segment so far" 1 s.Smr_stats.retire_segments;
+  (* A reservation published after a generation bump is honoured: the
+     bump forces the next pass fresh, and the fresh collect sees it. *)
+  let late = Heap.alloc heap ~tid:0 ~birth_era:0 in
+  let doomed = Heap.alloc heap ~tid:0 ~birth_era:0 in
+  Hashtbl.replace table late.Heap.id ();
+  Reclaimer.retire rl late;
+  Reclaimer.retire rl doomed;
+  Reclaimer.invalidate eng;
+  Alcotest.(check int) "post-bump pass is fresh, frees the doomed" 1 (scan ());
+  Alcotest.(check bool) "post-bump collect ran" true !called;
+  Alcotest.(check bool) "late reservation honoured" true (Heap.is_live late);
+  (* Force always collects, even with a warm cache. *)
+  ignore (scan ~force:true ());
+  Alcotest.(check bool) "forced pass collects" true !called;
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count heap);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
+
+(* A node reserved since before its retirement survives any interleaving
+   of retires, unreserves of other nodes, invalidations, cached and
+   forced scans. This is the soundness property the cached snapshot must
+   not break. *)
+let invalidation_property =
+  QCheck2.Test.make ~name:"reclaimer: pre-retirement reservation always honoured" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 99))
+    (fun ops ->
+      let heap, _c, eng, rl = make ~reclaim_freq:3 () in
+      let table = Hashtbl.create 8 in
+      let called = ref false in
+      let scan ?force () =
+        ignore
+          (Reclaimer.scan ?force ~kind:Reclaimer.Plain
+             ~collect:(table_collect table called)
+             ~except:(-1) ~keep:(keep_reserved rl) rl)
+      in
+      (* The tracked node: reserved first, then retired. *)
+      let tracked = Heap.alloc heap ~tid:0 ~birth_era:0 in
+      Hashtbl.replace table tracked.Heap.id ();
+      Reclaimer.retire rl tracked;
+      let unreserved = Queue.create () in
+      List.iter
+        (fun op ->
+          match op mod 5 with
+          | 0 | 1 ->
+              (* Retire a fresh node, transiently reserved half the time. *)
+              let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+              if op mod 2 = 0 then begin
+                Hashtbl.replace table n.Heap.id ();
+                Queue.push n.Heap.id unreserved
+              end;
+              Reclaimer.retire rl n
+          | 2 ->
+              if not (Queue.is_empty unreserved) then
+                Hashtbl.remove table (Queue.pop unreserved)
+          | 3 -> Reclaimer.invalidate eng
+          | _ -> scan ())
+        ops;
+      scan ~force:true ();
+      Heap.is_live tracked
+      && Heap.uaf_count heap = 0
+      && Heap.double_free_count heap = 0)
+
+(* --- old-vs-new equivalence --- *)
+
+(* The seed's per-scheme logic, reimplemented directly: every pass
+   collects the table and frees every retired node not reserved in it.
+   No cache, no segments. *)
+module Model = struct
+  type t = { mutable retired : int list; mutable freed : int }
+
+  let create () = { retired = []; freed = 0 }
+
+  let retire m id = m.retired <- id :: m.retired
+
+  let scan m table =
+    let keep, drop = List.partition (fun id -> Hashtbl.mem table id) m.retired in
+    m.retired <- keep;
+    m.freed <- m.freed + List.length drop
+end
+
+(* Replay one random trace through both. Between forced passes the
+   engine may lag the model (cache-served passes free nothing); at every
+   forced pass both free everything unreserved, so the pending count and
+   cumulative free count must agree exactly there, and the survivor id
+   sets must agree at the end. Reservations follow the protocol: an id
+   is only reserved before its node is retired. *)
+let equivalence_trace seed steps =
+  let heap, _c, eng, rl = make ~reclaim_freq:4 () in
+  let table = Hashtbl.create 32 in
+  let called = ref false in
+  let model = Model.create () in
+  let rng = Rng.make seed in
+  let scan ?force () =
+    ignore
+      (Reclaimer.scan ?force ~kind:Reclaimer.Plain
+         ~collect:(table_collect table called)
+         ~except:(-1) ~keep:(keep_reserved rl) rl)
+  in
+  let reserved_retired = ref [] in
+  let check_sync what =
+    Model.scan model table;
+    scan ~force:true ();
+    Alcotest.(check int) (what ^ ": pending") (List.length model.Model.retired)
+      (Reclaimer.pending rl);
+    Alcotest.(check int) (what ^ ": freed") model.Model.freed (Heap.freed_total heap)
+  in
+  for step = 1 to steps do
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+        if Rng.bool rng then begin
+          Hashtbl.replace table n.Heap.id ();
+          reserved_retired := n.Heap.id :: !reserved_retired
+        end;
+        Reclaimer.retire rl n;
+        Model.retire model n.Heap.id
+    | 4 | 5 -> (
+        (* Unreserve a random previously reserved id. *)
+        match !reserved_retired with
+        | [] -> ()
+        | id :: rest ->
+            Hashtbl.remove table id;
+            reserved_retired := rest)
+    | 6 -> Reclaimer.invalidate eng
+    | 7 | 8 ->
+        (* Unsynchronized passes: the model is always fresh, the engine
+           may serve from cache — allowed to diverge until the next
+           forced pass. *)
+        Model.scan model table;
+        scan ()
+    | _ -> check_sync (Printf.sprintf "step %d" step)
+  done;
+  check_sync "final";
+  let survivors =
+    Reclaimer.take_all rl |> Array.to_list
+    |> List.map (fun n -> n.Heap.id)
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "final survivor ids"
+    (List.sort Int.compare model.Model.retired)
+    survivors;
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count heap);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
+
+let equivalence_seed_1 () = equivalence_trace 101 400
+
+let equivalence_seed_2 () = equivalence_trace 202 400
+
+let equivalence_seed_3 () = equivalence_trace 303 400
+
+(* --- scan_plain segment bookkeeping --- *)
+
+(* Epoch-style passes must keep the covered prefix aligned across
+   compactions: freeing from the prefix shrinks [checked] so later
+   cached decisions stay sound. Observable behaviour: interleaving
+   scan_plain with snapshot scans never frees a reserved node and never
+   double-frees. *)
+let scan_plain_interleaving () =
+  let heap, _c, eng, rl = make ~reclaim_freq:4 () in
+  let table = Hashtbl.create 8 in
+  let called = ref false in
+  let era = ref 0 in
+  let alloc_retire ~reserve =
+    let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+    n.Heap.retire_era <- !era;
+    if reserve then Hashtbl.replace table n.Heap.id ();
+    Reclaimer.retire rl n;
+    n
+  in
+  let keeper = alloc_retire ~reserve:true in
+  for _ = 1 to 3 do
+    ignore (alloc_retire ~reserve:false)
+  done;
+  ignore
+    (Reclaimer.scan ~kind:Reclaimer.Plain
+       ~collect:(table_collect table called)
+       ~except:(-1) ~keep:(keep_reserved rl) rl);
+  Alcotest.(check int) "snapshot pass: one survivor" 1 (Reclaimer.pending rl);
+  (* Epoch pass that frees from the covered prefix (keeper's era is
+     old, but it is the only prefix node and it survives on era). *)
+  incr era;
+  let young = alloc_retire ~reserve:false in
+  let freed =
+    Reclaimer.scan_plain ~kind:Reclaimer.Plain
+      ~keep:(fun n -> n.Heap.retire_era >= !era || Hashtbl.mem table n.Heap.id)
+      rl
+  in
+  Alcotest.(check int) "epoch pass frees nothing protected" 0 freed;
+  Alcotest.(check bool) "keeper alive" true (Heap.is_live keeper);
+  Alcotest.(check bool) "young alive" true (Heap.is_live young);
+  (* Drop the keeper's reservation; a forced snapshot pass frees it and
+     the young node, with the prefix bookkeeping intact. *)
+  Hashtbl.remove table keeper.Heap.id;
+  Reclaimer.invalidate eng;
+  let freed =
+    Reclaimer.scan ~force:true ~kind:Reclaimer.Plain
+      ~collect:(table_collect table called)
+      ~except:(-1) ~keep:(keep_reserved rl) rl
+  in
+  Alcotest.(check int) "forced pass drains" 2 freed;
+  Alcotest.(check int) "empty" 0 (Reclaimer.pending rl);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
+
+let suite =
+  [
+    case "reclaimer: adaptive threshold" adaptive_threshold;
+    case "reclaimer: snapshot cache + invalidation" cache_and_invalidate;
+    QCheck_alcotest.to_alcotest invalidation_property;
+    case "reclaimer: old-vs-new equivalence (seed 101)" equivalence_seed_1;
+    case "reclaimer: old-vs-new equivalence (seed 202)" equivalence_seed_2;
+    case "reclaimer: old-vs-new equivalence (seed 303)" equivalence_seed_3;
+    case "reclaimer: scan_plain keeps segment bookkeeping" scan_plain_interleaving;
+  ]

@@ -5,6 +5,8 @@
 #   3. smrlint, the source-level protocol/style gate (tools/lint)
 #   4. dune-file formatting (@fmt is restricted to dune files in
 #      dune-project because ocamlformat is not in the build image)
+#   5. JSON emission smoke test: one short popbench cell with --json
+#      must produce a parseable file that contains the throughput key
 # Run from the repository root: sh tools/tier1.sh
 set -e
 cd "$(dirname "$0")/.."
@@ -12,4 +14,23 @@ dune build
 dune runtest
 dune build @lint
 dune build @fmt
+json_smoke=_build/popbench_smoke.json
+trap 'rm -f "$json_smoke"' EXIT
+./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
+  --json "$json_smoke" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$json_smoke" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cells = json.load(f)
+assert isinstance(cells, list) and cells, "expected a non-empty JSON array"
+for cell in cells:
+    assert "mops" in cell, "throughput key missing"
+    assert "smr" in cell and "snapshot_reuses" in cell["smr"], "smr stats missing"
+print("json smoke: ok (%d cells)" % len(cells))
+EOF
+else
+  grep -q '"mops"' "$json_smoke"
+  echo "json smoke: ok (grep only; python3 unavailable)"
+fi
 echo "tier-1: ok"
