@@ -360,7 +360,8 @@ let emit_micro_json rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--fig micro|1|...|11|rob|over|latency|ablation|all] [--full] [--json]";
+    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|ablation|all] [--full] \
+     [--json]";
   exit 2
 
 let () =
@@ -384,8 +385,8 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let sc = if !full then Experiments.full else Experiments.quick in
   let known =
-    [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "over"; "latency"; "ablation";
-      "all" ]
+    [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "churn"; "over"; "latency";
+      "ablation"; "all" ]
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
@@ -396,6 +397,7 @@ let () =
   if want [ "4" ] then emit_json "4" (Experiments.fig_long_running_reads sc);
   if want [ "10"; "11" ] then emit_json "10" (Experiments.fig_crystalline sc);
   if want [ "rob" ] then emit_json "rob" (Experiments.fig_robustness sc);
+  if want [ "churn" ] then emit_json "churn" (Experiments.fig_churn sc);
   if want [ "over" ] then fig_oversubscription sc;
   if want [ "latency" ] then fig_signal_latency sc;
   if want [ "ablation" ] then fig_ablation sc;

@@ -29,15 +29,16 @@ let smr_conv =
 let csv_header =
   "ds,smr,threads,duration,key_range,ins_pct,del_pct,reclaim_freq,mops,read_mops,total_ops,\
 max_unreclaimed,final_unreclaimed,max_live,final_live,uaf,double_free,final_size,\
-expected_size,invariants_ok," ^ Pop_core.Smr_stats.csv_header
+expected_size,invariants_ok,exited,crashed,joined," ^ Pop_core.Smr_stats.csv_header
 
 let print_csv (r : Runner.result) =
   print_endline csv_header;
-  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%s\n"
+  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%s\n"
     (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
     r.r_cfg.duration r.r_cfg.key_range r.r_cfg.mix.Workload.ins_pct r.r_cfg.mix.Workload.del_pct
     r.r_cfg.reclaim_freq r.mops r.read_mops r.total_ops r.max_unreclaimed r.final_unreclaimed
     r.max_live r.final_live r.uaf r.double_free r.final_size r.expected_size r.invariants_ok
+    r.exited r.crashed r.joined
     (Pop_core.Smr_stats.csv_row r.smr)
 
 let print_result (r : Runner.result) =
@@ -61,6 +62,7 @@ let print_result (r : Runner.result) =
          [ "final size"; string_of_int r.final_size ];
          [ "expected size"; string_of_int r.expected_size ];
          [ "invariants"; (if r.invariants_ok then "ok" else "VIOLATED: " ^ r.invariant_error) ];
+         [ "exited / crashed / joined"; Printf.sprintf "%d / %d / %d" r.exited r.crashed r.joined ];
        ]
       @ List.map
           (fun (k, v) -> [ k; string_of_int v ])
@@ -68,8 +70,8 @@ let print_result (r : Runner.result) =
   if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
 
 let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scale epoch_freq
-    pop_mult lrr stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv
-    json =
+    pop_mult lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
+    drop_ping delay_poll seed sanitize csv json =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -81,6 +83,19 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
           stall_polling;
         }
     else None
+  in
+  let churn =
+    match churn_counts with
+    | None -> None
+    | Some (exits, crashes, joins) ->
+        Some
+          {
+            Runner.exits;
+            crashes;
+            joins;
+            churn_start = churn_start *. duration;
+            churn_period = churn_period *. duration;
+          }
   in
   let cfg =
     {
@@ -97,6 +112,7 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
       pop_mult;
       long_running_reads = lrr;
       stall;
+      churn;
       ping_timeout_spins = ping_timeout;
       drop_ping;
       delay_poll;
@@ -115,16 +131,17 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
 
 let run_figure fig fullscale =
   let sc = if fullscale then Experiments.full else Experiments.quick in
-  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "deaf"; "all" ] in
+  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "deaf"; "churn"; "all" ] in
   if not (List.mem fig known) then
-    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|deaf|all)" fig);
+    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|deaf|churn|all)" fig);
   if List.mem fig [ "1"; "2"; "all" ] then ignore (Experiments.fig_update_heavy sc);
   if List.mem fig [ "3"; "all" ] then ignore (Experiments.fig_read_heavy sc);
   if List.mem fig [ "5"; "9"; "all" ] then ignore (Experiments.fig_read_heavy_appendix sc);
   if List.mem fig [ "4"; "all" ] then ignore (Experiments.fig_long_running_reads sc);
   if List.mem fig [ "10"; "11"; "all" ] then ignore (Experiments.fig_crystalline sc);
   if List.mem fig [ "rob"; "all" ] then ignore (Experiments.fig_robustness sc);
-  if List.mem fig [ "deaf"; "all" ] then ignore (Experiments.fig_deaf sc)
+  if List.mem fig [ "deaf"; "all" ] then ignore (Experiments.fig_deaf sc);
+  if List.mem fig [ "churn"; "all" ] then ignore (Experiments.fig_churn sc)
 
 let cmd =
   let ds = Arg.(value & opt ds_conv Dispatch.HML & info [ "ds" ] ~doc:"Data structure.") in
@@ -153,6 +170,27 @@ let cmd =
   in
   let stall_polling =
     Arg.(value & opt bool true & info [ "stall-polling" ] ~doc:"Stalled thread serves pings.")
+  in
+  let churn_counts =
+    Arg.(
+      value
+      & opt (some (t3 ~sep:',' int int int)) None
+      & info [ "churn" ] ~docv:"EXITS,CRASHES,JOINS"
+          ~doc:
+            "Thread-churn schedule: this many clean exits, mid-operation crashes and fresh \
+             joins, shuffled deterministically from --seed and fired one per --churn-period.")
+  in
+  let churn_start =
+    Arg.(
+      value & opt float 0.15
+      & info [ "churn-start" ]
+          ~doc:"First churn event, as a fraction of the run duration.")
+  in
+  let churn_period =
+    Arg.(
+      value & opt float 0.1
+      & info [ "churn-period" ]
+          ~doc:"Seconds between churn events, as a fraction of the run duration.")
   in
   let ping_timeout =
     Arg.(
@@ -191,19 +229,21 @@ let cmd =
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
   let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr
-      stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv json fig
-      fullscale =
+      stall_for stall_polling churn_counts churn_start churn_period ping_timeout drop_ping
+      delay_poll seed sanitize csv json fig fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
         run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
-          lrr stall_for stall_polling ping_timeout drop_ping delay_poll seed sanitize csv json
+          lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
+          drop_ping delay_poll seed sanitize csv json
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim
-      $ reclaim_scale $ epochf $ popm $ lrr $ stall_for $ stall_polling $ ping_timeout
-      $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
+      $ reclaim_scale $ epochf $ popm $ lrr $ stall_for $ stall_polling $ churn_counts
+      $ churn_start $ churn_period $ ping_timeout $ drop_ping $ delay_poll $ seed $ sanitize
+      $ csv $ json $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

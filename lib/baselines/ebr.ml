@@ -118,6 +118,8 @@ let flush ctx =
 
 let deregister ctx =
   Striped.set ctx.g.reserved_epoch ctx.tid max_int;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c

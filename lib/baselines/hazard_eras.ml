@@ -102,6 +102,8 @@ let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 
 let deregister ctx =
   Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c

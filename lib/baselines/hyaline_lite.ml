@@ -99,6 +99,9 @@ let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ctx
 
 let deregister ctx =
   end_op ctx;
+  (* The undistributed local batch goes to the orphanage; a peer's next
+     [take_all] folds it into its own batch and distributes it. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c

@@ -137,6 +137,8 @@ let flush ctx =
 
 let deregister ctx =
   Reservations.set_shared ctx.g.res ~tid:ctx.tid ~slot:lo_slot max_int;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c

@@ -46,7 +46,9 @@ let create cfg hub heap =
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c;
-    eng = Reclaimer.create cfg ~heap ~counters:c;
+    (* 2x scale: passes here pay a ping/neutralization round, so amortize
+       over twice the adaptive threshold (see EXPERIMENTS.md sweep). *)
+    eng = Reclaimer.create ~reclaim_scale:(2 * cfg.reclaim_scale) cfg ~heap ~counters:c;
     rounds_started = Atomic.make 0;
     rounds_done = Atomic.make 0;
     clean_rounds_done = Atomic.make 0;
@@ -192,8 +194,10 @@ let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 let deregister ctx =
   clear_published ctx;
   ctx.phase <- Quiescent;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.rounds_done)
+let stats g = Counters.snapshot ~hs:g.hs g.c ~hub:g.hub ~epoch:(Atomic.get g.rounds_done)

@@ -45,7 +45,11 @@ let enter_write_phase _ctx _nodes = ()
 
 let flush _ctx = ()
 
-let deregister ctx = Softsignal.deregister ctx.port
+let deregister ctx =
+  (* [retire_leak] buffers nothing, so this is a no-op; kept so every
+     scheme's exit path is uniformly routed through the orphanage. *)
+  Reclaimer.donate ctx.rl;
+  Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c
 

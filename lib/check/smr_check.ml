@@ -13,6 +13,8 @@ type violations = {
   slot_out_of_bounds : int;
   use_after_deregister : int;
   unbalanced_op : int;
+  churn_misuse : int;
+  orphan_misuse : int;
 }
 
 let zero =
@@ -24,6 +26,8 @@ let zero =
     slot_out_of_bounds = 0;
     use_after_deregister = 0;
     unbalanced_op = 0;
+    churn_misuse = 0;
+    orphan_misuse = 0;
   }
 
 (* Exhaustive record patterns, like Smr_stats.to_alist: adding a category
@@ -37,9 +41,12 @@ let total
       slot_out_of_bounds;
       use_after_deregister;
       unbalanced_op;
+      churn_misuse;
+      orphan_misuse;
     } =
   read_outside_op + check_unreserved + double_retire + write_phase_misuse
-  + slot_out_of_bounds + use_after_deregister + unbalanced_op
+  + slot_out_of_bounds + use_after_deregister + unbalanced_op + churn_misuse
+  + orphan_misuse
 
 let to_alist
     {
@@ -50,6 +57,8 @@ let to_alist
       slot_out_of_bounds;
       use_after_deregister;
       unbalanced_op;
+      churn_misuse;
+      orphan_misuse;
     } =
   [
     ("read_outside_op", read_outside_op);
@@ -59,6 +68,8 @@ let to_alist
     ("slot_out_of_bounds", slot_out_of_bounds);
     ("use_after_deregister", use_after_deregister);
     ("unbalanced_op", unbalanced_op);
+    ("churn_misuse", churn_misuse);
+    ("orphan_misuse", orphan_misuse);
   ]
 
 let pp fmt v =
@@ -75,8 +86,10 @@ type category =
   | Slot_out_of_bounds
   | Use_after_deregister
   | Unbalanced_op
+  | Churn_misuse
+  | Orphan_misuse
 
-let n_categories = 7
+let n_categories = 9
 
 let category_index = function
   | Read_outside_op -> 0
@@ -86,6 +99,8 @@ let category_index = function
   | Slot_out_of_bounds -> 4
   | Use_after_deregister -> 5
   | Unbalanced_op -> 6
+  | Churn_misuse -> 7
+  | Orphan_misuse -> 8
 
 let category_label = function
   | Read_outside_op -> "read outside an operation"
@@ -95,6 +110,8 @@ let category_label = function
   | Slot_out_of_bounds -> "reservation slot out of bounds"
   | Use_after_deregister -> "call on a deregistered context"
   | Unbalanced_op -> "unbalanced start_op/end_op"
+  | Churn_misuse -> "thread-churn misuse"
+  | Orphan_misuse -> "orphan-adoption accounting mismatch"
 
 module type CHECKED = sig
   include Smr.S
@@ -119,10 +136,12 @@ module Make (S : Smr.S) : CHECKED = struct
     tallies : int Atomic.t array;  (* one counter per [category] *)
     retired_mu : Pop_runtime.Spinlock.t;
     retired_seq : (int, int) Hashtbl.t;  (* node id -> last retired incarnation *)
+    claimed : int Atomic.t array;  (* 1 while a live checked context owns the tid *)
   }
 
   type 'a tctx = {
     g : 'a t;
+    tid : int;
     ictx : 'a S.tctx;
     mutable st : op_state;
     (* Shadow of this thread's reservation slots: the node id and
@@ -140,6 +159,7 @@ module Make (S : Smr.S) : CHECKED = struct
       tallies = Array.init n_categories (fun _ -> Atomic.make 0);
       retired_mu = Pop_runtime.Spinlock.create ();
       retired_seq = Hashtbl.create 1024;
+      claimed = Array.init cfg.Smr_config.max_threads (fun _ -> Atomic.make 0);
     }
 
   let set_mode g m = g.mode <- m
@@ -154,12 +174,16 @@ module Make (S : Smr.S) : CHECKED = struct
       slot_out_of_bounds = n Slot_out_of_bounds;
       use_after_deregister = n Use_after_deregister;
       unbalanced_op = n Unbalanced_op;
+      churn_misuse = n Churn_misuse;
+      orphan_misuse = n Orphan_misuse;
     }
 
-  let violate ctx cat detail =
-    Atomic.incr ctx.g.tallies.(category_index cat);
-    if ctx.g.mode = `Raise then
+  let violate_g g cat detail =
+    Atomic.incr g.tallies.(category_index cat);
+    if g.mode = `Raise then
       raise (Violation (Printf.sprintf "[%s] %s: %s" name (category_label cat) detail))
+
+  let violate ctx cat detail = violate_g ctx.g cat detail
 
   let clear_slots ctx =
     Array.fill ctx.res_id 0 (Array.length ctx.res_id) (-1);
@@ -171,9 +195,24 @@ module Make (S : Smr.S) : CHECKED = struct
     ctx.st <- Quiescent;
     clear_slots ctx
 
+  (* A join on a recycled tid must find the slot released by a clean
+     [deregister]. Claiming a tid whose previous checked context is
+     still live (including one that crashed mid-operation and will never
+     deregister) is churn misuse — the underlying scheme would also
+     refuse it, via [Softsignal.register], but the category names the
+     protocol error. The fresh context always starts from a clean
+     typestate and empty shadow slots. *)
   let register g ~tid =
+    if
+      tid >= 0
+      && tid < Array.length g.claimed
+      && not (Atomic.compare_and_set g.claimed.(tid) 0 1)
+    then
+      violate_g g Churn_misuse
+        (Printf.sprintf "register of tid %d, which a live context still claims" tid);
     {
       g;
+      tid;
       ictx = S.register g.inner ~tid;
       st = Quiescent;
       res_id = Array.make (max g.max_hp 1) (-1);
@@ -313,6 +352,10 @@ module Make (S : Smr.S) : CHECKED = struct
     if ctx.st = Deregistered then violate ctx Use_after_deregister "flush"
     else S.flush ctx.ictx
 
+  let release_claim ctx =
+    if ctx.tid >= 0 && ctx.tid < Array.length ctx.g.claimed then
+      Atomic.set ctx.g.claimed.(ctx.tid) 0
+
   let deregister ctx =
     match ctx.st with
     | Deregistered -> violate ctx Use_after_deregister "second deregister"
@@ -320,13 +363,28 @@ module Make (S : Smr.S) : CHECKED = struct
         violate ctx Unbalanced_op "deregister inside an open operation";
         clear_slots ctx;
         ctx.st <- Deregistered;
-        S.deregister ctx.ictx
+        S.deregister ctx.ictx;
+        release_claim ctx
     | Quiescent ->
         clear_slots ctx;
         ctx.st <- Deregistered;
-        S.deregister ctx.ictx
+        S.deregister ctx.ictx;
+        release_claim ctx
 
   let unreclaimed g = S.unreclaimed g.inner
 
-  let stats g = { (S.stats g.inner) with Smr_stats.violations = total (violations g) }
+  (* The orphanage hand-off is exactly-once: a scheme can never adopt
+     more nodes than departing threads donated. Observing an excess in
+     the counters means a donated batch was handed out twice (the
+     freed-twice half; the dropped half shows up as nodes stuck in
+     [unreclaimed]/[orphans_pending] forever). Detected at observation
+     time, so the tally is set to the deficit rather than incremented —
+     repeated [stats] calls must not inflate it. *)
+  let stats g =
+    let s = S.stats g.inner in
+    if s.Smr_stats.orphans_adopted > s.Smr_stats.orphans_donated then
+      Atomic.set
+        g.tallies.(category_index Orphan_misuse)
+        (s.Smr_stats.orphans_adopted - s.Smr_stats.orphans_donated);
+    { s with Smr_stats.violations = total (violations g) }
 end

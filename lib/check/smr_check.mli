@@ -52,6 +52,19 @@ type violations = {
   slot_out_of_bounds : int;  (** [read] into a slot outside [0 .. max_hp - 1]. *)
   use_after_deregister : int;  (** Any call on a deregistered context. *)
   unbalanced_op : int;  (** [start_op]/[end_op]/[deregister] nesting errors. *)
+  churn_misuse : int;
+      (** [register] of a tid whose previous checked context is still
+          live — including one that crashed mid-operation and will never
+          deregister. A join may only recycle a cleanly released tid
+          (and then starts from a fresh, quiescent typestate). *)
+  orphan_misuse : int;
+      (** Orphan-adoption accounting mismatch: the scheme reported more
+          nodes adopted from the {!Pop_core.Reclaimer} orphanage than
+          departing threads donated, i.e. a donated batch was handed out
+          twice. (The dropped-batch half of exactly-once shows up as
+          nodes stuck in [unreclaimed] forever, asserted by tests.)
+          Detected when [stats] is read; the tally equals the current
+          deficit. *)
 }
 
 val zero : violations

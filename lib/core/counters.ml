@@ -10,6 +10,8 @@ type t = {
   scan_skips : Striped.t;
   snapshot_reuses : Striped.t;
   retire_segments : Striped.t;
+  orphans_donated : Striped.t;
+  orphans_adopted : Striped.t;
 }
 
 let create n =
@@ -23,6 +25,8 @@ let create n =
     scan_skips = Striped.create n;
     snapshot_reuses = Striped.create n;
     retire_segments = Striped.create n;
+    orphans_donated = Striped.create n;
+    orphans_adopted = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -43,10 +47,19 @@ let snapshot_reuse t ~tid = Striped.incr t.snapshot_reuses tid
 
 let segment t ~tid = Striped.incr t.retire_segments tid
 
+let orphan_donate t ~tid n = if n > 0 then Striped.add t.orphans_donated tid n
+
+let orphan_adopt t ~tid n = if n > 0 then Striped.add t.orphans_adopted tid n
+
 let unreclaimed t = Striped.sum t.retired - Striped.sum t.freed
 
-let snapshot t ~hub ~epoch =
+let snapshot ?hs t ~hub ~epoch =
   let retired = Striped.sum t.retired and freed = Striped.sum t.freed in
+  let suspects, quarantine_rounds =
+    match hs with
+    | None -> (0, 0)
+    | Some hs -> (Handshake.suspect_count hs, Handshake.quarantine_round_count hs)
+  in
   {
     Smr_stats.retired;
     freed;
@@ -59,6 +72,10 @@ let snapshot t ~hub ~epoch =
     retire_segments = Striped.sum t.retire_segments;
     restarts = Striped.sum t.restarts;
     handshake_timeouts = Striped.sum t.hs_timeouts;
+    suspects;
+    quarantine_rounds;
+    orphans_donated = Striped.sum t.orphans_donated;
+    orphans_adopted = Striped.sum t.orphans_adopted;
     epoch;
     unreclaimed = retired - freed;
     violations = 0;

@@ -29,7 +29,20 @@ val snapshot_reuse : t -> tid:int -> unit
 val segment : t -> tid:int -> unit
 (** A fresh scan pass sealed a new checked segment of a retire list. *)
 
+val orphan_donate : t -> tid:int -> int -> unit
+(** [orphan_donate t ~tid n] records [n] retired nodes donated to the
+    {!Reclaimer} orphanage by departing thread [tid] (no-op when
+    [n = 0]). *)
+
+val orphan_adopt : t -> tid:int -> int -> unit
+(** [orphan_adopt t ~tid n] records [n] orphaned nodes adopted into
+    [tid]'s retire buffer (no-op when [n = 0]). *)
+
 val unreclaimed : t -> int
 (** Retired minus freed, racily summed. *)
 
-val snapshot : t -> hub:Pop_runtime.Softsignal.t -> epoch:int -> Smr_stats.t
+val snapshot :
+  ?hs:Handshake.t -> t -> hub:Pop_runtime.Softsignal.t -> epoch:int -> Smr_stats.t
+(** [?hs] supplies the handshake whose failure-detector counters
+    ([suspects]/[quarantine_rounds]) the snapshot should report; omit it
+    for schemes without a ping round (the fields read 0). *)

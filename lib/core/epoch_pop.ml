@@ -46,7 +46,10 @@ let create cfg hub heap =
     reserved_epoch;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c;
-    eng = Reclaimer.create cfg ~heap ~counters:c;
+    (* 2x scale on the POP side: a pop pass pays a full ping round, so
+       amortize it over twice the adaptive threshold (the epoch pass
+       trigger derives from the same threshold; see EXPERIMENTS.md). *)
+    eng = Reclaimer.create ~reclaim_scale:(2 * cfg.reclaim_scale) cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -61,7 +64,10 @@ let register g ~tid =
       row = Reservations.local_row g.res ~tid;
       my_epoch = Striped.cell g.reserved_epoch tid;
       fence = Fence.make_cell ();
-      rl = Reclaimer.register g.eng ~tid ~scratch_slots:nres;
+      (* 2x: room for the shared table plus racy local-row copies of
+         quarantined (crashed) peers, whose epoch announcement must not
+         be honoured as a floor — see [reclaim_pop]. *)
+      rl = Reclaimer.register g.eng ~tid ~scratch_slots:(2 * nres);
       counter_scratch = Array.make g.cfg.max_threads 0;
       timeout_scratch = Array.make g.cfg.max_threads false;
       stuck_epoch = max_int;
@@ -137,17 +143,32 @@ let reclaim_pop ?force ctx =
        its epoch eagerly at STARTOP, so the EBR floor already bounds what
        it can hold: any node it read during its current op was retired at
        or after that announcement (the RECLAIMEPOCHFREEABLE argument).
-       Keep every node at or above the lowest stuck announcement. *)
+       Keep every node at or above the lowest stuck announcement.
+
+       A {e quarantined} peer is different: the failure detector says it
+       stopped polling entirely, so honouring its announcement would pin
+       every node retired since it crashed, forever — the unbounded
+       garbage EBR suffers. For suspects we union in a racy copy of the
+       private reservation row instead (the HazardPtrPOP fallback: a
+       peer deaf for whole rounds has not executed READ since long
+       before the ping, so its last plain reservation stores are
+       visible, and an unvalidated reservation is safe to honour) and
+       exclude them from the floor. Garbage pinned by a crashed peer is
+       then bounded by its max_hp row, not by time. *)
+    let k = ref k in
     let stuck_epoch = ref max_int in
     if timeouts > 0 then
       for tid = 0 to g.cfg.max_threads - 1 do
-        if ctx.timeout_scratch.(tid) then begin
-          let e = Striped.get g.reserved_epoch tid in
-          if e < !stuck_epoch then stuck_epoch := e
-        end
+        if ctx.timeout_scratch.(tid) then
+          if Handshake.suspected g.hs tid then
+            k := Reservations.append_local_row g.res ~tid ~into:scratch ~pos:!k
+          else begin
+            let e = Striped.get g.reserved_epoch tid in
+            if e < !stuck_epoch then stuck_epoch := e
+          end
       done;
     ctx.stuck_epoch <- !stuck_epoch;
-    k
+    !k
   in
   ignore
     (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_id
@@ -184,8 +205,10 @@ let deregister ctx =
   Striped.set ctx.g.reserved_epoch ctx.tid max_int;
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;
   Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)
+let stats g = Counters.snapshot ~hs:g.hs g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)

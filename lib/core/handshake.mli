@@ -20,14 +20,29 @@
     treat everything that peer might hold as reserved — its racily
     readable reservation rows and/or its announced epoch — rather than
     waiting for a publish that may never come. See DESIGN.md "Bounded
-    handshake" for the safety argument. *)
+    handshake" for the safety argument.
+
+    {b Failure detector:} a peer that times out [suspect_after]
+    consecutive rounds while its {!Pop_runtime.Softsignal.heartbeat}
+    stays frozen is marked {e suspect} and quarantined: later rounds
+    skip its ping entirely and report the timeout immediately (the
+    caller takes the same conservative fallback, just without burning
+    the spin budget against a dead port). Quarantined peers are
+    re-probed with exponentially backed-off pings and un-quarantined as
+    soon as their heartbeat moves — including when a fresh thread
+    re-registers the slot, since {!Pop_runtime.Softsignal.register}
+    bumps the heartbeat. Detection is a performance heuristic only;
+    safety always rests on the conservative fallback. *)
 
 type t
 
-val create : ?timeout_spins:int -> Pop_runtime.Softsignal.t -> t
+val create :
+  ?timeout_spins:int -> ?suspect_after:int -> Pop_runtime.Softsignal.t -> t
 (** [timeout_spins] (default 64) is the backoff-attempt budget per
-    non-responsive peer; raises [Invalid_argument] if non-positive.
-    With the default backoff schedule 64 attempts is roughly 100 ms. *)
+    non-responsive peer; [suspect_after] (default 3) is the number of
+    consecutive stale-heartbeat timeouts before a peer is quarantined.
+    Raises [Invalid_argument] if either is non-positive. With the
+    default backoff schedule 64 attempts is roughly 100 ms. *)
 
 val ack : t -> tid:int -> unit
 (** Bump [tid]'s publish counter. Called from the signal handler after
@@ -51,5 +66,22 @@ val ping_and_wait :
 
     Every entry of [timed_out] is (re)written: [timed_out.(tid)] is
     [true] iff [tid] was pinged, stayed active, and still had not
-    published when its spin budget ran out. Returns the number of such
-    peers (0 = a clean round equivalent to the unbounded handshake). *)
+    published when its spin budget ran out — or was a quarantined
+    suspect whose re-probe was not yet due (skipped without a ping).
+    Returns the number of such peers (0 = a clean round equivalent to
+    the unbounded handshake). *)
+
+val suspected : t -> int -> bool
+(** Racy check whether slot [tid] is currently quarantined. A suspect's
+    reported timeout means "this peer has stopped polling", not merely
+    "this peer was slow this round" — schemes whose fallback quality
+    depends on the distinction (e.g. EpochPOP's epoch floor, which a
+    crashed peer would pin forever) may choose a different fallback for
+    suspects. *)
+
+val suspect_count : t -> int
+(** Cumulative number of quarantine transitions (for stats). *)
+
+val quarantine_round_count : t -> int
+(** Cumulative number of per-peer ping skips taken because the peer was
+    quarantined and its re-probe was not yet due (for stats). *)

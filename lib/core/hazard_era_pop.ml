@@ -37,7 +37,9 @@ let create cfg hub heap =
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
     hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
     c;
-    eng = Reclaimer.create cfg ~heap ~counters:c;
+    (* 2x scale: a pass here pays a full ping round, so amortize it over
+       twice the adaptive threshold (see EXPERIMENTS.md sweep). *)
+    eng = Reclaimer.create ~reclaim_scale:(2 * cfg.reclaim_scale) cfg ~heap ~counters:c;
     epoch = Atomic.make 1;
   }
 
@@ -139,8 +141,10 @@ let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ~force:true ctx
 let deregister ctx =
   Reservations.clear_local ctx.g.res ~tid:ctx.tid;
   Reservations.clear_shared ctx.g.res ~tid:ctx.tid;
+  (* Scan survivors go to the orphanage; a peer's next pass adopts them. *)
+  Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)
+let stats g = Counters.snapshot ~hs:g.hs g.c ~hub:g.hub ~epoch:(Atomic.get g.epoch)

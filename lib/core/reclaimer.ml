@@ -8,14 +8,32 @@ type 'a t = {
   c : Counters.t;
   gen : int Atomic.t;
   threshold : int;
+  (* The orphanage: retire-buffer survivors of departed threads, parked
+     until a surviving thread's next pass adopts them. The spinlock makes
+     the hand-off exactly-once (donate and adopt both move whole buffers
+     under it); the atomic count lets the hot scan path skip the lock
+     when there is nothing to adopt. *)
+  orphans : 'a Heap.node Vec.t;
+  orphan_lock : Spinlock.t;
+  orphan_count : int Atomic.t;
 }
 
-let create (cfg : Smr_config.t) ~heap ~counters =
+let create ?reclaim_scale (cfg : Smr_config.t) ~heap ~counters =
+  let scale = Option.value reclaim_scale ~default:cfg.reclaim_scale in
+  if scale < 0 then invalid_arg "Reclaimer.create: reclaim_scale must be >= 0";
   let threshold =
-    if cfg.reclaim_scale = 0 then cfg.reclaim_freq
-    else max cfg.reclaim_freq (cfg.reclaim_scale * cfg.max_threads * cfg.max_hp)
+    if scale = 0 then cfg.reclaim_freq
+    else max cfg.reclaim_freq (scale * cfg.max_threads * cfg.max_hp)
   in
-  { heap; c = counters; gen = Atomic.make 0; threshold }
+  {
+    heap;
+    c = counters;
+    gen = Atomic.make 0;
+    threshold;
+    orphans = Vec.create ~dummy:(Heap.sentinel heap) ();
+    orphan_lock = Spinlock.create ();
+    orphan_count = Atomic.make 0;
+  }
 
 let threshold t = t.threshold
 
@@ -83,7 +101,39 @@ let raw l = l.scratch
 
 let raw_len l = l.scratch_len
 
+let donate l =
+  let n = Vec.length l.retired in
+  if n > 0 then begin
+    Spinlock.lock l.r.orphan_lock;
+    Vec.iter (Vec.push l.r.orphans) l.retired;
+    Atomic.set l.r.orphan_count (Vec.length l.r.orphans);
+    Spinlock.unlock l.r.orphan_lock;
+    Vec.clear l.retired;
+    l.checked <- 0;
+    Counters.orphan_donate l.r.c ~tid:l.tid n
+  end
+
+let orphans_pending r = Atomic.get r.orphan_count
+
+(* Fold every parked orphan into [l]'s retire buffer. Appending lands
+   them past [checked], i.e. in the uncovered open segment, so the
+   covered-prefix invariant needs no adjustment and the next fresh pass
+   vets them against a snapshot collected after their donors left. *)
+let adopt l =
+  if Atomic.get l.r.orphan_count = 0 then 0
+  else begin
+    Spinlock.lock l.r.orphan_lock;
+    let n = Vec.length l.r.orphans in
+    Vec.iter (Vec.push l.retired) l.r.orphans;
+    Vec.clear l.r.orphans;
+    Atomic.set l.r.orphan_count 0;
+    Spinlock.unlock l.r.orphan_lock;
+    Counters.orphan_adopt l.r.c ~tid:l.tid n;
+    n
+  end
+
 let take_all l =
+  ignore (adopt l);
   let nodes = Array.init (Vec.length l.retired) (Vec.get l.retired) in
   Vec.clear l.retired;
   l.checked <- 0;
@@ -112,6 +162,11 @@ let filter_free l ~pos ~len keep =
   !freed
 
 let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
+  (* Adopt before deciding whether the cache can answer: orphans join
+     the open segment and count toward the fresh-pass trigger, so a
+     departed thread's garbage is vetted by whichever survivor scans
+     next instead of waiting for the adopter's own retires. *)
+  ignore (adopt l);
   let gen = Atomic.get l.r.gen in
   let uncovered = Vec.length l.retired - l.checked in
   if (not force) && l.snap_gen = gen && uncovered < l.r.threshold then begin
@@ -145,6 +200,7 @@ let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
   end
 
 let scan_plain ~kind ~keep l =
+  ignore (adopt l);
   count_pass l kind;
   (* Epoch-style passes don't use the snapshot; filter the covered
      prefix and the uncovered suffix separately so [checked] keeps

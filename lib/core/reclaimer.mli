@@ -38,7 +38,18 @@
     {b Adaptive threshold.} With {!Smr_config.t.reclaim_scale} set, the
     trigger threshold scales with [threads × max_hp] (Michael-style
     amortization); the flat [reclaim_freq] remains the fallback and the
-    floor. *)
+    floor. Schemes may override the scale per instance (see {!create}) —
+    ping-round schemes amortize an expensive round over more retires,
+    cheap-scan schemes keep the global knob.
+
+    {b Orphanage.} A departing thread {!donate}s its retire-buffer
+    survivors to a shared, spinlock-protected stash instead of leaking
+    them; any thread's next pass ({!scan}, {!scan_plain} or {!take_all})
+    adopts the whole stash into its own buffer. The hand-off is
+    exactly-once (both directions move whole buffers under the lock),
+    and adopted nodes land in the adopter's uncovered open segment, so
+    the covered-prefix invariant is preserved and the next fresh pass
+    vets them against a snapshot collected after the donor left. *)
 
 module Heap := Pop_sim.Heap
 
@@ -49,7 +60,12 @@ type pass =
 type 'a t
 (** Shared engine state for one scheme instance. *)
 
-val create : Smr_config.t -> heap:'a Heap.t -> counters:Counters.t -> 'a t
+val create :
+  ?reclaim_scale:int -> Smr_config.t -> heap:'a Heap.t -> counters:Counters.t -> 'a t
+(** [?reclaim_scale] overrides {!Smr_config.t.reclaim_scale} for this
+    instance (a per-scheme threshold tuning hook — see EXPERIMENTS.md
+    "Reclaim-scale sweep"); schemes that want the paper's default simply
+    omit it. Raises [Invalid_argument] if negative. *)
 
 val threshold : 'a t -> int
 (** The effective pass-trigger threshold: [reclaim_freq], or
@@ -109,8 +125,18 @@ val raw : 'a local -> int array
 val raw_len : 'a local -> int
 
 val take_all : 'a local -> 'a Heap.node array
-(** Drain the buffer without freeing (Hyaline hands the batch over to
-    its reference-counted lists). *)
+(** Adopt any pending orphans, then drain the buffer without freeing
+    (Hyaline hands the batch over to its reference-counted lists). *)
+
+val donate : 'a local -> unit
+(** Move the entire retire buffer (covered prefix included) into the
+    engine's orphan stash, resetting the local segment bookkeeping.
+    Called on the thread's own exit path ([deregister]); the nodes are
+    freed by whichever surviving thread scans next. Exactly-once with
+    respect to {!scan}/{!scan_plain}/{!take_all} adoption. *)
+
+val orphans_pending : 'a t -> int
+(** Racy count of donated nodes not yet adopted (0 at quiescence). *)
 
 val note_skip : 'a local -> unit
 (** Record an engine-external pass suppression (EBR's unchanged-epoch

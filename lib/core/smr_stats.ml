@@ -10,6 +10,10 @@ type t = {
   publishes : int;
   restarts : int;
   handshake_timeouts : int;
+  suspects : int;
+  quarantine_rounds : int;
+  orphans_donated : int;
+  orphans_adopted : int;
   epoch : int;
   unreclaimed : int;
   violations : int;
@@ -28,6 +32,10 @@ let zero =
     publishes = 0;
     restarts = 0;
     handshake_timeouts = 0;
+    suspects = 0;
+    quarantine_rounds = 0;
+    orphans_donated = 0;
+    orphans_adopted = 0;
     epoch = 0;
     unreclaimed = 0;
     violations = 0;
@@ -52,6 +60,10 @@ let to_alist
       publishes;
       restarts;
       handshake_timeouts;
+      suspects;
+      quarantine_rounds;
+      orphans_donated;
+      orphans_adopted;
       epoch;
       unreclaimed;
       violations;
@@ -69,6 +81,10 @@ let to_alist
     ("publishes", publishes);
     ("restarts", restarts);
     ("handshake_timeouts", handshake_timeouts);
+    ("suspects", suspects);
+    ("quarantine_rounds", quarantine_rounds);
+    ("orphans_donated", orphans_donated);
+    ("orphans_adopted", orphans_adopted);
     ("epoch", epoch);
     ("violations", violations);
   ]

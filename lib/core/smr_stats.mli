@@ -24,6 +24,22 @@ type t = {
       (** Peers that failed to publish within the handshake's spin
           budget ({!Smr_config.t.ping_timeout_spins}); each one forced a
           reclaimer onto the conservative fallback path. *)
+  suspects : int;
+      (** Quarantine transitions by the {!Handshake} failure detector: a
+          peer timed out {!Handshake.create}[?suspect_after] consecutive
+          rounds with a frozen heartbeat and later ping rounds skip it
+          (0 for schemes without a handshake). *)
+  quarantine_rounds : int;
+      (** Per-peer ping skips taken because the peer was quarantined and
+          its backed-off re-probe was not yet due; each one is a full
+          [ping_timeout_spins] wait avoided against a dead port. *)
+  orphans_donated : int;
+      (** Retired nodes a departing thread handed to the {!Reclaimer}
+          orphanage at [deregister]/final-[flush] instead of leaking. *)
+  orphans_adopted : int;
+      (** Orphaned nodes a surviving thread folded into its own retire
+          buffer during a later scan ([= orphans_donated] at quiescence:
+          the hand-off is exactly-once). *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
   violations : int;

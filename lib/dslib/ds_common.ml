@@ -73,4 +73,13 @@ module Make (R : Smr.S) = struct
           if Clock.elapsed t0 < seconds && not (wake ()) then hold () else ()
     in
     hold ()
+
+  (* Crash inside an operation: open it, take [pin]'s reservations, and
+     abandon ship — no end_op, no deregister. An NBR neutralization that
+     lands during the pin is swallowed: a dead thread cannot honour the
+     restart protocol either, which is exactly the case DEBRA+-style
+     recovery must tolerate. *)
+  let crash_in_op rctx ~pin =
+    R.start_op rctx;
+    (try pin () with Smr.Restart -> ())
 end

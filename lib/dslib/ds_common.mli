@@ -47,4 +47,11 @@ module Make (R : Pop_core.Smr.S) : sig
       true), after [pin] has taken whatever reservations/epoch the
       caller wants pinned. With [polling = false] the thread is deaf to
       pings for the duration. *)
+
+  val crash_in_op : 'p R.tctx -> pin:(unit -> unit) -> unit
+  (** Crash inside an operation: open it, take [pin]'s reservations, and
+      abandon everything — no [end_op], no [deregister], and any NBR
+      neutralization raised during the pin is swallowed (a dead thread
+      cannot honour the restart protocol). The context must never be
+      used again. *)
 end

@@ -42,10 +42,17 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let poll ctx = R.poll ctx.rctx
 
-  let stall ?wake ctx ~seconds ~polling =
+  (* The reservation both [stall] and [crash] hold: a protected read of
+     the structure's first pointer, never written back, so the set's
+     contents are unaffected however long it stays pinned. *)
+  let stall_pin ctx =
     let cell = Core.next_cell ctx.s.buckets.(0).head in
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(fun () ->
-        ignore (R.read ctx.rctx 0 cell Core.proj))
+    fun () -> ignore (R.read ctx.rctx 0 cell Core.proj)
+
+  let stall ?wake ctx ~seconds ~polling =
+    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+
+  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
 
   let flush ctx = R.flush ctx.rctx
 

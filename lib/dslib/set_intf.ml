@@ -43,6 +43,15 @@ module type SET = sig
       [true] (default: never) — the harness passes its stop flag so a
       deaf thread cannot outlive the run. *)
 
+  val crash : ctx -> unit
+  (** Simulate a thread dying mid-operation: open an operation, pin a
+      node like {!stall} would, then abandon everything — no [end_op],
+      no [flush], no [deregister]. The context must never be used again;
+      its reservations stay raised and its soft-signal slot stays
+      registered but deaf forever, so peers only make progress through
+      the handshake timeout / failure-detector path. The pin is
+      read-only, so the set's contents are unaffected. *)
+
   val flush : ctx -> unit
   (** Best-effort drain of the thread's retire list. *)
 

@@ -81,17 +81,25 @@ let fig_mixed ?(check = true) ~title ~mix ~dss ~smrs sc =
       in
       let th_headers tag = List.map (fun t -> Printf.sprintf "%s(t=%d)" tag t) sc.threads_list in
       Report.table
-        ~header:(("algo" :: th_headers "Mops") @ th_headers "garb" @ [ "live(max t)" ])
+        ~header:
+          (("algo" :: th_headers "Mops")
+          @ th_headers "garb"
+          @ [ "live(max t)"; "segs(max t)"; "snapreuse(max t)" ])
         ~rows:
           (List.map
              (fun (smr, rs) ->
                let marks = if check then String.concat "" (List.map flag rs) else "" in
+               let last = List.nth rs (List.length rs - 1) in
                (Dispatch.smr_name smr ^ marks)
                :: (List.map (fun (r : Runner.result) -> Report.fmt_mops r.mops) rs
                   @ List.map
                       (fun (r : Runner.result) -> Report.fmt_count r.max_unreclaimed)
                       rs
-                  @ [ Report.fmt_count (List.nth rs (List.length rs - 1)).max_live ]))
+                  @ [
+                      Report.fmt_count last.max_live;
+                      Report.fmt_count last.smr.retire_segments;
+                      Report.fmt_count last.smr.snapshot_reuses;
+                    ]))
              cells);
       List.iter (fun (_, rs) -> acc := rs @ !acc) cells)
     dss;
@@ -202,6 +210,74 @@ let fig_robustness sc =
              Report.fmt_count r.final_unreclaimed;
              Report.fmt_count r.smr.pop_passes;
              Report.fmt_count r.smr.pings;
+           ])
+         cells);
+  List.map snd cells
+
+let fig_churn sc =
+  let threads = max 4 (List.fold_left max 2 sc.threads_list) in
+  let duration = max 1.0 sc.duration in
+  let churn =
+    Some
+      {
+        Runner.exits = 2;
+        crashes = 2;
+        joins = 2;
+        churn_start = 0.15 *. duration;
+        churn_period = 0.1 *. duration;
+      }
+  in
+  Report.section
+    (Printf.sprintf
+       "Churn: %d workers; mid-run 2 exit cleanly, 2 crash mid-operation and 2 fresh \
+        workers join on recycled tids (hml size=%d, update-heavy). Clean exits donate \
+        their retire buffers to the orphanage; crashes abandon theirs. A crashed peer \
+        pins at most max_hp nodes under HP/HE/POP once the failure detector \
+        quarantines it, while EBR's garbage keeps growing behind the dead thread's \
+        frozen epoch."
+       threads sc.size_hml);
+  let smrs = Dispatch.[ EBR; HP; HE; IBR; HPPOP; HEPOP; EPOCHPOP ] in
+  let cells =
+    List.map
+      (fun smr ->
+        ( smr,
+          Runner.run
+            {
+              (base_cfg sc Dispatch.HML smr threads) with
+              duration;
+              churn;
+              (* Short spin budget so quarantine kicks in well before the
+                 run ends even at quick scale. *)
+              ping_timeout_spins = 24;
+            } ))
+      smrs
+  in
+  Report.table
+    ~header:
+      [
+        "algo";
+        "Mops";
+        "max garbage";
+        "final garbage";
+        "exit/crash/join";
+        "donated";
+        "adopted";
+        "suspects";
+        "quar rounds";
+      ]
+    ~rows:
+      (List.map
+         (fun (smr, (r : Runner.result)) ->
+           [
+             Dispatch.smr_name smr ^ flag r;
+             Report.fmt_mops r.mops;
+             Report.fmt_count r.max_unreclaimed;
+             Report.fmt_count r.final_unreclaimed;
+             Printf.sprintf "%d/%d/%d" r.exited r.crashed r.joined;
+             Report.fmt_count r.smr.orphans_donated;
+             Report.fmt_count r.smr.orphans_adopted;
+             Report.fmt_count r.smr.suspects;
+             Report.fmt_count r.smr.quarantine_rounds;
            ])
          cells);
   List.map snd cells

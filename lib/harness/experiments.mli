@@ -59,6 +59,16 @@ val fig_robustness : scale -> Runner.result list
     operation; EBR's garbage grows unboundedly while POP algorithms stay
     bounded. *)
 
+val fig_churn : scale -> Runner.result list
+(** Thread churn under failure: mid-run some workers exit cleanly
+    (donating their retire buffers to the orphanage), some crash
+    mid-operation (abandoning reservations and buffers), and fresh
+    workers join on the recycled tids. Reports garbage bounds, churn
+    event counts, orphanage traffic and the failure detector's
+    suspect/quarantine counters. EBR's garbage grows behind a crashed
+    thread's frozen epoch; HP/HE/POP stay bounded by [max_hp] per
+    crashed thread. *)
+
 val fig_deaf : scale -> Runner.result list
 (** Adversarial variant of {!fig_robustness} for the bounded handshake:
     one thread goes deaf (stalls without polling) until the end of the

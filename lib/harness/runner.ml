@@ -7,6 +7,16 @@ type stall_spec = {
   stall_polling : bool;
 }
 
+type churn_event = Exit | Crash | Join
+
+type churn_spec = {
+  exits : int;
+  crashes : int;
+  joins : int;
+  churn_start : float;
+  churn_period : float;
+}
+
 type cfg = {
   ds : Dispatch.ds_kind;
   smr : Dispatch.smr_kind;
@@ -25,6 +35,7 @@ type cfg = {
   long_running_reads : bool;
   near_head_span : int;
   stall : stall_spec option;
+  churn : churn_spec option;
   ping_timeout_spins : int;
   drop_ping : float;
   delay_poll : float;
@@ -51,6 +62,7 @@ let default_cfg =
     long_running_reads = false;
     near_head_span = 64;
     stall = None;
+    churn = None;
     ping_timeout_spins = 64;
     drop_ping = 0.0;
     delay_poll = 0.0;
@@ -75,11 +87,16 @@ type result = {
   expected_size : int;
   invariants_ok : bool;
   invariant_error : string;
+  exited : int;
+  crashed : int;
+  joined : int;
   smr : Pop_core.Smr_stats.t;
 }
 
-(* Per-worker tally, returned through Domain.join — no shared state. *)
-type tally = { ops : int; reads : int; updates : int; net_inserts : int }
+(* Per-worker tally, returned through Domain.join — no shared state.
+   [fate]: 0 = ran to the stop flag, 1 = exited early (clean
+   deregister), 2 = crashed (abandoned everything mid-operation). *)
+type tally = { ops : int; reads : int; updates : int; net_inserts : int; fate : int }
 
 let smr_config cfg ~max_threads =
   (* The skip list holds a pred+succ reservation per level. *)
@@ -108,6 +125,15 @@ let ds_config cfg =
 let run cfg =
   Workload.validate cfg.mix;
   if cfg.threads < 1 then invalid_arg "Runner.run: need at least one thread";
+  (match cfg.churn with
+  | None -> ()
+  | Some c ->
+      if c.exits < 0 || c.crashes < 0 || c.joins < 0 then
+        invalid_arg "Runner.run: churn event counts must be non-negative";
+      if c.joins > c.exits then
+        invalid_arg "Runner.run: churn joins need cleanly released tids (joins <= exits)";
+      if c.churn_start < 0.0 || c.churn_period <= 0.0 then
+        invalid_arg "Runner.run: churn_start must be >= 0 and churn_period > 0");
   let (module S) = Dispatch.set_module ~sanitize:cfg.sanitize cfg.ds cfg.smr in
   (* Thread ids: workers use 0 .. threads-1; the main thread uses the
      extra slot for prefill and releases it before the run. *)
@@ -130,6 +156,13 @@ let run cfg =
   let start = Atomic.make false in
   let stop = Atomic.make false in
   let ready = Atomic.make 0 in
+  (* Churn plumbing: [commands.(tid)] is written by the sampling loop
+     (0 = run, 1 = exit cleanly, 2 = crash) and polled by the worker
+     once per operation; [wstatus.(tid)] is written by the worker as it
+     leaves (1 = deregistered, 2 = crashed) so the scheduler knows when
+     a slot is reusable by a join. *)
+  let commands = Array.init cfg.threads (fun _ -> Atomic.make 0) in
+  let wstatus = Array.init cfg.threads (fun _ -> Atomic.make 0) in
   let worker tid () =
     let ctx = S.register set ~tid in
     let rng = Rng.make (cfg.seed + (7919 * (tid + 1))) in
@@ -137,13 +170,14 @@ let run cfg =
     let updater_span = max 1 (min cfg.near_head_span cfg.key_range) in
     let ops = ref 0 and reads = ref 0 and updates = ref 0 and net = ref 0 in
     let stalled = ref false in
+    let quit = ref 0 in
     let t0 = ref 0.0 in
     Atomic.incr ready;
     while not (Atomic.get start) do
       Domain.cpu_relax ()
     done;
     t0 := Clock.now ();
-    while not (Atomic.get stop) do
+    while !quit = 0 && not (Atomic.get stop) do
       (match cfg.stall with
       | Some sp
         when sp.stall_tid = tid && (not !stalled) && Clock.elapsed !t0 >= sp.stall_after ->
@@ -172,19 +206,129 @@ let run cfg =
           if S.delete ctx k then decr net;
           incr updates);
       incr ops;
-      S.poll ctx
+      S.poll ctx;
+      quit := Atomic.get commands.(tid)
     done;
-    S.flush ctx;
-    S.deregister ctx;
-    { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net }
+    let fate =
+      if !quit = 2 then begin
+        (* Die mid-operation: the open op, raised reservations, retire
+           buffer and soft-signal slot are all abandoned. The domain
+           itself still returns (we are simulating a thread crash, not
+           a process one), so Domain.join stays clean. *)
+        S.crash ctx;
+        2
+      end
+      else begin
+        S.flush ctx;
+        S.deregister ctx;
+        if !quit = 1 then 1 else 0
+      end
+    in
+    Atomic.set wstatus.(tid) (if fate = 2 then 2 else 1);
+    { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net; fate }
   in
   let domains = Array.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
   while Atomic.get ready < cfg.threads do
     Domain.cpu_relax ()
   done;
+  (* Churn scheduler state (all main-thread-only): a seeded shuffle of
+     the configured events, fired one per [churn_period] from
+     [churn_start]. An event with no eligible slot (a join before any
+     exit completed, a leave that would empty the set of workers) stays
+     in the queue and is retried on the next sample — but must not
+     block the events behind it: a join shuffled ahead of every exit
+     can only become fireable after an exit frees a slot, so each due
+     tick fires the first *fireable* event in schedule order. *)
+  let slot_state = Array.make cfg.threads 0 in
+  (* 0 = running, 1 = leaving, 2 = free, 3 = dead *)
+  let joined = ref 0 in
+  let joined_domains = ref [] in
+  let churn_rng = Rng.make (cfg.seed + 104729) in
+  let pending =
+    ref
+      (match cfg.churn with
+      | None -> []
+      | Some c ->
+          let evs =
+            Array.of_list
+              (List.concat
+                 [
+                   List.init c.exits (fun _ -> Exit);
+                   List.init c.crashes (fun _ -> Crash);
+                   List.init c.joins (fun _ -> Join);
+                 ])
+          in
+          for i = Array.length evs - 1 downto 1 do
+            let j = Rng.int churn_rng (i + 1) in
+            let t = evs.(i) in
+            evs.(i) <- evs.(j);
+            evs.(j) <- t
+          done;
+          Array.to_list evs)
+  in
+  let next_due =
+    ref (match cfg.churn with Some c -> c.churn_start | None -> infinity)
+  in
+  let refresh_slots () =
+    Array.iteri
+      (fun tid st -> if st = 1 && Atomic.get wstatus.(tid) = 1 then slot_state.(tid) <- 2)
+      slot_state
+  in
+  (* The stall target must not also churn: both own the same worker. *)
+  let stall_tid = match cfg.stall with Some sp -> sp.stall_tid | None -> -1 in
+  let pick p =
+    let eligible = ref 0 in
+    Array.iteri (fun tid st -> if p tid st then incr eligible) slot_state;
+    if !eligible = 0 then None
+    else begin
+      let k = ref (Rng.int churn_rng !eligible) in
+      let found = ref None in
+      Array.iteri
+        (fun tid st ->
+          if p tid st && Option.is_none !found then
+            if !k = 0 then found := Some tid else decr k)
+        slot_state;
+      !found
+    end
+  in
+  let running () =
+    Array.fold_left (fun a st -> if st = 0 then a + 1 else a) 0 slot_state
+  in
+  let fire ev =
+    match ev with
+    | Exit | Crash ->
+        (* Keep at least one worker running: someone must survive to
+           adopt orphans and keep the handshake's quorum meaningful. *)
+        if running () < 2 then false
+        else begin
+          match pick (fun tid st -> st = 0 && tid <> stall_tid) with
+          | None -> false
+          | Some tid ->
+              (match ev with
+              | Exit ->
+                  Atomic.set commands.(tid) 1;
+                  slot_state.(tid) <- 1
+              | Crash ->
+                  Atomic.set commands.(tid) 2;
+                  slot_state.(tid) <- 3
+              | Join -> ());
+              true
+        end
+    | Join -> (
+        match pick (fun _ st -> st = 2) with
+        | None -> false
+        | Some tid ->
+            Atomic.set commands.(tid) 0;
+            Atomic.set wstatus.(tid) 0;
+            slot_state.(tid) <- 0;
+            joined_domains := Domain.spawn (worker tid) :: !joined_domains;
+            incr joined;
+            true)
+  in
   let t_start = Clock.now () in
   Atomic.set start true;
-  (* Sampling loop: track peak memory while the workload runs. *)
+  (* Sampling loop: track peak memory while the workload runs, and fire
+     due churn events. *)
   let max_live = ref 0 and max_unreclaimed = ref 0 in
   let sample () =
     max_live := max !max_live (S.heap_live set);
@@ -192,10 +336,28 @@ let run cfg =
   in
   while Clock.elapsed t_start < cfg.duration do
     Unix.sleepf 0.01;
+    refresh_slots ();
+    (match (!pending, cfg.churn) with
+    | _ :: _, Some c when Clock.elapsed t_start >= !next_due ->
+        let rec fire_first acc = function
+          | [] -> None
+          | ev :: rest ->
+              if fire ev then Some (List.rev_append acc rest)
+              else fire_first (ev :: acc) rest
+        in
+        (match fire_first [] !pending with
+        | Some rest ->
+            pending := rest;
+            next_due := !next_due +. c.churn_period
+        | None -> ())
+    | _ -> ());
     sample ()
   done;
   Atomic.set stop true;
-  let tallies = Array.map Domain.join domains in
+  let tallies =
+    Array.append (Array.map Domain.join domains)
+      (Array.of_list (List.map Domain.join !joined_domains))
+  in
   let elapsed = Clock.elapsed t_start in
   sample ();
   let total_ops = Array.fold_left (fun a t -> a + t.ops) 0 tallies in
@@ -224,6 +386,11 @@ let run cfg =
     expected_size = !prefill_count + net;
     invariants_ok;
     invariant_error;
+    (* Counted from worker fates, not fired events: a command that the
+       stop flag beat to the worker never actually happened. *)
+    exited = Array.fold_left (fun a t -> if t.fate = 1 then a + 1 else a) 0 tallies;
+    crashed = Array.fold_left (fun a t -> if t.fate = 2 then a + 1 else a) 0 tallies;
+    joined = !joined;
     smr = S.smr_stats set;
   }
 
@@ -269,6 +436,9 @@ let to_json ?(label = "") r =
   field "final_unreclaimed" (string_of_int r.final_unreclaimed);
   field "uaf" (string_of_int r.uaf);
   field "double_free" (string_of_int r.double_free);
+  field "exited" (string_of_int r.exited);
+  field "crashed" (string_of_int r.crashed);
+  field "joined" (string_of_int r.joined);
   field "consistent" (if consistent r then "true" else "false");
   (* Amortization stats: frees per pass and the cache-hit ratio of the
      shared reclaimer's snapshot reuse. *)

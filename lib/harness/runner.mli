@@ -9,6 +9,29 @@ type stall_spec = {
   stall_polling : bool;  (** Whether the stalled thread serves pings. *)
 }
 
+type churn_event =
+  | Exit  (** Clean departure: flush, deregister, release the tid. *)
+  | Crash
+      (** Die mid-operation: reservations stay raised, the retire
+          buffer is abandoned, the soft-signal slot stays deaf forever.
+          The slot is never reused. *)
+  | Join  (** A fresh worker claims a cleanly released tid. *)
+
+(** A seeded schedule of membership events: [exits + crashes + joins]
+    events are shuffled deterministically (from [cfg.seed]) and fired
+    one per [churn_period] seconds starting at [churn_start]. An event
+    with no eligible slot — a join before any exit has completed, or a
+    leave that would drop the last running worker — is retried at the
+    next sample instead of dropped, and does not block the events
+    shuffled behind it. *)
+type churn_spec = {
+  exits : int;
+  crashes : int;
+  joins : int;
+  churn_start : float;
+  churn_period : float;
+}
+
 type cfg = {
   ds : Dispatch.ds_kind;
   smr : Dispatch.smr_kind;
@@ -32,6 +55,7 @@ type cfg = {
           [\[0, near_head_span)]. *)
   near_head_span : int;
   stall : stall_spec option;
+  churn : churn_spec option;
   ping_timeout_spins : int;
       (** Handshake spin budget per non-responsive peer; see
           {!Pop_core.Smr_config.t.ping_timeout_spins}. *)
@@ -66,6 +90,9 @@ type result = {
   expected_size : int;  (** Prefill + net successful inserts. *)
   invariants_ok : bool;
   invariant_error : string;
+  exited : int;  (** Workers that left cleanly mid-run (churn [Exit]s). *)
+  crashed : int;  (** Workers that died mid-operation (churn [Crash]es). *)
+  joined : int;  (** Fresh workers spawned onto recycled tids. *)
   smr : Pop_core.Smr_stats.t;
 }
 

@@ -8,6 +8,7 @@ type faults = {
 type t = {
   pending : Striped.t; (* 0 = clear, 1 = pinged *)
   active : Striped.t; (* 0 = dead, 1 = alive *)
+  heartbeats : Striped.t; (* bumped on every poll; failure-detector input *)
   handlers : (unit -> unit) array;
   sent : int Atomic.t;
   runs : int Atomic.t;
@@ -16,7 +17,12 @@ type t = {
   mutable faults : faults option; (* set while quiescent, read racily *)
 }
 
-type port = { hub : t; id : int; my_pending : int Atomic.t }
+type port = {
+  hub : t;
+  id : int;
+  my_pending : int Atomic.t;
+  my_heartbeat : int Atomic.t;
+}
 
 let no_handler () = ()
 
@@ -24,6 +30,7 @@ let create ~max_threads =
   {
     pending = Striped.create max_threads;
     active = Striped.create max_threads;
+    heartbeats = Striped.create max_threads;
     handlers = Array.make max_threads no_handler;
     sent = Atomic.make 0;
     runs = Atomic.make 0;
@@ -55,8 +62,16 @@ let register t ~tid =
   if is_active t tid then invalid_arg "Softsignal.register: slot already active";
   t.handlers.(tid) <- no_handler;
   Striped.set t.pending tid 0;
+  (* A fresh registrant starts from a moved heartbeat so a detector that
+     quarantined the slot's previous (crashed) occupant re-probes it. *)
+  Striped.incr t.heartbeats tid;
   Striped.set t.active tid 1;
-  { hub = t; id = tid; my_pending = Striped.cell t.pending tid }
+  {
+    hub = t;
+    id = tid;
+    my_pending = Striped.cell t.pending tid;
+    my_heartbeat = Striped.cell t.heartbeats tid;
+  }
 
 let set_handler p f = p.hub.handlers.(p.id) <- f
 
@@ -81,6 +96,11 @@ let ping_all t ~self =
   done
 
 let poll p =
+  (* Heartbeat first: a poll that finds no pending ping must still be
+     visible to the failure detector, which distinguishes "slow to ack"
+     from "stopped polling entirely". Single writer per slot, so a plain
+     read-increment-write on the atomic cell suffices. *)
+  Atomic.set p.my_heartbeat (Atomic.get p.my_heartbeat + 1);
   if Atomic.get p.my_pending = 1 then begin
     let t = p.hub in
     match t.faults with
@@ -107,6 +127,8 @@ let deregister p =
      inherits it. *)
   Atomic.set p.my_pending 0;
   p.hub.handlers.(p.id) <- no_handler
+
+let heartbeat t id = Striped.get t.heartbeats id
 
 let pings_sent t = Atomic.get t.sent
 

@@ -114,9 +114,67 @@ let runner_long_running_reads_roles () =
   Alcotest.(check bool) "updates from updater role" true (r.Runner.update_ops > 0);
   Alcotest.(check bool) "consistent" true (Runner.consistent r)
 
+let runner_lrr_reuses_snapshots () =
+  (* Long-running reads are the snapshot cache's best case: the reader's
+     reservations barely move, so triggered passes must be answered from
+     the cached sealed snapshot instead of fresh O(T*H) collects. The
+     figure tables surface this counter; here a tier-1 cell pins it
+     nonzero. *)
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        smr = Dispatch.HPPOP;
+        threads = 2;
+        duration = 0.3;
+        key_range = 512;
+        reclaim_freq = 16;
+        long_running_reads = true;
+        near_head_span = 16;
+      }
+  in
+  Alcotest.(check bool) "consistent" true (Runner.consistent r);
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot reuses nonzero (%d)" r.Runner.smr.Pop_core.Smr_stats.snapshot_reuses)
+    true
+    (r.Runner.smr.Pop_core.Smr_stats.snapshot_reuses > 0)
+
 let runner_rejects_nonsense () =
   Alcotest.check_raises "zero threads" (Invalid_argument "Runner.run: need at least one thread")
-    (fun () -> ignore (Runner.run { Runner.default_cfg with threads = 0 }))
+    (fun () -> ignore (Runner.run { Runner.default_cfg with threads = 0 }));
+  Alcotest.check_raises "negative churn counts"
+    (Invalid_argument "Runner.run: churn event counts must be non-negative") (fun () ->
+      ignore
+        (Runner.run
+           {
+             Runner.default_cfg with
+             churn =
+               Some
+                 {
+                   Runner.exits = -1;
+                   crashes = 0;
+                   joins = 0;
+                   churn_start = 0.1;
+                   churn_period = 0.1;
+                 };
+           }));
+  Alcotest.check_raises "joins without exits"
+    (Invalid_argument "Runner.run: churn joins need cleanly released tids (joins <= exits)")
+    (fun () ->
+      ignore
+        (Runner.run
+           {
+             Runner.default_cfg with
+             churn =
+               Some
+                 {
+                   Runner.exits = 0;
+                   crashes = 0;
+                   joins = 1;
+                   churn_start = 0.1;
+                   churn_period = 0.1;
+                 };
+           }))
 
 let experiments_micro_sweep () =
   (* A miniature figure sweep end-to-end: exercises fig_mixed and the
@@ -161,6 +219,7 @@ let suite =
     case "runner: metrics are sane" runner_sane_metrics;
     case "runner: single thread" runner_single_thread;
     case "runner: long-running-reads roles" runner_long_running_reads_roles;
+    case "runner: long-running reads reuse snapshots" runner_lrr_reuses_snapshots;
     case "runner: rejects bad config" runner_rejects_nonsense;
     case "experiments: micro sweep end-to-end" experiments_micro_sweep;
     case "experiments: scales define sizes" experiments_sizes;

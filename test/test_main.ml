@@ -13,5 +13,6 @@ let () =
       ("queue", Test_queue.suite);
       ("stress", Test_stress.suite);
       ("robustness", Test_robustness.suite);
+      ("churn", Test_churn.suite);
       ("harness", Test_harness.suite);
     ]

@@ -7,6 +7,9 @@
 #      dune-project because ocamlformat is not in the build image)
 #   5. JSON emission smoke test: one short popbench cell with --json
 #      must produce a parseable file that contains the throughput key
+#   6. churn smoke test: a fixed-seed thread-churn cell (exit + crash +
+#      join) under the SmrSan sanitizer must fire its events, stay
+#      violation-free, and emit the churn counters in its JSON
 # Run from the repository root: sh tools/tier1.sh
 set -e
 cd "$(dirname "$0")/.."
@@ -15,7 +18,8 @@ dune runtest
 dune build @lint
 dune build @fmt
 json_smoke=_build/popbench_smoke.json
-trap 'rm -f "$json_smoke"' EXIT
+churn_smoke=_build/popbench_churn_smoke.json
+trap 'rm -f "$json_smoke" "$churn_smoke"' EXIT
 ./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
   --json "$json_smoke" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -32,5 +36,29 @@ EOF
 else
   grep -q '"mops"' "$json_smoke"
   echo "json smoke: ok (grep only; python3 unavailable)"
+fi
+./_build/default/bin/popbench.exe --ds hml --smr hp-pop -t 4 -d 0.5 \
+  --churn 1,1,1 --ping-timeout 20 --sanitize --seed 7 \
+  --json "$churn_smoke" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$churn_smoke" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cells = json.load(f)
+assert len(cells) == 1, "expected one churn cell"
+c = cells[0]
+for k in ("exited", "crashed", "joined"):
+    assert k in c, "churn counter %s missing" % k
+assert c["exited"] + c["crashed"] >= 1, "no churn event fired"
+assert c["consistent"], "churn cell inconsistent"
+assert c["smr"]["violations"] == 0, "sanitizer flagged the churn cell"
+for k in ("suspects", "quarantine_rounds", "orphans_donated", "orphans_adopted"):
+    assert k in c["smr"], "stat %s missing" % k
+print("churn smoke: ok (exited=%d crashed=%d joined=%d)"
+      % (c["exited"], c["crashed"], c["joined"]))
+EOF
+else
+  grep -q '"crashed"' "$churn_smoke"
+  echo "churn smoke: ok (grep only; python3 unavailable)"
 fi
 echo "tier-1: ok"
