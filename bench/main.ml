@@ -306,6 +306,128 @@ let fig_signal_latency sc =
            ])
          [ 1; 2; 4; 8 ])
 
+(* ------------------------------------------------------------------ *)
+(* Segmented retire buffers (PR 5): pass cost vs covered backlog        *)
+(* ------------------------------------------------------------------ *)
+
+module Reclaimer = Pop_core.Reclaimer
+module Counters = Pop_core.Counters
+module Heap = Pop_sim.Heap
+
+type seg_cell = {
+  sc_covered : int;
+  sc_uncovered : int;
+  sc_freed : int;
+  sc_fresh_ns : float;
+  sc_forced_ns : float;
+  sc_fresh_blocks : int;
+  sc_forced_blocks : int;
+  sc_recycled : int;
+}
+
+(* Engine-level trace replay at freed-set parity: on top of [covered]
+   permanently reserved nodes (retire_era 0, [keep] = era 0), every
+   measured pass retires [uncovered] doomed nodes (era 1) and frees
+   exactly those. A non-forced fresh pass filters only the open blocks
+   plus the rescan quota, so its cost must track U, not C; the forced
+   column re-filters the whole covered prefix and shows what every pass
+   used to cost before the block-list watermark. *)
+let seg_cell ~rounds ~covered ~uncovered =
+  let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 1 lsl 30 } in
+  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+  let c = Counters.create 2 in
+  let eng = Reclaimer.create scfg ~heap ~counters:c in
+  let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
+  let hub = Softsignal.create ~max_threads:1 in
+  let keep n = n.Heap.retire_era = 0 in
+  let scan ~force =
+    Reclaimer.scan ~force ~kind:Reclaimer.Plain ~collect:(fun _ -> 0) ~except:min_int ~keep rl
+  in
+  let batch era count =
+    for _ = 1 to count do
+      let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+      n.Heap.retire_era <- era;
+      Reclaimer.retire rl n
+    done
+  in
+  (* Build the covered population in uncovered-sized batches so every
+     setup pass — like every measured pass — touches O(U) blocks, and
+     the max_scan_blocks stat reflects steady state rather than one
+     warm-up flush proportional to C. *)
+  let rec fill remaining =
+    if remaining > 0 then begin
+      let b = min uncovered remaining in
+      batch 0 b;
+      Reclaimer.invalidate eng;
+      ignore (scan ~force:false);
+      fill (remaining - b)
+    end
+  in
+  fill covered;
+  let time_pass ~force =
+    batch 1 uncovered;
+    Reclaimer.invalidate eng;
+    let t0 = Pop_runtime.Clock.now () in
+    let freed = scan ~force in
+    let dt = Pop_runtime.Clock.elapsed t0 in
+    if freed <> uncovered then
+      failwith
+        (Printf.sprintf "fig seg: freed-set parity broken (freed %d, expected %d)" freed
+           uncovered);
+    dt
+  in
+  let phase ~force =
+    let acc = ref 0.0 in
+    for _ = 1 to rounds do
+      acc := !acc +. time_pass ~force
+    done;
+    !acc /. float_of_int rounds *. 1e9
+  in
+  let fresh_ns = phase ~force:false in
+  let s_fresh = Counters.snapshot c ~hub ~epoch:0 in
+  let forced_ns = phase ~force:true in
+  let s_forced = Counters.snapshot c ~hub ~epoch:0 in
+  {
+    sc_covered = covered;
+    sc_uncovered = uncovered;
+    sc_freed = uncovered;
+    sc_fresh_ns = fresh_ns;
+    sc_forced_ns = forced_ns;
+    sc_fresh_blocks = s_fresh.Pop_core.Smr_stats.max_scan_blocks;
+    sc_forced_blocks = s_forced.Pop_core.Smr_stats.max_scan_blocks;
+    sc_recycled = s_forced.Pop_core.Smr_stats.segments_recycled;
+  }
+
+let fig_seg sc =
+  Report.section
+    "Segmented retire buffers: ns per reclamation pass vs covered backlog (engine replay;      every measured pass frees exactly U nodes)";
+  let rounds = if sc.Experiments.duration > 1.0 then 400 else 120 in
+  let cells =
+    List.map
+      (fun (c, u) -> seg_cell ~rounds ~covered:c ~uncovered:u)
+      [ (4096, 512); (16384, 512); (65536, 512); (16384, 128); (16384, 2048) ]
+  in
+  Report.table
+    ~header:
+      [
+        "covered C"; "uncovered U"; "fresh ns/pass"; "forced ns/pass"; "fresh max blk";
+        "forced max blk"; "blocks recycled";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.sc_covered;
+             string_of_int r.sc_uncovered;
+             Printf.sprintf "%.0f" r.sc_fresh_ns;
+             Printf.sprintf "%.0f" r.sc_forced_ns;
+             string_of_int r.sc_fresh_blocks;
+             string_of_int r.sc_forced_blocks;
+             string_of_int r.sc_recycled;
+           ])
+         cells);
+  cells
+
 let fig_ablation sc =
   ablation_fence sc;
   ablation_reclaim_freq sc;
@@ -358,10 +480,33 @@ let emit_micro_json rows =
     Printf.printf "wrote %s (%d cases)\n" path (List.length rows)
   end
 
+let emit_seg_json cells =
+  if !json_out then begin
+    let path = "BENCH_seg.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "[\n";
+        List.iteri
+          (fun i r ->
+            if i > 0 then output_string oc ",\n";
+            Printf.fprintf oc
+              "  {\"covered\": %d, \"uncovered\": %d, \"freed_per_pass\": %d, \
+               \"fresh_ns_per_pass\": %.1f, \"forced_ns_per_pass\": %.1f, \
+               \"fresh_max_scan_blocks\": %d, \"forced_max_scan_blocks\": %d, \
+               \"segments_recycled\": %d}"
+              r.sc_covered r.sc_uncovered r.sc_freed r.sc_fresh_ns r.sc_forced_ns
+              r.sc_fresh_blocks r.sc_forced_blocks r.sc_recycled)
+          cells;
+        output_string oc "\n]\n");
+    Printf.printf "wrote %s (%d cells)\n" path (List.length cells)
+  end
+
 let usage () =
   prerr_endline
-    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|ablation|all] [--full] \
-     [--json]";
+    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|seg|ablation|all] \
+     [--full] [--json]";
   exit 2
 
 let () =
@@ -386,7 +531,7 @@ let () =
   let sc = if !full then Experiments.full else Experiments.quick in
   let known =
     [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "churn"; "over"; "latency";
-      "ablation"; "all" ]
+      "seg"; "ablation"; "all" ]
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
@@ -398,6 +543,7 @@ let () =
   if want [ "10"; "11" ] then emit_json "10" (Experiments.fig_crystalline sc);
   if want [ "rob" ] then emit_json "rob" (Experiments.fig_robustness sc);
   if want [ "churn" ] then emit_json "churn" (Experiments.fig_churn sc);
+  if want [ "seg" ] then emit_seg_json (fig_seg sc);
   if want [ "over" ] then fig_oversubscription sc;
   if want [ "latency" ] then fig_signal_latency sc;
   if want [ "ablation" ] then fig_ablation sc;

@@ -71,7 +71,7 @@ let print_result (r : Runner.result) =
 
 let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scale epoch_freq
     pop_mult lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
-    drop_ping delay_poll seed sanitize csv json =
+    suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -114,6 +114,9 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
       stall;
       churn;
       ping_timeout_spins = ping_timeout;
+      suspect_after;
+      probe_backoff_cap = probe_cap;
+      segment_size;
       drop_ping;
       delay_poll;
       seed;
@@ -198,6 +201,27 @@ let cmd =
       & info [ "ping-timeout" ]
           ~doc:"Handshake spin budget per non-responsive peer (backoff attempts).")
   in
+  let suspect_after =
+    Arg.(
+      value & opt int 3
+      & info [ "suspect-after" ]
+          ~doc:
+            "Consecutive stale-heartbeat handshake timeouts before the failure detector \
+             quarantines a peer (raise on oversubscribed schedulers).")
+  in
+  let probe_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "probe-cap" ]
+          ~doc:
+            "Cap, in handshake rounds, on the exponential backoff between re-probes of a \
+             quarantined peer.")
+  in
+  let segment_size =
+    Arg.(
+      value & opt int 64
+      & info [ "segment-size" ] ~doc:"Retire-buffer segment-block capacity (nodes per block).")
+  in
   let drop_ping =
     Arg.(
       value & opt float 0.0
@@ -229,21 +253,21 @@ let cmd =
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
   let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr
-      stall_for stall_polling churn_counts churn_start churn_period ping_timeout drop_ping
-      delay_poll seed sanitize csv json fig fullscale =
+      stall_for stall_polling churn_counts churn_start churn_period ping_timeout suspect_after
+      probe_cap segment_size drop_ping delay_poll seed sanitize csv json fig fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
         run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
           lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
-          drop_ping delay_poll seed sanitize csv json
+          suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim
       $ reclaim_scale $ epochf $ popm $ lrr $ stall_for $ stall_polling $ churn_counts
-      $ churn_start $ churn_period $ ping_timeout $ drop_ping $ delay_poll $ seed $ sanitize
-      $ csv $ json $ fig $ fullscale)
+      $ churn_start $ churn_period $ ping_timeout $ suspect_after $ probe_cap $ segment_size
+      $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

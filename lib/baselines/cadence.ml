@@ -42,7 +42,8 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins ~suspect_after:cfg.suspect_after
+        ~backoff_cap:cfg.probe_backoff_cap hub;
     c;
     (* 2x scale: passes here pay a ping/neutralization round, so amortize
        over twice the adaptive threshold (see EXPERIMENTS.md sweep). *)
@@ -126,10 +127,17 @@ let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 (* Free nodes retired at least two ticks ago (a complete barrier round
    has made every reservation that could cover them visible) and not
    found in the visible reservation table. Cadence has no handshake per
-   pass — reservation visibility is tick-delayed — so a cached snapshot
-   can miss a reservation that became visible after it was collected.
-   Every pass therefore collects fresh ([~force:true]); the table read
-   is cheap (racy local rows, no ping round). *)
+   pass — reservation visibility is tick-delayed — but the engine's
+   cache is effectively tick-stamped: [maybe_tick] calls
+   [Reclaimer.invalidate] exactly when the tick advances, so an
+   unchanged generation means the snapshot was collected in the current
+   tick. A cache-served pass frees nothing, so it cannot act on a
+   reservation the barrier has not yet made visible, and a fresh pass at
+   any time is safe because the [retire_era + 2 > now] guard keeps
+   everything younger than a full barrier round regardless of what the
+   table read misses. Triggered passes may therefore reuse the snapshot
+   ([~force] passed through); only the end-of-run drain forces a fresh
+   collect. *)
 let reclaim ctx ~force =
   let g = ctx.g in
   if force then begin
@@ -148,7 +156,7 @@ let reclaim ctx ~force =
   end;
   let now = Atomic.get g.tick in
   ignore
-    (Reclaimer.scan ~force:true ~kind:Reclaimer.Plain
+    (Reclaimer.scan ~force ~kind:Reclaimer.Plain
        ~collect:(fun scratch -> Reservations.collect_local g.res scratch)
        ~except:no_id
        ~keep:(fun n ->

@@ -44,7 +44,8 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_id;
-    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins ~suspect_after:cfg.suspect_after
+        ~backoff_cap:cfg.probe_backoff_cap hub;
     c;
     (* 2x scale: passes here pay a ping/neutralization round, so amortize
        over twice the adaptive threshold (see EXPERIMENTS.md sweep). *)

@@ -15,6 +15,7 @@ type violations = {
   unbalanced_op : int;
   churn_misuse : int;
   orphan_misuse : int;
+  segment_misuse : int;
 }
 
 let zero =
@@ -28,6 +29,7 @@ let zero =
     unbalanced_op = 0;
     churn_misuse = 0;
     orphan_misuse = 0;
+    segment_misuse = 0;
   }
 
 (* Exhaustive record patterns, like Smr_stats.to_alist: adding a category
@@ -43,10 +45,11 @@ let total
       unbalanced_op;
       churn_misuse;
       orphan_misuse;
+      segment_misuse;
     } =
   read_outside_op + check_unreserved + double_retire + write_phase_misuse
   + slot_out_of_bounds + use_after_deregister + unbalanced_op + churn_misuse
-  + orphan_misuse
+  + orphan_misuse + segment_misuse
 
 let to_alist
     {
@@ -59,6 +62,7 @@ let to_alist
       unbalanced_op;
       churn_misuse;
       orphan_misuse;
+      segment_misuse;
     } =
   [
     ("read_outside_op", read_outside_op);
@@ -70,6 +74,7 @@ let to_alist
     ("unbalanced_op", unbalanced_op);
     ("churn_misuse", churn_misuse);
     ("orphan_misuse", orphan_misuse);
+    ("segment_misuse", segment_misuse);
   ]
 
 let pp fmt v =
@@ -88,8 +93,9 @@ type category =
   | Unbalanced_op
   | Churn_misuse
   | Orphan_misuse
+  | Segment_misuse
 
-let n_categories = 9
+let n_categories = 10
 
 let category_index = function
   | Read_outside_op -> 0
@@ -101,6 +107,7 @@ let category_index = function
   | Unbalanced_op -> 6
   | Churn_misuse -> 7
   | Orphan_misuse -> 8
+  | Segment_misuse -> 9
 
 let category_label = function
   | Read_outside_op -> "read outside an operation"
@@ -112,6 +119,7 @@ let category_label = function
   | Unbalanced_op -> "unbalanced start_op/end_op"
   | Churn_misuse -> "thread-churn misuse"
   | Orphan_misuse -> "orphan-adoption accounting mismatch"
+  | Segment_misuse -> "segment accounting out of bounds"
 
 module type CHECKED = sig
   include Smr.S
@@ -176,6 +184,7 @@ module Make (S : Smr.S) : CHECKED = struct
       unbalanced_op = n Unbalanced_op;
       churn_misuse = n Churn_misuse;
       orphan_misuse = n Orphan_misuse;
+      segment_misuse = n Segment_misuse;
     }
 
   let violate_g g cat detail =
@@ -386,5 +395,15 @@ module Make (S : Smr.S) : CHECKED = struct
       Atomic.set
         g.tallies.(category_index Orphan_misuse)
         (s.Smr_stats.orphans_adopted - s.Smr_stats.orphans_donated);
+    (* Segment blocks can hold at most one retired node per slot, so the
+       engine's occupancy (nodes per in-service slot) can never exceed
+       100%. Seeing more means the block accounting drifted: a node was
+       pushed without a slot entering service, or a recycled block's
+       slots were double-counted out. Same set-the-deficit discipline as
+       above. *)
+    if s.Smr_stats.segment_occupancy > 100 then
+      Atomic.set
+        g.tallies.(category_index Segment_misuse)
+        (s.Smr_stats.segment_occupancy - 100);
     { s with Smr_stats.violations = total (violations g) }
 end

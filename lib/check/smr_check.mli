@@ -65,6 +65,12 @@ type violations = {
           nodes stuck in [unreclaimed] forever, asserted by tests.)
           Detected when [stats] is read; the tally equals the current
           deficit. *)
+  segment_misuse : int;
+      (** Segment-block accounting out of bounds: the engine reported a
+          [segment_occupancy] above 100%, i.e. more retired nodes held
+          in blocks than in-service block slots — impossible unless the
+          {!Pop_core.Reclaimer}'s block bookkeeping drifted. Detected
+          when [stats] is read; the tally equals the excess. *)
 }
 
 val zero : violations

@@ -10,6 +10,10 @@ type t = {
   scan_skips : Striped.t;
   snapshot_reuses : Striped.t;
   retire_segments : Striped.t;
+  segments_recycled : Striped.t;
+  seg_slots : Striped.t;
+  seg_nodes : Striped.t;
+  scan_blocks : Striped.t;
   orphans_donated : Striped.t;
   orphans_adopted : Striped.t;
 }
@@ -25,6 +29,10 @@ let create n =
     scan_skips = Striped.create n;
     snapshot_reuses = Striped.create n;
     retire_segments = Striped.create n;
+    segments_recycled = Striped.create n;
+    seg_slots = Striped.create n;
+    seg_nodes = Striped.create n;
+    scan_blocks = Striped.create n;
     orphans_donated = Striped.create n;
     orphans_adopted = Striped.create n;
   }
@@ -47,6 +55,17 @@ let snapshot_reuse t ~tid = Striped.incr t.snapshot_reuses tid
 
 let segment t ~tid = Striped.incr t.retire_segments tid
 
+let segment_recycle t ~tid = Striped.incr t.segments_recycled tid
+
+let seg_slots_add t ~tid n = if n <> 0 then Striped.add t.seg_slots tid n
+
+let seg_nodes_add t ~tid n = if n <> 0 then Striped.add t.seg_nodes tid n
+
+(* Each slot is single-writer ([tid] only scans its own buffer), so a
+   read-compare-set max needs no CAS loop. *)
+let note_scan_blocks t ~tid n =
+  if n > Striped.get t.scan_blocks tid then Striped.set t.scan_blocks tid n
+
 let orphan_donate t ~tid n = if n > 0 then Striped.add t.orphans_donated tid n
 
 let orphan_adopt t ~tid n = if n > 0 then Striped.add t.orphans_adopted tid n
@@ -60,6 +79,7 @@ let snapshot ?hs t ~hub ~epoch =
     | None -> (0, 0)
     | Some hs -> (Handshake.suspect_count hs, Handshake.quarantine_round_count hs)
   in
+  let seg_slots = Striped.sum t.seg_slots and seg_nodes = Striped.sum t.seg_nodes in
   {
     Smr_stats.retired;
     freed;
@@ -70,6 +90,12 @@ let snapshot ?hs t ~hub ~epoch =
     scan_skips = Striped.sum t.scan_skips;
     snapshot_reuses = Striped.sum t.snapshot_reuses;
     retire_segments = Striped.sum t.retire_segments;
+    segments_recycled = Striped.sum t.segments_recycled;
+    (* Occupied fraction of the block capacity currently in service;
+       0 when no scheme instance holds any segment block. *)
+    segment_occupancy =
+      (if seg_slots <= 0 then 0 else 100 * max 0 seg_nodes / seg_slots);
+    max_scan_blocks = max 0 (Striped.max_value t.scan_blocks);
     restarts = Striped.sum t.restarts;
     handshake_timeouts = Striped.sum t.hs_timeouts;
     suspects;

@@ -29,6 +29,26 @@ val snapshot_reuse : t -> tid:int -> unit
 val segment : t -> tid:int -> unit
 (** A fresh scan pass sealed a new checked segment of a retire list. *)
 
+val segment_recycle : t -> tid:int -> unit
+(** A fully-freed segment block was returned to the block freelist. *)
+
+val seg_slots_add : t -> tid:int -> int -> unit
+(** [seg_slots_add t ~tid n] adjusts the number of segment-block slots
+    in service by [n] (negative when a block leaves service; no-op when
+    [n = 0]). *)
+
+val seg_nodes_add : t -> tid:int -> int -> unit
+(** [seg_nodes_add t ~tid n] adjusts the number of retired nodes held in
+    segment blocks by [n] (negative on free/drain; no-op when [n = 0]).
+    Together with {!seg_slots_add} this yields the snapshot's
+    [segment_occupancy] percentage. *)
+
+val note_scan_blocks : t -> tid:int -> int -> unit
+(** [note_scan_blocks t ~tid n] records that one of [tid]'s fresh passes
+    touched [n] segment blocks; the snapshot reports the max over all
+    threads. Each slot is single-writer ([tid] only scans its own
+    buffer), so no CAS loop is needed. *)
+
 val orphan_donate : t -> tid:int -> int -> unit
 (** [orphan_donate t ~tid n] records [n] retired nodes donated to the
     {!Reclaimer} orphanage by departing thread [tid] (no-op when

@@ -20,25 +20,27 @@ type t = {
   hub : Softsignal.t;
   timeout_spins : int;
   suspect_after : int;
+  backoff_cap : int; (* ceiling on the doubling re-probe interval *)
   peers : peer array;
   rounds : int Atomic.t; (* global handshake-round clock *)
   suspects : int Atomic.t; (* quarantine transitions, cumulative *)
   quarantine_skips : int Atomic.t; (* probes skipped while quarantined *)
 }
 
-let max_backoff_rounds = 64
-
-let create ?(timeout_spins = 64) ?(suspect_after = 3) hub =
+let create ?(timeout_spins = 64) ?(suspect_after = 3) ?(backoff_cap = 64) hub =
   if timeout_spins <= 0 then
     invalid_arg "Handshake.create: timeout_spins must be positive";
   if suspect_after <= 0 then
     invalid_arg "Handshake.create: suspect_after must be positive";
+  if backoff_cap <= 0 then
+    invalid_arg "Handshake.create: backoff_cap must be positive";
   let n = Softsignal.max_threads hub in
   {
     counters = Striped.create n;
     hub;
     timeout_spins;
     suspect_after;
+    backoff_cap;
     peers =
       Array.init n (fun _ ->
           {
@@ -83,7 +85,7 @@ let note_timeout t ~round p ~hb =
   if p.quarantined then begin
     (* A due re-probe failed: back off exponentially before the next. *)
     p.hb_snap <- hb;
-    p.backoff_rounds <- min max_backoff_rounds (p.backoff_rounds * 2);
+    p.backoff_rounds <- min t.backoff_cap (p.backoff_rounds * 2);
     p.next_probe <- round + p.backoff_rounds
   end
   else if p.strikes > 0 && hb = p.hb_snap then begin

@@ -37,12 +37,22 @@
 type t
 
 val create :
-  ?timeout_spins:int -> ?suspect_after:int -> Pop_runtime.Softsignal.t -> t
+  ?timeout_spins:int ->
+  ?suspect_after:int ->
+  ?backoff_cap:int ->
+  Pop_runtime.Softsignal.t ->
+  t
 (** [timeout_spins] (default 64) is the backoff-attempt budget per
     non-responsive peer; [suspect_after] (default 3) is the number of
-    consecutive stale-heartbeat timeouts before a peer is quarantined.
-    Raises [Invalid_argument] if either is non-positive. With the
-    default backoff schedule 64 attempts is roughly 100 ms. *)
+    consecutive stale-heartbeat timeouts before a peer is quarantined;
+    [backoff_cap] (default 64) caps, in handshake rounds, the
+    exponential backoff between re-probes of a quarantined peer — lower
+    values re-admit a recovered peer sooner at the price of more pings
+    wasted on a dead one. All three are scheme-configurable via
+    {!Smr_config.t} ([ping_timeout_spins], [suspect_after],
+    [probe_backoff_cap]). Raises [Invalid_argument] if any is
+    non-positive. With the default backoff schedule 64 attempts is
+    roughly 100 ms. *)
 
 val ack : t -> tid:int -> unit
 (** Bump [tid]'s publish counter. Called from the signal handler after

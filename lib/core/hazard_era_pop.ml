@@ -35,7 +35,8 @@ let create cfg hub heap =
     hub;
     heap;
     res = Reservations.create ~max_threads:cfg.max_threads ~slots:cfg.max_hp ~none:no_era;
-    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins hub;
+    hs = Handshake.create ~timeout_spins:cfg.ping_timeout_spins ~suspect_after:cfg.suspect_after
+        ~backoff_cap:cfg.probe_backoff_cap hub;
     c;
     (* 2x scale: a pass here pays a full ping round, so amortize it over
        twice the adaptive threshold (see EXPERIMENTS.md sweep). *)

@@ -3,17 +3,43 @@ module Heap = Pop_sim.Heap
 
 type pass = Plain | Pop
 
+(* Retire buffers are Blelloch–Wei segmented lists: fixed-size blocks of
+   [Smr_config.segment_size] slots, singly linked head→tail. Slots at or
+   beyond [len] always hold the heap sentinel, so a block's backing array
+   never pins a freed or drained node (the same scrub discipline
+   [Vec.filter_sub] documents). Every buffer operation the hot paths
+   need — push, whole-list hand-off, prefix advance — is O(1) in nodes;
+   only filtering touches node contents, and only for the blocks it must
+   examine. *)
+type 'a block = {
+  slots : 'a Heap.node array;
+  mutable len : int;
+  mutable next : 'a block option;
+}
+
+type 'a blist = {
+  mutable head : 'a block option;
+  mutable tail : 'a block option;
+  mutable nodes : int;
+  mutable blocks : int;
+}
+
+let empty_blist () = { head = None; tail = None; nodes = 0; blocks = 0 }
+
 type 'a t = {
   heap : 'a Heap.t;
   c : Counters.t;
   gen : int Atomic.t;
   threshold : int;
+  seg_size : int;
+  rescan_blocks : int;
   (* The orphanage: retire-buffer survivors of departed threads, parked
      until a surviving thread's next pass adopts them. The spinlock makes
-     the hand-off exactly-once (donate and adopt both move whole buffers
-     under it); the atomic count lets the hot scan path skip the lock
-     when there is nothing to adopt. *)
-  orphans : 'a Heap.node Vec.t;
+     the hand-off exactly-once; both directions splice whole block lists
+     under it in O(1), so a departing or adopting thread never copies a
+     node. The atomic count lets the hot scan path skip the lock when
+     there is nothing to adopt. *)
+  orphans : 'a blist;
   orphan_lock : Spinlock.t;
   orphan_count : int Atomic.t;
 }
@@ -30,7 +56,9 @@ let create ?reclaim_scale (cfg : Smr_config.t) ~heap ~counters =
     c = counters;
     gen = Atomic.make 0;
     threshold;
-    orphans = Vec.create ~dummy:(Heap.sentinel heap) ();
+    seg_size = cfg.segment_size;
+    rescan_blocks = cfg.segment_rescan;
+    orphans = empty_blist ();
     orphan_lock = Spinlock.create ();
     orphan_count = Atomic.make 0;
   }
@@ -46,34 +74,164 @@ let generation t = Atomic.get t.gen
 type 'a local = {
   r : 'a t;
   tid : int;
-  retired : 'a Heap.node Vec.t;
+  covered : 'a blist;
+      (* Nodes that already survived a scan against the cached snapshot;
+         they stay covered by it forever (see the .mli). The old integer
+         [checked] watermark is now simply this list's boundary: a
+         cache-served pass has nothing to advance. *)
+  open_seg : 'a blist;
+      (* The uncovered suffix: fresh retires and adopted orphans. A pass
+         goes fresh when this alone reaches the threshold. *)
+  mutable free_head : 'a block option;
+      (* Per-reclaimer block freelist: fully-freed blocks are scrubbed
+         and parked here instead of churning the allocator, mirroring
+         [Heap]'s node pooling one level up. *)
+  mutable free_len : int;
   reserved : Id_set.t;
   scratch : int array;
   mutable scratch_len : int;
-  mutable checked : int;
-      (* Nodes in [0, checked) already survived a scan against the cached
-         snapshot; they stay covered by it forever (see the .mli). *)
   mutable snap_gen : int;
       (* Generation observed when the snapshot was collected; -1 before
          the first fresh pass. *)
+  mutable moves : int;
+      (* Node copies this local has ever performed (pushes, compactions,
+         drains). Donate/adopt must not change it: the O(1) hand-off
+         claim is testable as [node_moves] staying flat across a splice. *)
 }
 
 let register r ~tid ~scratch_slots =
   {
     r;
     tid;
-    (* The sentinel is permanently live, so scrubbed slots of the retire
-       buffer never pin a reclaimable node. *)
-    retired = Vec.create ~dummy:(Heap.sentinel r.heap) ();
+    covered = empty_blist ();
+    open_seg = empty_blist ();
+    free_head = None;
+    free_len = 0;
     reserved = Id_set.create ~capacity:scratch_slots;
     scratch = Array.make (max 1 scratch_slots) 0;
     scratch_len = 0;
-    checked = 0;
     snap_gen = -1;
+    moves = 0;
   }
 
+let node_moves l = l.moves
+
+let free_blocks l = l.free_len
+
+(* Pop the freelist or allocate; the sentinel dummy is permanently live,
+   so unused slots never pin a reclaimable node. *)
+let new_block l =
+  let b =
+    match l.free_head with
+    | Some b ->
+        l.free_head <- b.next;
+        l.free_len <- l.free_len - 1;
+        b.next <- None;
+        b
+    | None ->
+        { slots = Array.make l.r.seg_size (Heap.sentinel l.r.heap); len = 0; next = None }
+  in
+  Counters.seg_slots_add l.r.c ~tid:l.tid l.r.seg_size;
+  b
+
+(* Scrub the occupied prefix (slots past [len] are sentinel already, by
+   the block invariant) and park the block on the freelist. *)
+let recycle_block l b =
+  let dummy = Heap.sentinel l.r.heap in
+  for i = 0 to b.len - 1 do
+    b.slots.(i) <- dummy
+  done;
+  b.len <- 0;
+  b.next <- l.free_head;
+  l.free_head <- Some b;
+  l.free_len <- l.free_len + 1;
+  Counters.seg_slots_add l.r.c ~tid:l.tid (-l.r.seg_size);
+  Counters.segment_recycle l.r.c ~tid:l.tid
+
+let append_block bl b =
+  b.next <- None;
+  (match bl.tail with None -> bl.head <- Some b | Some t -> t.next <- Some b);
+  bl.tail <- Some b;
+  bl.blocks <- bl.blocks + 1
+
+let push_node l bl n =
+  let b =
+    match bl.tail with
+    | Some b when b.len < Array.length b.slots -> b
+    | _ ->
+        let b = new_block l in
+        append_block bl b;
+        b
+  in
+  b.slots.(b.len) <- n;
+  b.len <- b.len + 1;
+  bl.nodes <- bl.nodes + 1;
+  l.moves <- l.moves + 1
+
+(* O(1) whole-list hand-off: relink [src]'s chain onto [dst]'s tail and
+   transfer the counts. No node is copied — this is what makes donate,
+   adopt and the fresh pass's open→covered promotion constant-time. *)
+let splice_blist dst src =
+  match src.head with
+  | None -> ()
+  | Some h ->
+      (match dst.tail with None -> dst.head <- Some h | Some t -> t.next <- Some h);
+      dst.tail <- src.tail;
+      dst.nodes <- dst.nodes + src.nodes;
+      dst.blocks <- dst.blocks + src.blocks;
+      src.head <- None;
+      src.tail <- None;
+      src.nodes <- 0;
+      src.blocks <- 0
+
+(* Free the non-kept nodes of [bl], block by block: survivors compact to
+   the front of their block (counted as moves only when a slot actually
+   changes), vacated slots are scrubbed, and fully-emptied blocks are
+   unlinked and recycled. Updates [bl]'s counts but leaves the global
+   seg-node counter to the caller (one batched add per pass). *)
+let filter_blist l bl keep =
+  let dummy = Heap.sentinel l.r.heap in
+  let freed = ref 0 in
+  let rec walk prev cur =
+    match cur with
+    | None -> ()
+    | Some b ->
+        let j = ref 0 in
+        for i = 0 to b.len - 1 do
+          let n = b.slots.(i) in
+          if keep n then begin
+            if !j <> i then begin
+              b.slots.(!j) <- n;
+              l.moves <- l.moves + 1
+            end;
+            incr j
+          end
+          else begin
+            Heap.free l.r.heap ~tid:l.tid n;
+            incr freed
+          end
+        done;
+        for i = !j to b.len - 1 do
+          b.slots.(i) <- dummy
+        done;
+        b.len <- !j;
+        let next = b.next in
+        if !j = 0 then begin
+          (match prev with None -> bl.head <- next | Some p -> p.next <- next);
+          (match next with None -> bl.tail <- prev | Some _ -> ());
+          bl.blocks <- bl.blocks - 1;
+          recycle_block l b;
+          walk prev next
+        end
+        else walk cur next
+  in
+  walk None bl.head;
+  bl.nodes <- bl.nodes - !freed;
+  !freed
+
 let retire l n =
-  Vec.push l.retired n;
+  push_node l l.open_seg n;
+  Counters.seg_nodes_add l.r.c ~tid:l.tid 1;
   Counters.retire l.r.c ~tid:l.tid
 
 let retire_leak l (_ : 'a Heap.node) = Counters.retire l.r.c ~tid:l.tid
@@ -89,11 +247,11 @@ let free_array l nodes =
   Array.iter (fun n -> Heap.free l.r.heap ~tid:l.tid n) nodes;
   Counters.free l.r.c ~tid:l.tid (Array.length nodes)
 
-let pending l = Vec.length l.retired
+let pending l = l.covered.nodes + l.open_seg.nodes
 
-let is_empty l = Vec.is_empty l.retired
+let is_empty l = pending l = 0
 
-let due l = Vec.length l.retired >= l.r.threshold
+let due l = pending l >= l.r.threshold
 
 let snapshot l = l.reserved
 
@@ -102,42 +260,64 @@ let raw l = l.scratch
 let raw_len l = l.scratch_len
 
 let donate l =
-  let n = Vec.length l.retired in
+  let n = pending l in
   if n > 0 then begin
     Spinlock.lock l.r.orphan_lock;
-    Vec.iter (Vec.push l.r.orphans) l.retired;
-    Atomic.set l.r.orphan_count (Vec.length l.r.orphans);
+    splice_blist l.r.orphans l.covered;
+    splice_blist l.r.orphans l.open_seg;
+    Atomic.set l.r.orphan_count l.r.orphans.nodes;
     Spinlock.unlock l.r.orphan_lock;
-    Vec.clear l.retired;
-    l.checked <- 0;
     Counters.orphan_donate l.r.c ~tid:l.tid n
   end
 
 let orphans_pending r = Atomic.get r.orphan_count
 
-(* Fold every parked orphan into [l]'s retire buffer. Appending lands
-   them past [checked], i.e. in the uncovered open segment, so the
-   covered-prefix invariant needs no adjustment and the next fresh pass
-   vets them against a snapshot collected after their donors left. *)
+(* Splice every parked orphan block onto [l]'s open segment. Landing
+   past the covered prefix means the covered invariant needs no
+   adjustment and the next fresh pass vets the adoptees against a
+   snapshot collected after their donors left. O(1): no node is read. *)
 let adopt l =
   if Atomic.get l.r.orphan_count = 0 then 0
   else begin
     Spinlock.lock l.r.orphan_lock;
-    let n = Vec.length l.r.orphans in
-    Vec.iter (Vec.push l.retired) l.r.orphans;
-    Vec.clear l.r.orphans;
+    let n = l.r.orphans.nodes in
+    splice_blist l.open_seg l.r.orphans;
     Atomic.set l.r.orphan_count 0;
     Spinlock.unlock l.r.orphan_lock;
-    Counters.orphan_adopt l.r.c ~tid:l.tid n;
+    if n > 0 then Counters.orphan_adopt l.r.c ~tid:l.tid n;
     n
   end
 
 let take_all l =
   ignore (adopt l);
-  let nodes = Array.init (Vec.length l.retired) (Vec.get l.retired) in
-  Vec.clear l.retired;
-  l.checked <- 0;
-  nodes
+  let total = pending l in
+  let out = Array.make total (Heap.sentinel l.r.heap) in
+  let k = ref 0 in
+  let drain bl =
+    let cur = ref bl.head in
+    let continue_ = ref true in
+    while !continue_ do
+      match !cur with
+      | None -> continue_ := false
+      | Some b ->
+          for i = 0 to b.len - 1 do
+            out.(!k) <- b.slots.(i);
+            incr k;
+            l.moves <- l.moves + 1
+          done;
+          let next = b.next in
+          bl.blocks <- bl.blocks - 1;
+          recycle_block l b;
+          cur := next
+    done;
+    bl.head <- None;
+    bl.tail <- None;
+    bl.nodes <- 0
+  in
+  drain l.covered;
+  drain l.open_seg;
+  Counters.seg_nodes_add l.r.c ~tid:l.tid (-total);
+  out
 
 let note_skip l = Counters.scan_skip l.r.c ~tid:l.tid
 
@@ -145,21 +325,33 @@ let count_pass l = function
   | Plain -> Counters.reclaim_pass l.r.c ~tid:l.tid
   | Pop -> Counters.pop_pass l.r.c ~tid:l.tid
 
-(* Free the non-kept nodes of [retired.(pos .. pos+len)], preserving the
-   covered-prefix bookkeeping when the filtered range overlaps it. *)
-let filter_free l ~pos ~len keep =
-  let freed = ref 0 in
-  let removed =
-    Vec.filter_sub l.retired ~pos ~len (fun n ->
-        if keep n then true
-        else begin
-          Heap.free l.r.heap ~tid:l.tid n;
-          incr freed;
-          false
-        end)
-  in
-  ignore removed;
-  !freed
+(* Pop up to [quota] blocks that were covered *before* this pass spliced
+   its open segment in, and re-vet their nodes against the snapshot just
+   collected. Sound in both directions: reservations on retired nodes
+   only disappear, so the newer snapshot can only free more, and every
+   survivor is (re-)covered by it. This bounds how stale covered garbage
+   can get without giving up the pass's O(uncovered blocks) cost. *)
+let rescan_covered l ~quota ~keep ~freed ~touched =
+  for _ = 1 to quota do
+    match l.covered.head with
+    | None -> ()
+    | Some b ->
+        let next = b.next in
+        l.covered.head <- next;
+        (match next with None -> l.covered.tail <- None | Some _ -> ());
+        l.covered.blocks <- l.covered.blocks - 1;
+        l.covered.nodes <- l.covered.nodes - b.len;
+        incr touched;
+        for i = 0 to b.len - 1 do
+          let n = b.slots.(i) in
+          if keep n then push_node l l.covered n
+          else begin
+            Heap.free l.r.heap ~tid:l.tid n;
+            incr freed
+          end
+        done;
+        recycle_block l b
+  done
 
 let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
   (* Adopt before deciding whether the cache can answer: orphans join
@@ -168,14 +360,15 @@ let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
      next instead of waiting for the adopter's own retires. *)
   ignore (adopt l);
   let gen = Atomic.get l.r.gen in
-  let uncovered = Vec.length l.retired - l.checked in
-  if (not force) && l.snap_gen = gen && uncovered < l.r.threshold then begin
-    (* Served from the cache: the covered prefix already survived this
+  if (not force) && l.snap_gen = gen && l.open_seg.nodes < l.r.threshold then begin
+    (* Served from the cache: the covered list already survived this
        very snapshot (rescanning it cannot free anything — reservations
        on unreachable nodes only disappear, and a disappearance would
        have bumped nothing we can observe without re-collecting), and
-       the uncovered suffix may only be freed against a fresh collect.
-       O(1) instead of the seed's O(T×H + n log n + n) pass. *)
+       the open segment may only be freed against a fresh collect. With
+       block lists the covered watermark is the list boundary itself,
+       so there is nothing to advance: O(1) flat, instead of the seed's
+       O(T×H + n log n + n) pass. *)
     Counters.snapshot_reuse l.r.c ~tid:l.tid;
     Counters.scan_skip l.r.c ~tid:l.tid;
     0
@@ -188,28 +381,44 @@ let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
       Id_set.fill l.reserved ~except l.scratch k;
       Id_set.seal l.reserved
     end;
-    let freed = filter_free l ~pos:0 ~len:(Vec.length l.retired) keep in
+    let freed = ref 0 and touched = ref 0 in
+    if force then begin
+      (* Flush semantics: vet everything, covered included, exactly like
+         the seed engine's full compaction — this is what the
+         equivalence trace replays compare against. *)
+      touched := l.covered.blocks + l.open_seg.blocks;
+      freed := filter_blist l l.covered keep;
+      freed := !freed + filter_blist l l.open_seg keep;
+      splice_blist l.covered l.open_seg
+    end
+    else begin
+      touched := l.open_seg.blocks;
+      freed := filter_blist l l.open_seg keep;
+      let old_covered = l.covered.blocks in
+      splice_blist l.covered l.open_seg;
+      rescan_covered l ~quota:(min l.r.rescan_blocks old_covered) ~keep ~freed ~touched
+    end;
     (* Capture the generation only now: everything published before the
        collect read the table is in this snapshot, so handler bumps
        caused by our own ping round must not mark it stale. *)
     l.snap_gen <- Atomic.get l.r.gen;
-    l.checked <- Vec.length l.retired;
+    Counters.note_scan_blocks l.r.c ~tid:l.tid !touched;
+    Counters.seg_nodes_add l.r.c ~tid:l.tid (- !freed);
     Counters.segment l.r.c ~tid:l.tid;
-    Counters.free l.r.c ~tid:l.tid freed;
-    freed
+    Counters.free l.r.c ~tid:l.tid !freed;
+    !freed
   end
 
 let scan_plain ~kind ~keep l =
   ignore (adopt l);
   count_pass l kind;
-  (* Epoch-style passes don't use the snapshot; filter the covered
-     prefix and the uncovered suffix separately so [checked] keeps
-     delimiting nodes the cached snapshot has vetted. *)
-  let covered = l.checked in
-  let freed_prefix = filter_free l ~pos:0 ~len:covered keep in
-  l.checked <- covered - freed_prefix;
-  let suffix = Vec.length l.retired - l.checked in
-  let freed_suffix = filter_free l ~pos:l.checked ~len:suffix keep in
-  let freed = freed_prefix + freed_suffix in
+  (* Epoch-style passes don't use the snapshot: filter both lists in
+     place. Filtering only removes nodes, so the covered list stays
+     covered by whatever snapshot the cache holds. *)
+  let touched = l.covered.blocks + l.open_seg.blocks in
+  let freed = filter_blist l l.covered keep in
+  let freed = freed + filter_blist l l.open_seg keep in
+  Counters.note_scan_blocks l.r.c ~tid:l.tid touched;
+  Counters.seg_nodes_add l.r.c ~tid:l.tid (-freed);
   Counters.free l.r.c ~tid:l.tid freed;
   freed

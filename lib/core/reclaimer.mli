@@ -29,11 +29,20 @@
     could change a decision), never soundness — a stale cache merely
     keeps nodes longer, until the next fresh pass.
 
-    {b Segmented retire lists.} [checked] splits each retire list into
-    a covered prefix and an uncovered suffix (the open segment). A pass
-    goes fresh when the open segment alone reaches the threshold, so
-    per-pass work is bounded by the segment size plus the survivors,
-    not by the total garbage a slow peer pins.
+    {b Segmented retire lists (Blelloch–Wei).} Retire buffers are
+    linked lists of fixed-size blocks ({!Smr_config.t.segment_size}
+    slots), split into a covered list and an uncovered open list. The
+    old integer watermark is now the list boundary itself, so a
+    cache-served pass advances the covered prefix in O(1) — it is a
+    no-op. A pass goes fresh when the open list alone reaches the
+    threshold; it filters block by block, returns fully-freed blocks to
+    a per-reclaimer freelist (bounding allocation churn the way
+    {!Pop_sim.Heap}'s node freelists already do), promotes the open
+    list's survivors to covered with one splice, and re-vets at most
+    {!Smr_config.t.segment_rescan} previously covered blocks — so fresh
+    work is O(uncovered blocks + rescan quota), never O(total retired),
+    matching BW21's constant-time block operations (see DESIGN.md
+    §4.2).
 
     {b Adaptive threshold.} With {!Smr_config.t.reclaim_scale} set, the
     trigger threshold scales with [threads × max_hp] (Michael-style
@@ -46,10 +55,12 @@
     survivors to a shared, spinlock-protected stash instead of leaking
     them; any thread's next pass ({!scan}, {!scan_plain} or {!take_all})
     adopts the whole stash into its own buffer. The hand-off is
-    exactly-once (both directions move whole buffers under the lock),
-    and adopted nodes land in the adopter's uncovered open segment, so
-    the covered-prefix invariant is preserved and the next fresh pass
-    vets them against a snapshot collected after the donor left. *)
+    exactly-once, and both directions splice whole block lists under
+    the lock in O(1) — no node is copied while the lock is held
+    ({!node_moves} stays flat across a splice). Adopted blocks land in
+    the adopter's uncovered open list, so the covered invariant is
+    preserved and the next fresh pass vets them against a snapshot
+    collected after the donor left. *)
 
 module Heap := Pop_sim.Heap
 
@@ -111,6 +122,16 @@ val pending : 'a local -> int
 
 val is_empty : 'a local -> bool
 
+val node_moves : 'a local -> int
+(** How many node copies this local has ever performed (pushes on
+    retire, in-block compactions, rescan re-pushes, {!take_all} drains).
+    {!donate} and adoption splice block lists without reading a node, so
+    this counter staying flat across a hand-off is the testable face of
+    the O(1) claim. *)
+
+val free_blocks : 'a local -> int
+(** Blocks currently parked on this local's recycle freelist. *)
+
 val due : 'a local -> bool
 (** [pending l >= threshold]. *)
 
@@ -129,11 +150,11 @@ val take_all : 'a local -> 'a Heap.node array
     (Hyaline hands the batch over to its reference-counted lists). *)
 
 val donate : 'a local -> unit
-(** Move the entire retire buffer (covered prefix included) into the
-    engine's orphan stash, resetting the local segment bookkeeping.
-    Called on the thread's own exit path ([deregister]); the nodes are
-    freed by whichever surviving thread scans next. Exactly-once with
-    respect to {!scan}/{!scan_plain}/{!take_all} adoption. *)
+(** Splice the entire retire buffer (covered list included) into the
+    engine's orphan stash — O(1) in nodes and blocks. Called on the
+    thread's own exit path ([deregister]); the nodes are freed by
+    whichever surviving thread scans next. Exactly-once with respect to
+    {!scan}/{!scan_plain}/{!take_all} adoption. *)
 
 val orphans_pending : 'a t -> int
 (** Racy count of donated nodes not yet adopted (0 at quiescence). *)
@@ -159,13 +180,17 @@ val scan :
     [collect] fills the scratch with the reservation table (this is
     where schemes run their handshake / ping round) and returns the
     element count; the scratch is sealed into the snapshot (skipped
-    with [~fill:false], for IBR); every buffered node with [keep n =
-    false] is freed. [~force:true] (flush, cadence's tick-driven scans)
-    always goes fresh. [keep] must be monotone in the snapshot: it may
-    consult {!snapshot} / {!raw} and per-scheme floors captured by the
+    with [~fill:false], for IBR); the open list is filtered block by
+    block, its survivors are spliced onto the covered list, and up to
+    {!Smr_config.t.segment_rescan} previously covered blocks are
+    re-vetted against the new snapshot. [~force:true] (flush, explicit
+    drains) filters {e everything}, covered included — seed-engine
+    semantics. [keep] must be monotone in the snapshot: it may consult
+    {!snapshot} / {!raw} and per-scheme floors captured by the
     [collect] closure. *)
 
 val scan_plain : kind:pass -> keep:('a Heap.node -> bool) -> 'a local -> int
-(** A snapshot-less pass (EBR and EpochPOP's epoch scan): always runs,
-    filters the whole buffer against [keep], and maintains the covered
-    prefix across the compaction. *)
+(** A snapshot-less pass (EBR and EpochPOP's epoch scan): always runs
+    and filters every block against [keep] in place. Filtering only
+    removes nodes, so the covered list stays covered by whatever
+    snapshot the cache holds. *)

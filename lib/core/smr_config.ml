@@ -7,6 +7,10 @@ type t = {
   fence_cost : int;
   ping_timeout_spins : int;
   reclaim_scale : int;
+  segment_size : int;
+  segment_rescan : int;
+  suspect_after : int;
+  probe_backoff_cap : int;
 }
 
 let default ?(max_threads = 8) () =
@@ -19,6 +23,10 @@ let default ?(max_threads = 8) () =
     fence_cost = 8;
     ping_timeout_spins = 64;
     reclaim_scale = 0;
+    segment_size = 64;
+    segment_rescan = 2;
+    suspect_after = 3;
+    probe_backoff_cap = 64;
   }
 
 let validate t =
@@ -30,4 +38,10 @@ let validate t =
   if t.fence_cost < 0 then invalid_arg "Smr_config: fence_cost must be non-negative";
   if t.ping_timeout_spins <= 0 then
     invalid_arg "Smr_config: ping_timeout_spins must be positive";
-  if t.reclaim_scale < 0 then invalid_arg "Smr_config: reclaim_scale must be non-negative"
+  if t.reclaim_scale < 0 then invalid_arg "Smr_config: reclaim_scale must be non-negative";
+  if t.segment_size <= 0 then invalid_arg "Smr_config: segment_size must be positive";
+  if t.segment_rescan < 0 then
+    invalid_arg "Smr_config: segment_rescan must be non-negative";
+  if t.suspect_after <= 0 then invalid_arg "Smr_config: suspect_after must be positive";
+  if t.probe_backoff_cap <= 0 then
+    invalid_arg "Smr_config: probe_backoff_cap must be positive"

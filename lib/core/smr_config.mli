@@ -31,13 +31,36 @@ type t = {
           per-retire scan cost O(1) amortized and the per-thread garbage
           O(scale · T · H) regardless of the flat [reclaim_freq]. 0 (the
           default) falls back to the flat [reclaim_freq] threshold. *)
+  segment_size : int;
+      (** Capacity of one retire-buffer segment block in the
+          {!Reclaimer}'s Blelloch–Wei segmented lists (BW21). Larger
+          blocks amortize link maintenance over more retires; smaller
+          ones recycle (and hence bound fragmentation) sooner. *)
+  segment_rescan : int;
+      (** How many covered segment blocks a fresh (non-forced) pass
+          re-vets against the new snapshot, in addition to the open
+          segment. 0 leaves covered garbage to forced passes only; the
+          default 2 bounds covered-prefix staleness without giving up
+          the pass's O(uncovered blocks) cost. *)
+  suspect_after : int;
+      (** Consecutive stale-heartbeat handshake timeouts before the
+          {!Handshake} failure detector quarantines a peer. Raise it on
+          oversubscribed schedulers, where a descheduled-but-alive
+          thread can freeze its heartbeat for a full scheduling
+          quantum (see EXPERIMENTS.md "Failure-detector sweep"). *)
+  probe_backoff_cap : int;
+      (** Cap, in handshake rounds, on the exponential backoff between
+          re-probes of a quarantined peer. Lower values re-admit a
+          recovered peer sooner at the price of more pings wasted on a
+          genuinely dead one. *)
 }
 
 val default : ?max_threads:int -> unit -> t
 (** Paper-flavoured defaults scaled to this machine: [max_hp = 8],
     [reclaim_freq = 512], [epoch_freq = 32], [pop_mult = 2],
     [fence_cost = 8], [ping_timeout_spins = 64], [reclaim_scale = 0]
-    (flat threshold). *)
+    (flat threshold), [segment_size = 64], [segment_rescan = 2],
+    [suspect_after = 3], [probe_backoff_cap = 64]. *)
 
 val validate : t -> unit
 (** Raise [Invalid_argument] on nonsensical settings. *)

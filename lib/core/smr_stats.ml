@@ -6,6 +6,9 @@ type t = {
   scan_skips : int;
   snapshot_reuses : int;
   retire_segments : int;
+  segments_recycled : int;
+  segment_occupancy : int;
+  max_scan_blocks : int;
   pings : int;
   publishes : int;
   restarts : int;
@@ -28,6 +31,9 @@ let zero =
     scan_skips = 0;
     snapshot_reuses = 0;
     retire_segments = 0;
+    segments_recycled = 0;
+    segment_occupancy = 0;
+    max_scan_blocks = 0;
     pings = 0;
     publishes = 0;
     restarts = 0;
@@ -56,6 +62,9 @@ let to_alist
       scan_skips;
       snapshot_reuses;
       retire_segments;
+      segments_recycled;
+      segment_occupancy;
+      max_scan_blocks;
       pings;
       publishes;
       restarts;
@@ -77,6 +86,9 @@ let to_alist
     ("scan_skips", scan_skips);
     ("snapshot_reuses", snapshot_reuses);
     ("retire_segments", retire_segments);
+    ("segments_recycled", segments_recycled);
+    ("segment_occupancy", segment_occupancy);
+    ("max_scan_blocks", max_scan_blocks);
     ("pings", pings);
     ("publishes", publishes);
     ("restarts", restarts);

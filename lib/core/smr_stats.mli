@@ -17,6 +17,20 @@ type t = {
   retire_segments : int;
       (** Fresh scan passes, each of which sealed a new checked segment
           of some thread's retire list. *)
+  segments_recycled : int;
+      (** Fully-freed segment blocks the {!Reclaimer} returned to its
+          per-reclaimer block freelist instead of dropping to the GC —
+          the BW21 analogue of {!Pop_sim.Heap}'s node pooling. *)
+  segment_occupancy : int;
+      (** Percentage of in-service segment-block slots currently holding
+          a retired node, at snapshot time (0 for engines holding no
+          blocks). Low values mean fragmentation; > 100 is impossible
+          and flagged by the {!Smr_check} sanitizer. *)
+  max_scan_blocks : int;
+      (** The most segment blocks any single fresh pass touched (filtered
+          or rescanned). This is the measurable face of the O(uncovered
+          blocks) fresh-pass bound: it tracks the open suffix plus the
+          [segment_rescan] quota, not the total retired population. *)
   pings : int;  (** Soft signals sent by this instance's hub. *)
   publishes : int;  (** Handler executions (reservation publishes/acks). *)
   restarts : int;  (** NBR neutralization-induced operation restarts. *)

@@ -37,6 +37,9 @@ type cfg = {
   stall : stall_spec option;
   churn : churn_spec option;
   ping_timeout_spins : int;
+  suspect_after : int;
+  probe_backoff_cap : int;
+  segment_size : int;
   drop_ping : float;
   delay_poll : float;
   seed : int;
@@ -64,6 +67,9 @@ let default_cfg =
     stall = None;
     churn = None;
     ping_timeout_spins = 64;
+    suspect_after = 3;
+    probe_backoff_cap = 64;
+    segment_size = 64;
     drop_ping = 0.0;
     delay_poll = 0.0;
     seed = 42;
@@ -112,6 +118,10 @@ let smr_config cfg ~max_threads =
     pop_mult = cfg.pop_mult;
     fence_cost = cfg.fence_cost;
     ping_timeout_spins = cfg.ping_timeout_spins;
+    segment_size = cfg.segment_size;
+    segment_rescan = (Pop_core.Smr_config.default ()).segment_rescan;
+    suspect_after = cfg.suspect_after;
+    probe_backoff_cap = cfg.probe_backoff_cap;
   }
 
 let ds_config cfg =

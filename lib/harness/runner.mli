@@ -59,6 +59,16 @@ type cfg = {
   ping_timeout_spins : int;
       (** Handshake spin budget per non-responsive peer; see
           {!Pop_core.Smr_config.t.ping_timeout_spins}. *)
+  suspect_after : int;
+      (** Consecutive stale-heartbeat timeouts before the failure
+          detector quarantines a peer; see
+          {!Pop_core.Smr_config.t.suspect_after}. *)
+  probe_backoff_cap : int;
+      (** Cap on the exponential re-probe backoff of quarantined peers;
+          see {!Pop_core.Smr_config.t.probe_backoff_cap}. *)
+  segment_size : int;
+      (** Retire-buffer segment-block capacity; see
+          {!Pop_core.Smr_config.t.segment_size}. *)
   drop_ping : float;
       (** Probability a soft signal is lost in flight (fault injection;
           0 disables). See {!Pop_runtime.Softsignal.inject_faults}. *)

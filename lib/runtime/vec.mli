@@ -37,10 +37,16 @@ val clear : 'a t -> unit
 val filter_sub : 'a t -> pos:int -> len:int -> ('a -> bool) -> int
 (** [filter_sub t ~pos ~len keep] filters only the range
     [pos, pos + len), shifting any suffix left to close the gap, and
-    returns how many elements were removed. Order is preserved. The
-    reclaimer's segmented scans use this to re-filter one segment of a
-    retire list without touching the rest. Raises [Invalid_argument] on a
-    range outside [0, length]. *)
+    returns how many elements were removed. Order is preserved. Raises
+    [Invalid_argument] on a range outside [0, length].
+
+    {b Scrub invariant:} before returning, every vacated slot beyond
+    the new length is overwritten with the dummy, so the backing array
+    never retains a reference to a removed element. Holders of
+    GC-sensitive elements (the {!Pop_core.Reclaimer}'s segment blocks
+    enforce the same invariant on their own slot arrays) rely on this:
+    a filtered-out node must be collectable immediately, not pinned by
+    a stale slot until the next push happens to overwrite it. *)
 
 val filter_in_place : ('a -> bool) -> 'a t -> int
 (** [filter_in_place keep t] removes the elements for which [keep] is

@@ -139,6 +139,30 @@ let runner_lrr_reuses_snapshots () =
     true
     (r.Runner.smr.Pop_core.Smr_stats.snapshot_reuses > 0)
 
+let runner_cadence_reuses_snapshots () =
+  (* Cadence's cache is tick-stamped: [maybe_tick] invalidates exactly
+     when the tick advances, so triggered passes between ticks must be
+     answered from the cached snapshot (PR 5 removed the force that made
+     every cadence pass a fresh collect). A tier-1 cell pins the reuse
+     counter nonzero so the scheme cannot silently regress to per-pass
+     O(T*H) collects. *)
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        smr = Dispatch.CADENCE;
+        threads = 2;
+        duration = 0.3;
+        key_range = 512;
+        reclaim_freq = 16;
+      }
+  in
+  Alcotest.(check bool) "consistent" true (Runner.consistent r);
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot reuses nonzero (%d)" r.Runner.smr.Pop_core.Smr_stats.snapshot_reuses)
+    true
+    (r.Runner.smr.Pop_core.Smr_stats.snapshot_reuses > 0)
+
 let runner_rejects_nonsense () =
   Alcotest.check_raises "zero threads" (Invalid_argument "Runner.run: need at least one thread")
     (fun () -> ignore (Runner.run { Runner.default_cfg with threads = 0 }));
@@ -220,6 +244,7 @@ let suite =
     case "runner: single thread" runner_single_thread;
     case "runner: long-running-reads roles" runner_long_running_reads_roles;
     case "runner: long-running reads reuse snapshots" runner_lrr_reuses_snapshots;
+    case "runner: cadence reuses tick-stamped snapshots" runner_cadence_reuses_snapshots;
     case "runner: rejects bad config" runner_rejects_nonsense;
     case "experiments: micro sweep end-to-end" experiments_micro_sweep;
     case "experiments: scales define sizes" experiments_sizes;

@@ -84,6 +84,20 @@ let direct_free () =
   Alcotest.(check bool) "freed_total accepted" false
     (flags "direct-free" "test/a.ml" "let x = Heap.freed_total h")
 
+let retire_vec () =
+  let push = "let f l n = Vec.push l.retired n" in
+  let filt = "let g l = Vec.filter_sub l.retired ~pos:0 ~len:4 keep" in
+  Alcotest.(check bool) "scheme Vec.push flagged" true
+    (flags "retire-vec" "lib/baselines/a.ml" push);
+  Alcotest.(check bool) "scheme Vec.filter_sub flagged" true
+    (flags "retire-vec" "lib/core/a.ml" filt);
+  Alcotest.(check bool) "the engine itself may use Vec" false
+    (flags "retire-vec" "lib/core/reclaimer.ml" push);
+  Alcotest.(check bool) "outside scheme land accepted" false
+    (flags "retire-vec" "lib/harness/a.ml" push);
+  Alcotest.(check bool) "other Vec calls accepted" false
+    (flags "retire-vec" "lib/baselines/a.ml" "let n = Vec.length l.retired")
+
 let diagnostics_have_positions () =
   match L.check_source ~path:"lib/a.ml" "let a = 1\nlet b = Obj.magic a\n" with
   | [ d ] ->
@@ -158,6 +172,7 @@ let suite =
     case "rule: poly-compare" poly_compare;
     case "rule: node-eq heuristic" node_eq;
     case "rule: direct-free scoping" direct_free;
+    case "rule: retire-vec scoping" retire_vec;
     case "diagnostics carry file:line" diagnostics_have_positions;
     case "allow.sexp parsing" parse_allow;
     case "rule: missing-mli over a tree" missing_mli;

@@ -13,11 +13,22 @@ open Pop_core
 module Heap = Pop_sim.Heap
 open Tu
 
-let cfg ?(reclaim_freq = 4) ?(reclaim_scale = 0) ?(max_threads = 2) ?(max_hp = 4) () =
-  { (Smr_config.default ()) with Smr_config.max_threads; max_hp; reclaim_freq; reclaim_scale }
+let cfg ?(reclaim_freq = 4) ?(reclaim_scale = 0) ?(max_threads = 2) ?(max_hp = 4)
+    ?(segment_size = 64) ?(segment_rescan = 2) () =
+  {
+    (Smr_config.default ()) with
+    Smr_config.max_threads;
+    max_hp;
+    reclaim_freq;
+    reclaim_scale;
+    segment_size;
+    segment_rescan;
+  }
 
-let make ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp () =
-  let cfg = cfg ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp () in
+let make ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp ?segment_size ?segment_rescan () =
+  let cfg =
+    cfg ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp ?segment_size ?segment_rescan ()
+  in
   let heap = Heap.create ~max_threads:cfg.Smr_config.max_threads ~payload:(fun _ -> ()) in
   let c = Counters.create cfg.Smr_config.max_threads in
   let eng = Reclaimer.create cfg ~heap ~counters:c in
@@ -167,8 +178,8 @@ end
    cumulative free count must agree exactly there, and the survivor id
    sets must agree at the end. Reservations follow the protocol: an id
    is only reserved before its node is retired. *)
-let equivalence_trace seed steps =
-  let heap, _c, eng, rl = make ~reclaim_freq:4 () in
+let equivalence_trace ?segment_size seed steps =
+  let heap, _c, eng, rl = make ~reclaim_freq:4 ?segment_size () in
   let table = Hashtbl.create 32 in
   let called = ref false in
   let model = Model.create () in
@@ -231,6 +242,145 @@ let equivalence_seed_2 () = equivalence_trace 202 400
 
 let equivalence_seed_3 () = equivalence_trace 303 400
 
+(* The same freed-set parity at block boundaries: segment sizes down to
+   one node per block exercise every overflow/underflow edge (a retire
+   that links a block, a filter that empties one, a splice whose lists
+   end in partial blocks) while the model stays oblivious. *)
+let equivalence_tiny_segments () =
+  List.iter (fun seg -> equivalence_trace ~segment_size:seg 707 250) [ 1; 2; 3; 5 ]
+
+(* --- segment blocks --- *)
+
+(* Exact accounting across the block boundary: [n] retires fill
+   ceil(n/seg) blocks; a forced scan frees exactly the unreserved nodes;
+   draining the survivors hands every block to the freelist. *)
+let block_boundary_property =
+  QCheck2.Test.make ~name:"reclaimer: block-boundary retire/free accounting" ~count:100
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 0 70))
+    (fun (seg, n) ->
+      let heap, c, _eng, rl = make ~reclaim_freq:4 ~segment_size:seg () in
+      let table = Hashtbl.create 8 in
+      let called = ref false in
+      let nodes = Array.init n (fun _ -> Heap.alloc heap ~tid:0 ~birth_era:0) in
+      Array.iteri (fun i nd -> if i mod 3 = 0 then Hashtbl.replace table nd.Heap.id ()) nodes;
+      Array.iter (Reclaimer.retire rl) nodes;
+      let survivors = (n + 2) / 3 in
+      let freed =
+        Reclaimer.scan ~force:true ~kind:Reclaimer.Plain
+          ~collect:(table_collect table called)
+          ~except:(-1) ~keep:(keep_reserved rl) rl
+      in
+      let drained = Reclaimer.take_all rl in
+      let blocks = (n + seg - 1) / seg in
+      let s = stats c in
+      freed = n - survivors
+      && Array.length drained = survivors
+      && Reclaimer.pending rl = 0
+      (* Retiring filled [blocks] blocks and nothing allocated since:
+         filter + drain must recycle every one of them. *)
+      && Reclaimer.free_blocks rl = blocks
+      && s.Smr_stats.segments_recycled = blocks
+      (* All blocks are out of service again: occupancy reads 0, and it
+         never exceeded 100 (the SmrSan segment invariant). *)
+      && s.Smr_stats.segment_occupancy = 0
+      && Heap.uaf_count heap = 0
+      && Heap.double_free_count heap = 0)
+
+(* The O(1) hand-off claim, verified by counting node moves: donate and
+   adopt splice block lists, so neither side copies a single node. Only
+   the donor's original pushes (one move per retire) appear. *)
+let donate_adopt_zero_moves () =
+  let heap, c, eng, donor = make ~reclaim_freq:1_000_000 () in
+  let adopter = Reclaimer.register eng ~tid:1 ~scratch_slots:64 in
+  let m = 1000 in
+  for _ = 1 to m do
+    Reclaimer.retire donor (Heap.alloc heap ~tid:0 ~birth_era:0)
+  done;
+  Alcotest.(check int) "one move per retire push" m (Reclaimer.node_moves donor);
+  Reclaimer.donate donor;
+  Alcotest.(check int) "donate copies no node" m (Reclaimer.node_moves donor);
+  Alcotest.(check int) "stash holds the batch" m (Reclaimer.orphans_pending eng);
+  Alcotest.(check int) "donor empty" 0 (Reclaimer.pending donor);
+  (* A keep-all pass adopts the stash: the splice reads no node, and the
+     in-place filter moves none (every slot keeps its position). *)
+  let freed = Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> true) adopter in
+  Alcotest.(check int) "keep-all frees nothing" 0 freed;
+  Alcotest.(check int) "adopter holds the batch" m (Reclaimer.pending adopter);
+  Alcotest.(check int) "adoption copies no node" 0 (Reclaimer.node_moves adopter);
+  let s = stats c in
+  Alcotest.(check int) "donated" m s.Smr_stats.orphans_donated;
+  Alcotest.(check int) "adopted" m s.Smr_stats.orphans_adopted;
+  (* The batch is still fully freeable after the two splices. *)
+  let freed = Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter in
+  Alcotest.(check int) "drains" m freed;
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
+
+(* Donate/adopt splices race under churn: three donors hand whole block
+   lists through the orphan lock while an adopter drains concurrently.
+   Every node is freed exactly once and the adopter never copies one. *)
+let concurrent_donate_adopt () =
+  let threads = 4 in
+  let cfg = cfg ~max_threads:threads ~reclaim_freq:1_000_000 ~segment_size:8 () in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let c = Counters.create threads in
+  let eng = Reclaimer.create cfg ~heap ~counters:c in
+  let m = 500 in
+  let donor tid () =
+    let l = Reclaimer.register eng ~tid ~scratch_slots:8 in
+    for _ = 1 to m do
+      Reclaimer.retire l (Heap.alloc heap ~tid ~birth_era:0)
+    done;
+    Reclaimer.donate l
+  in
+  let adopter () =
+    let l = Reclaimer.register eng ~tid:(threads - 1) ~scratch_slots:8 in
+    let freed = ref 0 in
+    while !freed < 3 * m do
+      freed := !freed + Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) l;
+      Domain.cpu_relax ()
+    done;
+    (!freed, Reclaimer.node_moves l)
+  in
+  let donors = Array.init 3 (fun i -> Domain.spawn (donor i)) in
+  let ad = Domain.spawn adopter in
+  Array.iter Domain.join donors;
+  let freed, moves = Domain.join ad in
+  Alcotest.(check int) "every donated node freed" (3 * m) freed;
+  Alcotest.(check int) "adopter copied no node" 0 moves;
+  Alcotest.(check int) "no orphans left" 0 (Reclaimer.orphans_pending eng);
+  Alcotest.(check int) "unreclaimed zero" 0 (Counters.unreclaimed c);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap);
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count heap)
+
+(* Recycled blocks must not pin drained nodes under the GC: [take_all]
+   scrubs every slot with the sentinel before a block enters the
+   freelist, so once the caller drops the drained array the nodes are
+   collectable. Mirrors the Vec scrub regression in test_runtime.ml at
+   the segment-block layer. *)
+let recycled_blocks_do_not_pin () =
+  let heap, _c, _eng, rl = make ~segment_size:4 () in
+  let w = Weak.create 1 in
+  (* Allocate the tracked node inside a closure so no stack slot keeps
+     it alive after the drain drops it. *)
+  (fun () ->
+    let tracked = Heap.alloc heap ~tid:0 ~birth_era:0 in
+    Weak.set w 0 (Some tracked);
+    Reclaimer.retire rl tracked;
+    for _ = 1 to 6 do
+      Reclaimer.retire rl (Heap.alloc heap ~tid:0 ~birth_era:0)
+    done)
+    ();
+  Alcotest.(check bool) "alive while buffered" true (Weak.check w 0);
+  (* Drain without freeing (the Hyaline path): the nodes leave the
+     blocks, the blocks hit the freelist scrubbed, the array is dropped.
+     A freed node would sit in the heap's pool (reachably pooled); a
+     drained one has no owner left but a stale block slot. *)
+  ignore (Sys.opaque_identity (Reclaimer.take_all rl));
+  Alcotest.(check bool) "blocks recycled" true (Reclaimer.free_blocks rl >= 2);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "no recycled block slot pins the node" false (Weak.check w 0)
+
 (* --- scan_plain segment bookkeeping --- *)
 
 (* Epoch-style passes must keep the covered prefix aligned across
@@ -292,5 +442,10 @@ let suite =
     case "reclaimer: old-vs-new equivalence (seed 101)" equivalence_seed_1;
     case "reclaimer: old-vs-new equivalence (seed 202)" equivalence_seed_2;
     case "reclaimer: old-vs-new equivalence (seed 303)" equivalence_seed_3;
+    case "reclaimer: equivalence at tiny segment sizes" equivalence_tiny_segments;
+    QCheck_alcotest.to_alcotest block_boundary_property;
+    case "reclaimer: donate/adopt splice copies no nodes" donate_adopt_zero_moves;
+    case "reclaimer: concurrent donate/adopt splices" concurrent_donate_adopt;
+    case "reclaimer: recycled blocks do not pin drained nodes" recycled_blocks_do_not_pin;
     case "reclaimer: scan_plain keeps segment bookkeeping" scan_plain_interleaving;
   ]

@@ -10,6 +10,10 @@
 #   6. churn smoke test: a fixed-seed thread-churn cell (exit + crash +
 #      join) under the SmrSan sanitizer must fire its events, stay
 #      violation-free, and emit the churn counters in its JSON
+#   7. segment smoke test: the bench's segmented-retire-buffer figure
+#      (--fig seg) must emit a parseable BENCH_seg.json whose cells
+#      recycle blocks and keep freed-set parity (run from _build so the
+#      committed repo-root baseline is not overwritten)
 # Run from the repository root: sh tools/tier1.sh
 set -e
 cd "$(dirname "$0")/.."
@@ -19,7 +23,8 @@ dune build @lint
 dune build @fmt
 json_smoke=_build/popbench_smoke.json
 churn_smoke=_build/popbench_churn_smoke.json
-trap 'rm -f "$json_smoke" "$churn_smoke"' EXIT
+seg_smoke_dir=_build/seg_smoke
+trap 'rm -f "$json_smoke" "$churn_smoke"; rm -rf "$seg_smoke_dir"' EXIT
 ./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
   --json "$json_smoke" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -60,5 +65,25 @@ EOF
 else
   grep -q '"crashed"' "$churn_smoke"
   echo "churn smoke: ok (grep only; python3 unavailable)"
+fi
+mkdir -p "$seg_smoke_dir"
+bench_exe="$(pwd)/_build/default/bench/main.exe"
+(cd "$seg_smoke_dir" && "$bench_exe" --fig seg --json > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$seg_smoke_dir/BENCH_seg.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cells = json.load(f)
+assert isinstance(cells, list) and cells, "expected a non-empty JSON array"
+for c in cells:
+    assert c["segments_recycled"] > 0, "no segment blocks recycled"
+    assert c["freed_per_pass"] == c["uncovered"], "freed-set parity broken"
+    assert c["fresh_ns_per_pass"] > 0 and c["forced_ns_per_pass"] > 0, "missing timings"
+print("seg smoke: ok (%d cells, %d blocks recycled)"
+      % (len(cells), sum(c["segments_recycled"] for c in cells)))
+EOF
+else
+  grep -q '"segments_recycled"' "$seg_smoke_dir/BENCH_seg.json"
+  echo "seg smoke: ok (grep only; python3 unavailable)"
 fi
 echo "tier-1: ok"
