@@ -376,12 +376,28 @@ let seg_cell ~rounds ~covered ~uncovered =
            uncovered);
     dt
   in
+  (* Same statistic as the era_span cells: warm up, then the minimum of
+     per-group mean pass times — a single pass sits on the clock's
+     granularity and one GC slice inside a whole-phase mean would
+     dominate it, while the work per pass is identical every round so
+     the fastest group is the cost with the least unrelated
+     interference. *)
   let phase ~force =
-    let acc = ref 0.0 in
-    for _ = 1 to rounds do
-      acc := !acc +. time_pass ~force
+    for _ = 1 to max 10 (rounds / 10) do
+      ignore (time_pass ~force)
     done;
-    !acc /. float_of_int rounds *. 1e9
+    let groups = 16 in
+    let per_group = max 1 (rounds / groups) in
+    let samples =
+      Array.init groups (fun _ ->
+          let acc = ref 0.0 in
+          for _ = 1 to per_group do
+            acc := !acc +. time_pass ~force
+          done;
+          !acc /. float_of_int per_group)
+    in
+    Array.sort Float.compare samples;
+    samples.(0) *. 1e9
   in
   let fresh_ns = phase ~force:false in
   let s_fresh = Counters.snapshot c ~hub ~epoch:0 in
@@ -398,15 +414,25 @@ let seg_cell ~rounds ~covered ~uncovered =
     sc_recycled = s_forced.Pop_core.Smr_stats.segments_recycled;
   }
 
-let fig_seg sc =
+let fig_seg_pass_cost sc =
   Report.section
     "Segmented retire buffers: ns per reclamation pass vs covered backlog (engine replay;      every measured pass frees exactly U nodes)";
   let rounds = if sc.Experiments.duration > 1.0 then 400 else 120 in
-  let cells =
-    List.map
-      (fun (c, u) -> seg_cell ~rounds ~covered:c ~uncovered:u)
-      [ (4096, 512); (16384, 512); (65536, 512); (16384, 128); (16384, 2048) ]
-  in
+  (* Best-of-3 interleaved across the sweep, keyed on the fresh pass
+     (the flatness claim); see fig_seg_era_span for why per-cell
+     statistics are not enough on their own. *)
+  let configs = [ (4096, 512); (16384, 512); (65536, 512); (16384, 128); (16384, 2048) ] in
+  let best = Hashtbl.create 8 in
+  for _ = 1 to 3 do
+    List.iter
+      (fun (c, u) ->
+        let cell = seg_cell ~rounds ~covered:c ~uncovered:u in
+        match Hashtbl.find_opt best (c, u) with
+        | Some prev when prev.sc_fresh_ns <= cell.sc_fresh_ns -> ()
+        | _ -> Hashtbl.replace best (c, u) cell)
+      configs
+  done;
+  let cells = List.map (fun cu -> Hashtbl.find best cu) configs in
   Report.table
     ~header:
       [
@@ -427,6 +453,297 @@ let fig_seg sc =
            ])
          cells);
   cells
+
+(* ------------------------------------------------------------------ *)
+(* Era-span replay (PR 6): block-stamp fast path vs covered backlog     *)
+(* ------------------------------------------------------------------ *)
+
+type era_cell = {
+  ec_covered : int;
+  ec_uncovered : int;
+  ec_freed : int;
+  ec_fresh_ns : float;
+  ec_block_keeps : int;
+  ec_block_skips : int;
+  ec_stale : int;
+}
+
+(* The era-interval pass through [Reclaimer.scan_eras], with eras
+   deliberately spanning blocks: every covered node was born in era 0
+   and retires in a distinct era >= 1000, every doomed node lives in
+   [10, 10 + i), and the single reserved era is 5 — inside every
+   covered lifespan, outside every doomed one. So one stamp probe keeps
+   each rescanned covered block whole (Keep_block) and frees each
+   doomed open block whole (Free_block) even though no two nodes share
+   a retire era; only a block mixing both populations falls back to
+   per-node probes. Fresh-pass cost must stay flat as C grows 16x. *)
+let era_cell ~rounds ~covered ~uncovered =
+  let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 1 lsl 30 } in
+  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+  let c = Counters.create 2 in
+  let eng = Reclaimer.create scfg ~heap ~counters:c in
+  let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
+  let hub = Softsignal.create ~max_threads:1 in
+  let reserved_era = 5 in
+  let collect scratch =
+    scratch.(0) <- reserved_era;
+    1
+  in
+  let scan ~force =
+    Reclaimer.scan_eras ~force ~kind:Reclaimer.Plain ~collect ~except:min_int rl
+  in
+  let era = ref 1000 in
+  let covered_batch count =
+    for _ = 1 to count do
+      let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+      n.Heap.retire_era <- !era;
+      incr era;
+      Reclaimer.retire rl n
+    done
+  in
+  let doomed_batch count =
+    for i = 1 to count do
+      let n = Heap.alloc heap ~tid:0 ~birth_era:10 in
+      n.Heap.retire_era <- 10 + (i mod 500);
+      Reclaimer.retire rl n
+    done
+  in
+  let rec fill remaining =
+    if remaining > 0 then begin
+      let b = min uncovered remaining in
+      covered_batch b;
+      Reclaimer.invalidate eng;
+      ignore (scan ~force:false);
+      fill (remaining - b)
+    end
+  in
+  fill covered;
+  let time_pass () =
+    doomed_batch uncovered;
+    Reclaimer.invalidate eng;
+    let t0 = Pop_runtime.Clock.now () in
+    let freed = scan ~force:false in
+    let dt = Pop_runtime.Clock.elapsed t0 in
+    if freed <> uncovered then
+      failwith
+        (Printf.sprintf "fig seg (era): freed-set parity broken (freed %d, expected %d)"
+           freed uncovered);
+    dt
+  in
+  (* Warm the node pools and block freelists, then report the median of
+     per-group means: one pass is only microseconds long, so a single
+     timed pass sits on the clock's granularity and a single GC slice
+     inside a mean over all rounds would dominate it. Groups of passes
+     amortize the quantization; the median across groups drops the
+     spikes. *)
+  for _ = 1 to max 10 (rounds / 10) do
+    ignore (time_pass ())
+  done;
+  let groups = 16 in
+  let per_group = max 1 (rounds / groups) in
+  let s0 = Counters.snapshot c ~hub ~epoch:0 in
+  let samples =
+    Array.init groups (fun _ ->
+        let acc = ref 0.0 in
+        for _ = 1 to per_group do
+          acc := !acc +. time_pass ()
+        done;
+        !acc /. float_of_int per_group)
+  in
+  let s1 = Counters.snapshot c ~hub ~epoch:0 in
+  Array.sort Float.compare samples;
+  (* The fastest group: the pass does identical work every round, so
+     the minimum is the cost with the least unrelated interference
+     (GC slices, VM preemption) — the right statistic for a flatness
+     claim on a noisy single-core box. *)
+  {
+    ec_covered = covered;
+    ec_uncovered = uncovered;
+    ec_freed = uncovered;
+    ec_fresh_ns = samples.(0) *. 1e9;
+    ec_block_keeps = s1.Pop_core.Smr_stats.block_keeps - s0.Pop_core.Smr_stats.block_keeps;
+    ec_block_skips = s1.Pop_core.Smr_stats.block_skips - s0.Pop_core.Smr_stats.block_skips;
+    ec_stale = s1.Pop_core.Smr_stats.stale_stamps;
+  }
+
+let fig_seg_era_span sc =
+  Report.section
+    "Era-stamped blocks: ns per era-interval pass vs covered backlog (16x sweep, eras      span blocks; covered blocks kept and doomed blocks freed on one stamp probe)";
+  let rounds = if sc.Experiments.duration > 1.0 then 400 else 120 in
+  (* Best-of-3 with the repetitions interleaved across the sweep (same
+     discipline as the donor-churn cells): interference that outlasts a
+     whole cell — a scheduler tick, another process's burst — defeats
+     the per-cell min-of-groups statistic, but rarely hits the same
+     configuration in every repetition. *)
+  let configs = [ (512, 512); (1024, 512); (2048, 512); (4096, 512); (8192, 512) ] in
+  let best = Hashtbl.create 8 in
+  for _ = 1 to 3 do
+    List.iter
+      (fun (c, u) ->
+        let cell = era_cell ~rounds ~covered:c ~uncovered:u in
+        match Hashtbl.find_opt best c with
+        | Some prev when prev.ec_fresh_ns <= cell.ec_fresh_ns -> ()
+        | _ -> Hashtbl.replace best c cell)
+      configs
+  done;
+  let cells = List.map (fun (c, _) -> Hashtbl.find best c) configs in
+  Report.table
+    ~header:
+      [
+        "covered C"; "uncovered U"; "fresh ns/pass"; "block keeps"; "block skips";
+        "stale stamps";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.ec_covered;
+             string_of_int r.ec_uncovered;
+             Printf.sprintf "%.0f" r.ec_fresh_ns;
+             string_of_int r.ec_block_keeps;
+             string_of_int r.ec_block_skips;
+             string_of_int r.ec_stale;
+           ])
+         cells);
+  cells
+
+(* ------------------------------------------------------------------ *)
+(* Donor-churn sweep (PR 6): hand-off throughput vs donor count         *)
+(* ------------------------------------------------------------------ *)
+
+type churn_cell = {
+  cc_donors : int;
+  cc_nodes : int;
+  cc_ns : float;
+  cc_mops : float;
+  cc_splice_moves : int;
+  cc_contention : int;
+  cc_donated : int;
+  cc_adopted : int;
+}
+
+(* Fixed total work (N retire+donate+adopt+free node hand-offs) split
+   across D donor contexts on distinct tids, interleaved with one
+   adopter draining the sharded orphanage. The box this baseline is
+   committed from has a single core, so the sweep measures the
+   aggregate hand-off path deterministically instead of a parallel
+   speedup: total work is identical at every D, and throughput must
+   stay flat as the same work is split across more donors — each donor
+   donates into its own stripe, so adding donors adds no per-donor
+   serialization (the old single-lock orphanage funnelled every donate
+   and adopt through one line; cross-thread lock safety is covered by
+   the concurrent donate/adopt test). [splice_moves] is total node
+   copies minus the donors' original retire pushes: donate and adopt
+   splice whole block lists, so it must be exactly 0. *)
+let churn_cell ~donors ~total =
+  let threads = 16 in
+  let scfg = { (Smr_config.default ~max_threads:threads ()) with reclaim_freq = 1 lsl 30 } in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let c = Counters.create threads in
+  let eng = Reclaimer.create scfg ~heap ~counters:c in
+  let hub = Softsignal.create ~max_threads:1 in
+  let batch = 64 in
+  let rounds = total / (batch * donors) in
+  let goal = rounds * batch * donors in
+  let donor_locals =
+    Array.init donors (fun i -> Reclaimer.register eng ~tid:(i + 1) ~scratch_slots:8)
+  in
+  let adopter = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
+  let freed = ref 0 in
+  (* The adopter drains once per 512 donated nodes at every D, so its
+     fixed per-scan cost (stripe walk, pass bookkeeping) is amortized
+     identically across the sweep and the cells compare donate/adopt
+     cost alone. *)
+  let adopt_every = 512 in
+  let donated_since = ref 0 in
+  let t0 = Pop_runtime.Clock.now () in
+  for _ = 1 to rounds do
+    Array.iter
+      (fun l ->
+        (* Alloc from pool 0 — the adopter frees with tid 0, so the
+           replay recycles one pool instead of growing the heap. *)
+        for _ = 1 to batch do
+          Reclaimer.retire l (Heap.alloc heap ~tid:0 ~birth_era:0)
+        done;
+        Reclaimer.donate l)
+      donor_locals;
+    donated_since := !donated_since + (batch * donors);
+    if !donated_since >= adopt_every then begin
+      donated_since := 0;
+      freed :=
+        !freed + Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter
+    end
+  done;
+  freed :=
+    !freed + Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter;
+  let dt = Pop_runtime.Clock.elapsed t0 in
+  if !freed <> goal then
+    failwith (Printf.sprintf "fig seg (churn): freed %d of %d" !freed goal);
+  if Reclaimer.orphans_pending eng <> 0 then failwith "fig seg (churn): orphans left";
+  let donor_moves =
+    Array.fold_left (fun acc l -> acc + Reclaimer.node_moves l) 0 donor_locals
+  in
+  let s = Counters.snapshot c ~hub ~epoch:0 in
+  {
+    cc_donors = donors;
+    cc_nodes = goal;
+    cc_ns = dt *. 1e9;
+    cc_mops = float_of_int goal /. dt /. 1e6;
+    cc_splice_moves = donor_moves + Reclaimer.node_moves adopter - goal;
+    cc_contention = s.Pop_core.Smr_stats.orphan_stripe_contention;
+    cc_donated = s.Pop_core.Smr_stats.orphans_donated;
+    cc_adopted = s.Pop_core.Smr_stats.orphans_adopted;
+  }
+
+let fig_seg_donor_churn sc =
+  Report.section
+    "Sharded orphanage: donate/adopt hand-off throughput vs donor count (fixed total      work; flat = no serialization point, splice moves must be 0)";
+  let total = if sc.Experiments.duration > 1.0 then 1 lsl 17 else 1 lsl 15 in
+  (* Throwaway cell to warm the process (code paths, allocator, GC
+     ramp), then best-of-5 per donor count with the repetitions
+     interleaved across D: each cell is a single millisecond-scale wall
+     measurement on a noisy single-core box, and interleaving keeps any
+     slow drift (load, VM steal time) from biasing one end of the
+     sweep. *)
+  ignore (churn_cell ~donors:1 ~total:(total / 4));
+  let ds = [ 1; 2; 4; 8 ] in
+  let best = Hashtbl.create 4 in
+  for _ = 1 to 5 do
+    List.iter
+      (fun d ->
+        let cell = churn_cell ~donors:d ~total in
+        match Hashtbl.find_opt best d with
+        | Some prev when prev.cc_ns <= cell.cc_ns -> ()
+        | _ -> Hashtbl.replace best d cell)
+      ds
+  done;
+  let cells = List.map (Hashtbl.find best) ds in
+  Report.table
+    ~header:
+      [
+        "donors"; "nodes"; "handoff Mops"; "splice moves"; "stripe contention"; "donated";
+        "adopted";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.cc_donors;
+             string_of_int r.cc_nodes;
+             Printf.sprintf "%.2f" r.cc_mops;
+             string_of_int r.cc_splice_moves;
+             string_of_int r.cc_contention;
+             string_of_int r.cc_donated;
+             string_of_int r.cc_adopted;
+           ])
+         cells);
+  cells
+
+let fig_seg sc =
+  let pass_cells = fig_seg_pass_cost sc in
+  let era_cells = fig_seg_era_span sc in
+  let churn_cells = fig_seg_donor_churn sc in
+  (pass_cells, era_cells, churn_cells)
 
 let fig_ablation sc =
   ablation_fence sc;
@@ -472,7 +789,9 @@ let emit_micro_json rows =
         List.iteri
           (fun i (label, ns, r2) ->
             if i > 0 then output_string oc ",\n";
-            let num f = if Float.is_finite f then Printf.sprintf "%.4f" f else "0.0" in
+            (* Same contract as Runner.json_float: a broken measurement
+               emits null and trips the smoke assertions, not "0.0". *)
+            let num f = if Float.is_finite f then Printf.sprintf "%.4f" f else "null" in
             Printf.fprintf oc "  {\"label\": \"%s\", \"ns_per_op\": %s, \"r_square\": %s}"
               (escape label) (num ns) (num r2))
           rows;
@@ -480,27 +799,59 @@ let emit_micro_json rows =
     Printf.printf "wrote %s (%d cases)\n" path (List.length rows)
   end
 
-let emit_seg_json cells =
+(* BENCH_seg.json holds three differently-shaped cell arrays under one
+   keyed object: the PR 5 pass-cost replay, the era-span replay and the
+   donor-churn sweep. *)
+let emit_seg_json (pass_cells, era_cells, churn_cells) =
   if !json_out then begin
     let path = "BENCH_seg.json" in
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        output_string oc "[\n";
-        List.iteri
-          (fun i r ->
-            if i > 0 then output_string oc ",\n";
+        let array key emit cells =
+          Printf.fprintf oc "  \"%s\": [\n" key;
+          List.iteri
+            (fun i r ->
+              if i > 0 then output_string oc ",\n";
+              emit r)
+            cells;
+          output_string oc "\n  ]"
+        in
+        output_string oc "{\n";
+        array "pass_cost"
+          (fun r ->
             Printf.fprintf oc
-              "  {\"covered\": %d, \"uncovered\": %d, \"freed_per_pass\": %d, \
+              "    {\"covered\": %d, \"uncovered\": %d, \"freed_per_pass\": %d, \
                \"fresh_ns_per_pass\": %.1f, \"forced_ns_per_pass\": %.1f, \
                \"fresh_max_scan_blocks\": %d, \"forced_max_scan_blocks\": %d, \
                \"segments_recycled\": %d}"
               r.sc_covered r.sc_uncovered r.sc_freed r.sc_fresh_ns r.sc_forced_ns
               r.sc_fresh_blocks r.sc_forced_blocks r.sc_recycled)
-          cells;
-        output_string oc "\n]\n");
-    Printf.printf "wrote %s (%d cells)\n" path (List.length cells)
+          pass_cells;
+        output_string oc ",\n";
+        array "era_span"
+          (fun r ->
+            Printf.fprintf oc
+              "    {\"covered\": %d, \"uncovered\": %d, \"freed_per_pass\": %d, \
+               \"fresh_ns_per_pass\": %.1f, \"block_keeps\": %d, \"block_skips\": %d, \
+               \"stale_stamps\": %d}"
+              r.ec_covered r.ec_uncovered r.ec_freed r.ec_fresh_ns r.ec_block_keeps
+              r.ec_block_skips r.ec_stale)
+          era_cells;
+        output_string oc ",\n";
+        array "donor_churn"
+          (fun r ->
+            Printf.fprintf oc
+              "    {\"donors\": %d, \"nodes\": %d, \"ns_total\": %.0f, \
+               \"handoff_mops\": %.3f, \"splice_moves\": %d, \"stripe_contention\": %d, \
+               \"donated\": %d, \"adopted\": %d}"
+              r.cc_donors r.cc_nodes r.cc_ns r.cc_mops r.cc_splice_moves r.cc_contention
+              r.cc_donated r.cc_adopted)
+          churn_cells;
+        output_string oc "\n}\n");
+    Printf.printf "wrote %s (%d+%d+%d cells)\n" path (List.length pass_cells)
+      (List.length era_cells) (List.length churn_cells)
   end
 
 let usage () =

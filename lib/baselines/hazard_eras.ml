@@ -74,7 +74,9 @@ let check ctx n = Heap.check_access ctx.g.heap n
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:(Atomic.get ctx.g.epoch)
 
 (* Freeable when no collected era lies within the node's lifespan — a
-   range-emptiness query on the sorted snapshot. *)
+   range-emptiness query the engine runs per block stamp first, then
+   per node only for inconclusive blocks (with the snapshot hoisted
+   once per pass, not re-fetched per retired node). *)
 let reclaim ?force ctx =
   let g = ctx.g in
   let collect scratch =
@@ -82,12 +84,7 @@ let reclaim ?force ctx =
     Reclaimer.invalidate g.eng;
     Reservations.collect_shared g.res scratch
   in
-  ignore
-    (Reclaimer.scan ?force ~kind:Reclaimer.Plain ~collect ~except:no_era
-       ~keep:(fun n ->
-         Id_set.exists_in_range (Reclaimer.snapshot ctx.rl) ~lo:n.Heap.birth_era
-           ~hi:n.Heap.retire_era)
-       ctx.rl)
+  ignore (Reclaimer.scan_eras ?force ~kind:Reclaimer.Plain ~collect ~except:no_era ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;

@@ -107,6 +107,24 @@ let can_free scratch nthreads n =
   done;
   !ok
 
+(* The block-level verdict over the same positional intervals. Each
+   node's lifespan is inside the block envelope ([min_birth,
+   max_retire] for the free direction, and retire >= min_retire /
+   birth <= max_birth for the keep one), so:
+   - every interval misses the envelope => every node is freeable;
+   - some interval covers [max_birth, min_retire] => it overlaps every
+     node's lifespan: the whole block is kept. *)
+let classify_block scratch nthreads ~min_birth ~max_birth ~min_retire ~max_retire =
+  let all_free = ref true and all_kept = ref false in
+  for tid = 0 to nthreads - 1 do
+    let lo = scratch.((tid * 2) + lo_slot) and hi = scratch.((tid * 2) + hi_slot) in
+    if not (max_retire < lo || min_birth > hi) then all_free := false;
+    if lo <= min_retire && max_birth <= hi then all_kept := true
+  done;
+  if !all_free then Reclaimer.Free_block
+  else if !all_kept then Reclaimer.Keep_block
+  else Reclaimer.Scan_block
+
 let reclaim ?force ctx =
   let g = ctx.g in
   let collect scratch =
@@ -114,9 +132,14 @@ let reclaim ?force ctx =
     assert (k = g.cfg.max_threads * 2);
     k
   in
+  (* The raw scratch array is a stable per-local reference: hoist it
+     (and the thread count) out of the per-node and per-block closures. *)
+  let scratch = Reclaimer.raw ctx.rl and nthreads = g.cfg.max_threads in
   ignore
-    (Reclaimer.scan ?force ~fill:false ~kind:Reclaimer.Plain ~collect ~except:max_int
-       ~keep:(fun n -> not (can_free (Reclaimer.raw ctx.rl) g.cfg.max_threads n))
+    (Reclaimer.scan ?force ~fill:false
+       ~block_keep:(classify_block scratch nthreads)
+       ~kind:Reclaimer.Plain ~collect ~except:max_int
+       ~keep:(fun n -> not (can_free scratch nthreads n))
        ctx.rl)
 
 let retire ctx n =

@@ -16,6 +16,7 @@ type violations = {
   churn_misuse : int;
   orphan_misuse : int;
   segment_misuse : int;
+  stamp_misuse : int;
 }
 
 let zero =
@@ -30,6 +31,7 @@ let zero =
     churn_misuse = 0;
     orphan_misuse = 0;
     segment_misuse = 0;
+    stamp_misuse = 0;
   }
 
 (* Exhaustive record patterns, like Smr_stats.to_alist: adding a category
@@ -46,10 +48,11 @@ let total
       churn_misuse;
       orphan_misuse;
       segment_misuse;
+      stamp_misuse;
     } =
   read_outside_op + check_unreserved + double_retire + write_phase_misuse
   + slot_out_of_bounds + use_after_deregister + unbalanced_op + churn_misuse
-  + orphan_misuse + segment_misuse
+  + orphan_misuse + segment_misuse + stamp_misuse
 
 let to_alist
     {
@@ -63,6 +66,7 @@ let to_alist
       churn_misuse;
       orphan_misuse;
       segment_misuse;
+      stamp_misuse;
     } =
   [
     ("read_outside_op", read_outside_op);
@@ -75,6 +79,7 @@ let to_alist
     ("churn_misuse", churn_misuse);
     ("orphan_misuse", orphan_misuse);
     ("segment_misuse", segment_misuse);
+    ("stamp_misuse", stamp_misuse);
   ]
 
 let pp fmt v =
@@ -94,8 +99,9 @@ type category =
   | Churn_misuse
   | Orphan_misuse
   | Segment_misuse
+  | Stamp_misuse
 
-let n_categories = 10
+let n_categories = 11
 
 let category_index = function
   | Read_outside_op -> 0
@@ -108,6 +114,7 @@ let category_index = function
   | Churn_misuse -> 7
   | Orphan_misuse -> 8
   | Segment_misuse -> 9
+  | Stamp_misuse -> 10
 
 let category_label = function
   | Read_outside_op -> "read outside an operation"
@@ -120,6 +127,7 @@ let category_label = function
   | Churn_misuse -> "thread-churn misuse"
   | Orphan_misuse -> "orphan-adoption accounting mismatch"
   | Segment_misuse -> "segment accounting out of bounds"
+  | Stamp_misuse -> "stale segment-block era stamp"
 
 module type CHECKED = sig
   include Smr.S
@@ -185,6 +193,7 @@ module Make (S : Smr.S) : CHECKED = struct
       churn_misuse = n Churn_misuse;
       orphan_misuse = n Orphan_misuse;
       segment_misuse = n Segment_misuse;
+      stamp_misuse = n Stamp_misuse;
     }
 
   let violate_g g cat detail =
@@ -405,5 +414,12 @@ module Make (S : Smr.S) : CHECKED = struct
       Atomic.set
         g.tallies.(category_index Segment_misuse)
         (s.Smr_stats.segment_occupancy - 100);
+    (* Block era stamps must over-approximate every node's lifespan —
+       a node observed outside its block's [min_birth, max_retire]
+       envelope means the block-level emptiness probe could have freed
+       a reserved node. The engine counts each such observation; same
+       set-the-deficit discipline as above. *)
+    if s.Smr_stats.stale_stamps > 0 then
+      Atomic.set g.tallies.(category_index Stamp_misuse) s.Smr_stats.stale_stamps;
     { s with Smr_stats.violations = total (violations g) }
 end

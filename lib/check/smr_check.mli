@@ -71,6 +71,13 @@ type violations = {
           in blocks than in-service block slots — impossible unless the
           {!Pop_core.Reclaimer}'s block bookkeeping drifted. Detected
           when [stats] is read; the tally equals the excess. *)
+  stamp_misuse : int;
+      (** Stale segment-block era stamp: the engine observed a node
+          whose [birth_era]/[retire_era] fell outside its block's
+          stamped envelope ([stale_stamps] in
+          {!Pop_core.Smr_stats.t}). A too-narrow envelope could let the
+          block-level emptiness probe free a reserved node. Detected
+          when [stats] is read; the tally equals the engine's count. *)
 }
 
 val zero : violations

@@ -14,8 +14,12 @@ type t = {
   seg_slots : Striped.t;
   seg_nodes : Striped.t;
   scan_blocks : Striped.t;
+  block_skips : Striped.t;
+  block_keeps : Striped.t;
+  stale_stamps : Striped.t;
   orphans_donated : Striped.t;
   orphans_adopted : Striped.t;
+  orphan_stripe_contention : Striped.t;
 }
 
 let create n =
@@ -33,8 +37,12 @@ let create n =
     seg_slots = Striped.create n;
     seg_nodes = Striped.create n;
     scan_blocks = Striped.create n;
+    block_skips = Striped.create n;
+    block_keeps = Striped.create n;
+    stale_stamps = Striped.create n;
     orphans_donated = Striped.create n;
     orphans_adopted = Striped.create n;
+    orphan_stripe_contention = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -65,6 +73,14 @@ let seg_nodes_add t ~tid n = if n <> 0 then Striped.add t.seg_nodes tid n
    read-compare-set max needs no CAS loop. *)
 let note_scan_blocks t ~tid n =
   if n > Striped.get t.scan_blocks tid then Striped.set t.scan_blocks tid n
+
+let block_skip t ~tid = Striped.incr t.block_skips tid
+
+let block_keep t ~tid = Striped.incr t.block_keeps tid
+
+let stale_stamp t ~tid = Striped.incr t.stale_stamps tid
+
+let orphan_stripe_contention t ~tid = Striped.incr t.orphan_stripe_contention tid
 
 let orphan_donate t ~tid n = if n > 0 then Striped.add t.orphans_donated tid n
 
@@ -100,8 +116,12 @@ let snapshot ?hs t ~hub ~epoch =
     handshake_timeouts = Striped.sum t.hs_timeouts;
     suspects;
     quarantine_rounds;
+    block_skips = Striped.sum t.block_skips;
+    block_keeps = Striped.sum t.block_keeps;
+    stale_stamps = Striped.sum t.stale_stamps;
     orphans_donated = Striped.sum t.orphans_donated;
     orphans_adopted = Striped.sum t.orphans_adopted;
+    orphan_stripe_contention = Striped.sum t.orphan_stripe_contention;
     epoch;
     unreclaimed = retired - freed;
     violations = 0;

@@ -49,6 +49,22 @@ val note_scan_blocks : t -> tid:int -> int -> unit
     threads. Each slot is single-writer ([tid] only scans its own
     buffer), so no CAS loop is needed. *)
 
+val block_skip : t -> tid:int -> unit
+(** An era-interval fast pass freed a whole segment block on one stamp
+    probe, without touching its nodes. *)
+
+val block_keep : t -> tid:int -> unit
+(** An era-interval fast pass kept a whole segment block on one stamp
+    probe, skipping the per-node keep closure. *)
+
+val stale_stamp : t -> tid:int -> unit
+(** A node's era interval fell outside its block's stamps — an engine
+    invariant violation surfaced through {!Smr_stats.t.stale_stamps}
+    and the sanitizer. *)
+
+val orphan_stripe_contention : t -> tid:int -> unit
+(** A donor or adopter hit a held orphanage-stripe lock. *)
+
 val orphan_donate : t -> tid:int -> int -> unit
 (** [orphan_donate t ~tid n] records [n] retired nodes donated to the
     {!Reclaimer} orphanage by departing thread [tid] (no-op when

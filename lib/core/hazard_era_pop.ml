@@ -121,12 +121,7 @@ let reclaim ?force ctx =
       done;
     !k
   in
-  ignore
-    (Reclaimer.scan ?force ~kind:Reclaimer.Pop ~collect ~except:no_era
-       ~keep:(fun n ->
-         Id_set.exists_in_range (Reclaimer.snapshot ctx.rl) ~lo:n.Heap.birth_era
-           ~hi:n.Heap.retire_era)
-       ctx.rl)
+  ignore (Reclaimer.scan_eras ?force ~kind:Reclaimer.Pop ~collect ~except:no_era ctx.rl)
 
 let retire ctx n =
   n.Heap.retire_era <- Atomic.get ctx.g.epoch;

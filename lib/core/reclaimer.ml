@@ -15,7 +15,24 @@ type 'a block = {
   slots : 'a Heap.node array;
   mutable len : int;
   mutable next : 'a block option;
+  (* Era stamps: exact min/max of the occupied slots' [birth_era] and
+     [retire_era]. Merged on push, recomputed over survivors on filter;
+     an empty block carries the identity stamps (min = max_int,
+     max = min_int). Splices move blocks wholesale, so stamps travel
+     with their block and need no recomputation. The stamps must never
+     under-approximate a node's lifespan — a too-narrow [min_birth,
+     max_retire] would let the block-level emptiness probe free a
+     reserved node — so every path that touches a node re-checks
+     containment and counts a [stale_stamps] violation otherwise. *)
+  mutable min_birth : int;
+  mutable max_birth : int;
+  mutable min_retire : int;
+  mutable max_retire : int;
 }
+
+(* The block-level era verdict: what one [exists_in_range] probe against
+   a block's stamps decided about all of its nodes at once. *)
+type block_verdict = Free_block | Keep_block | Scan_block
 
 type 'a blist = {
   mutable head : 'a block option;
@@ -26,6 +43,18 @@ type 'a blist = {
 
 let empty_blist () = { head = None; tail = None; nodes = 0; blocks = 0 }
 
+(* One orphanage stripe: a donor parks its retire-buffer survivors in
+   its own stripe, so two departing threads never serialize on the same
+   lock, and an adopter claims whole stripes with [try_lock] instead of
+   queueing behind a busy one. The per-stripe atomic count gives the
+   lock-free empty fast path per stripe; the engine-wide total lives in
+   [orphan_count] below. *)
+type 'a stripe = {
+  s_list : 'a blist;
+  s_lock : Spinlock.t;
+  s_count : int Atomic.t;
+}
+
 type 'a t = {
   heap : 'a Heap.t;
   c : Counters.t;
@@ -34,13 +63,13 @@ type 'a t = {
   seg_size : int;
   rescan_blocks : int;
   (* The orphanage: retire-buffer survivors of departed threads, parked
-     until a surviving thread's next pass adopts them. The spinlock makes
-     the hand-off exactly-once; both directions splice whole block lists
-     under it in O(1), so a departing or adopting thread never copies a
-     node. The atomic count lets the hot scan path skip the lock when
-     there is nothing to adopt. *)
-  orphans : 'a blist;
-  orphan_lock : Spinlock.t;
+     until a surviving thread's next pass adopts them, sharded into one
+     stripe per donor tid. Each hand-off direction splices whole block
+     lists under a single stripe's lock in O(1), so a departing or
+     adopting thread never copies a node and donors on different tids
+     never contend. The engine-wide atomic count lets the hot scan path
+     skip the stripe walk when there is nothing to adopt anywhere. *)
+  orphans : 'a stripe array;
   orphan_count : int Atomic.t;
 }
 
@@ -58,8 +87,9 @@ let create ?reclaim_scale (cfg : Smr_config.t) ~heap ~counters =
     threshold;
     seg_size = cfg.segment_size;
     rescan_blocks = cfg.segment_rescan;
-    orphans = empty_blist ();
-    orphan_lock = Spinlock.create ();
+    orphans =
+      Array.init cfg.max_threads (fun _ ->
+          { s_list = empty_blist (); s_lock = Spinlock.create (); s_count = Atomic.make 0 });
     orphan_count = Atomic.make 0;
   }
 
@@ -97,6 +127,11 @@ type 'a local = {
       (* Node copies this local has ever performed (pushes, compactions,
          drains). Donate/adopt must not change it: the O(1) hand-off
          claim is testable as [node_moves] staying flat across a splice. *)
+  mutable adopt_cursor : int;
+      (* The orphanage stripe this local's next adoption starts from.
+         Seeded with the tid and advanced per adopt, so concurrent
+         adopters tend to start on distinct stripes instead of racing
+         for stripe 0 and falling over each other's locks. *)
 }
 
 let register r ~tid ~scratch_slots =
@@ -112,11 +147,34 @@ let register r ~tid ~scratch_slots =
     scratch_len = 0;
     snap_gen = -1;
     moves = 0;
+    adopt_cursor = tid mod Array.length r.orphans;
   }
 
 let node_moves l = l.moves
 
 let free_blocks l = l.free_len
+
+let reset_stamps b =
+  b.min_birth <- max_int;
+  b.max_birth <- min_int;
+  b.min_retire <- max_int;
+  b.max_retire <- min_int
+
+let stamp_node b (n : 'a Heap.node) =
+  if n.Heap.birth_era < b.min_birth then b.min_birth <- n.Heap.birth_era;
+  if n.Heap.birth_era > b.max_birth then b.max_birth <- n.Heap.birth_era;
+  if n.Heap.retire_era < b.min_retire then b.min_retire <- n.Heap.retire_era;
+  if n.Heap.retire_era > b.max_retire then b.max_retire <- n.Heap.retire_era
+
+(* A node whose lifespan escapes its block's stamps is the stamp-
+   maintenance bug the SmrSan stale-stamp check reports: a too-narrow
+   [min_birth, max_retire] could have let the block-level emptiness
+   probe free a reserved node. Checked on every path that already
+   touches the node (filters, wholesale frees), so the audit costs two
+   compares, never an extra traversal. *)
+let check_stamp l b (n : 'a Heap.node) =
+  if n.Heap.birth_era < b.min_birth || n.Heap.retire_era > b.max_retire then
+    Counters.stale_stamp l.r.c ~tid:l.tid
 
 (* Pop the freelist or allocate; the sentinel dummy is permanently live,
    so unused slots never pin a reclaimable node. *)
@@ -129,7 +187,15 @@ let new_block l =
         b.next <- None;
         b
     | None ->
-        { slots = Array.make l.r.seg_size (Heap.sentinel l.r.heap); len = 0; next = None }
+        {
+          slots = Array.make l.r.seg_size (Heap.sentinel l.r.heap);
+          len = 0;
+          next = None;
+          min_birth = max_int;
+          max_birth = min_int;
+          min_retire = max_int;
+          max_retire = min_int;
+        }
   in
   Counters.seg_slots_add l.r.c ~tid:l.tid l.r.seg_size;
   b
@@ -142,6 +208,7 @@ let recycle_block l b =
     b.slots.(i) <- dummy
   done;
   b.len <- 0;
+  reset_stamps b;
   b.next <- l.free_head;
   l.free_head <- Some b;
   l.free_len <- l.free_len + 1;
@@ -165,6 +232,7 @@ let push_node l bl n =
   in
   b.slots.(b.len) <- n;
   b.len <- b.len + 1;
+  stamp_node b n;
   bl.nodes <- bl.nodes + 1;
   l.moves <- l.moves + 1
 
@@ -184,46 +252,84 @@ let splice_blist dst src =
       src.nodes <- 0;
       src.blocks <- 0
 
-(* Free the non-kept nodes of [bl], block by block: survivors compact to
-   the front of their block (counted as moves only when a slot actually
-   changes), vacated slots are scrubbed, and fully-emptied blocks are
-   unlinked and recycled. Updates [bl]'s counts but leaves the global
-   seg-node counter to the caller (one batched add per pass). *)
-let filter_blist l bl keep =
+(* Free the non-kept nodes of [bl], block by block. A block-level
+   classifier (the era-stamp fast path) may settle a whole block with
+   one probe: [Free_block] frees every slot without a per-node keep
+   call, [Keep_block] leaves the block untouched (stamps included —
+   nothing was removed, so they stay exact). On the [Scan_block]
+   fallback survivors compact to the front of their block (counted as
+   moves only when a slot actually changes), vacated slots are
+   scrubbed, stamps are recomputed over the survivors, and
+   fully-emptied blocks are unlinked and recycled. Updates [bl]'s
+   counts but leaves the global seg-node counter to the caller (one
+   batched add per pass). *)
+let filter_blist ?block_keep l bl keep =
   let dummy = Heap.sentinel l.r.heap in
   let freed = ref 0 in
+  let verdict b =
+    match block_keep with
+    | None -> Scan_block
+    | Some f when b.len > 0 ->
+        f ~min_birth:b.min_birth ~max_birth:b.max_birth ~min_retire:b.min_retire
+          ~max_retire:b.max_retire
+    | Some _ -> Scan_block
+  in
   let rec walk prev cur =
     match cur with
     | None -> ()
-    | Some b ->
-        let j = ref 0 in
-        for i = 0 to b.len - 1 do
-          let n = b.slots.(i) in
-          if keep n then begin
-            if !j <> i then begin
-              b.slots.(!j) <- n;
-              l.moves <- l.moves + 1
-            end;
-            incr j
-          end
-          else begin
-            Heap.free l.r.heap ~tid:l.tid n;
-            incr freed
-          end
-        done;
-        for i = !j to b.len - 1 do
-          b.slots.(i) <- dummy
-        done;
-        b.len <- !j;
-        let next = b.next in
-        if !j = 0 then begin
-          (match prev with None -> bl.head <- next | Some p -> p.next <- next);
-          (match next with None -> bl.tail <- prev | Some _ -> ());
-          bl.blocks <- bl.blocks - 1;
-          recycle_block l b;
-          walk prev next
-        end
-        else walk cur next
+    | Some b -> (
+        match verdict b with
+        | Keep_block ->
+            Counters.block_keep l.r.c ~tid:l.tid;
+            walk cur b.next
+        | Free_block ->
+            Counters.block_skip l.r.c ~tid:l.tid;
+            for i = 0 to b.len - 1 do
+              let n = b.slots.(i) in
+              check_stamp l b n;
+              Heap.free l.r.heap ~tid:l.tid n;
+              incr freed
+            done;
+            let next = b.next in
+            (match prev with None -> bl.head <- next | Some p -> p.next <- next);
+            (match next with None -> bl.tail <- prev | Some _ -> ());
+            bl.blocks <- bl.blocks - 1;
+            recycle_block l b;
+            walk prev next
+        | Scan_block ->
+            let j = ref 0 in
+            let saved_min_birth = b.min_birth and saved_max_retire = b.max_retire in
+            reset_stamps b;
+            for i = 0 to b.len - 1 do
+              let n = b.slots.(i) in
+              if n.Heap.birth_era < saved_min_birth || n.Heap.retire_era > saved_max_retire
+              then Counters.stale_stamp l.r.c ~tid:l.tid;
+              if keep n then begin
+                if !j <> i then begin
+                  b.slots.(!j) <- n;
+                  l.moves <- l.moves + 1
+                end;
+                stamp_node b n;
+                incr j
+              end
+              else begin
+                Heap.free l.r.heap ~tid:l.tid n;
+                incr freed
+              end
+            done;
+            for i = !j to b.len - 1 do
+              b.slots.(i) <- dummy
+            done;
+            b.len <- !j;
+            let next = b.next in
+            if !j = 0 then begin
+              (match prev with None -> bl.head <- next | Some p -> p.next <- next);
+              (match next with None -> bl.tail <- prev | Some _ -> ());
+              bl.blocks <- bl.blocks - 1;
+              recycle_block l b;
+              walk prev next
+            end
+            else walk cur next)
   in
   walk None bl.head;
   bl.nodes <- bl.nodes - !freed;
@@ -259,33 +365,65 @@ let raw l = l.scratch
 
 let raw_len l = l.scratch_len
 
+(* Donate into the donor's own stripe: the only thread that can hold
+   this lock against us is an adopter momentarily claiming the stripe,
+   so a failed [try_lock] is genuine cross-thread contention (counted)
+   and two departing threads never serialize on each other. The donor
+   must not skip — its buffer has nowhere else to go — so it falls back
+   to the blocking acquire. *)
 let donate l =
   let n = pending l in
   if n > 0 then begin
-    Spinlock.lock l.r.orphan_lock;
-    splice_blist l.r.orphans l.covered;
-    splice_blist l.r.orphans l.open_seg;
-    Atomic.set l.r.orphan_count l.r.orphans.nodes;
-    Spinlock.unlock l.r.orphan_lock;
+    let st = l.r.orphans.(l.tid mod Array.length l.r.orphans) in
+    if not (Spinlock.try_lock st.s_lock) then begin
+      Counters.orphan_stripe_contention l.r.c ~tid:l.tid;
+      Spinlock.lock st.s_lock
+    end;
+    splice_blist st.s_list l.covered;
+    splice_blist st.s_list l.open_seg;
+    Atomic.set st.s_count st.s_list.nodes;
+    Spinlock.unlock st.s_lock;
+    ignore (Atomic.fetch_and_add l.r.orphan_count n);
     Counters.orphan_donate l.r.c ~tid:l.tid n
   end
 
 let orphans_pending r = Atomic.get r.orphan_count
 
-(* Splice every parked orphan block onto [l]'s open segment. Landing
-   past the covered prefix means the covered invariant needs no
+(* Splice every claimable parked orphan block onto [l]'s open segment.
+   Landing past the covered prefix means the covered invariant needs no
    adjustment and the next fresh pass vets the adoptees against a
-   snapshot collected after their donors left. O(1): no node is read. *)
+   snapshot collected after their donors left. Stripes are walked
+   round-robin from a per-local cursor, empty ones are skipped on their
+   atomic count without touching the lock, and a stripe whose lock is
+   held (a donor mid-donate, or another adopter) is skipped rather than
+   waited on — its holder's successor pass will claim it, and the
+   engine-wide count keeps it visible until then. Exactly-once is per
+   stripe: a claim zeroes the stripe under its lock. O(stripes) atomic
+   reads, O(1) splices, no node is read. *)
 let adopt l =
   if Atomic.get l.r.orphan_count = 0 then 0
   else begin
-    Spinlock.lock l.r.orphan_lock;
-    let n = l.r.orphans.nodes in
-    splice_blist l.open_seg l.r.orphans;
-    Atomic.set l.r.orphan_count 0;
-    Spinlock.unlock l.r.orphan_lock;
-    if n > 0 then Counters.orphan_adopt l.r.c ~tid:l.tid n;
-    n
+    let stripes = l.r.orphans in
+    let ns = Array.length stripes in
+    let total = ref 0 in
+    for i = 0 to ns - 1 do
+      let st = stripes.((l.adopt_cursor + i) mod ns) in
+      if Atomic.get st.s_count > 0 then
+        if Spinlock.try_lock st.s_lock then begin
+          let n = st.s_list.nodes in
+          splice_blist l.open_seg st.s_list;
+          Atomic.set st.s_count 0;
+          Spinlock.unlock st.s_lock;
+          if n > 0 then begin
+            ignore (Atomic.fetch_and_add l.r.orphan_count (-n));
+            total := !total + n
+          end
+        end
+        else Counters.orphan_stripe_contention l.r.c ~tid:l.tid
+    done;
+    l.adopt_cursor <- (l.adopt_cursor + 1) mod ns;
+    if !total > 0 then Counters.orphan_adopt l.r.c ~tid:l.tid !total;
+    !total
   end
 
 let take_all l =
@@ -331,7 +469,7 @@ let count_pass l = function
    only disappear, so the newer snapshot can only free more, and every
    survivor is (re-)covered by it. This bounds how stale covered garbage
    can get without giving up the pass's O(uncovered blocks) cost. *)
-let rescan_covered l ~quota ~keep ~freed ~touched =
+let rescan_covered ?block_keep l ~quota ~keep ~freed ~touched =
   for _ = 1 to quota do
     match l.covered.head with
     | None -> ()
@@ -342,18 +480,43 @@ let rescan_covered l ~quota ~keep ~freed ~touched =
         l.covered.blocks <- l.covered.blocks - 1;
         l.covered.nodes <- l.covered.nodes - b.len;
         incr touched;
-        for i = 0 to b.len - 1 do
-          let n = b.slots.(i) in
-          if keep n then push_node l l.covered n
-          else begin
-            Heap.free l.r.heap ~tid:l.tid n;
-            incr freed
-          end
-        done;
-        recycle_block l b
+        let verdict =
+          match block_keep with
+          | Some f when b.len > 0 ->
+              f ~min_birth:b.min_birth ~max_birth:b.max_birth ~min_retire:b.min_retire
+                ~max_retire:b.max_retire
+          | _ -> Scan_block
+        in
+        (match verdict with
+        | Keep_block ->
+            (* Still covered in full: relink the block to the covered
+               tail without reading a node (stamps travel with it). *)
+            Counters.block_keep l.r.c ~tid:l.tid;
+            append_block l.covered b;
+            l.covered.nodes <- l.covered.nodes + b.len
+        | Free_block ->
+            Counters.block_skip l.r.c ~tid:l.tid;
+            for i = 0 to b.len - 1 do
+              let n = b.slots.(i) in
+              check_stamp l b n;
+              Heap.free l.r.heap ~tid:l.tid n;
+              incr freed
+            done;
+            recycle_block l b
+        | Scan_block ->
+            for i = 0 to b.len - 1 do
+              let n = b.slots.(i) in
+              check_stamp l b n;
+              if keep n then push_node l l.covered n
+              else begin
+                Heap.free l.r.heap ~tid:l.tid n;
+                incr freed
+              end
+            done;
+            recycle_block l b)
   done
 
-let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
+let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~keep l =
   (* Adopt before deciding whether the cache can answer: orphans join
      the open segment and count toward the fresh-pass trigger, so a
      departed thread's garbage is vetted by whichever survivor scans
@@ -387,16 +550,17 @@ let scan ?(force = false) ?(fill = true) ~kind ~collect ~except ~keep l =
          the seed engine's full compaction — this is what the
          equivalence trace replays compare against. *)
       touched := l.covered.blocks + l.open_seg.blocks;
-      freed := filter_blist l l.covered keep;
-      freed := !freed + filter_blist l l.open_seg keep;
+      freed := filter_blist ?block_keep l l.covered keep;
+      freed := !freed + filter_blist ?block_keep l l.open_seg keep;
       splice_blist l.covered l.open_seg
     end
     else begin
       touched := l.open_seg.blocks;
-      freed := filter_blist l l.open_seg keep;
+      freed := filter_blist ?block_keep l l.open_seg keep;
       let old_covered = l.covered.blocks in
       splice_blist l.covered l.open_seg;
-      rescan_covered l ~quota:(min l.r.rescan_blocks old_covered) ~keep ~freed ~touched
+      rescan_covered ?block_keep l ~quota:(min l.r.rescan_blocks old_covered) ~keep ~freed
+        ~touched
     end;
     (* Capture the generation only now: everything published before the
        collect read the table is in this snapshot, so handler bumps
@@ -422,3 +586,62 @@ let scan_plain ~kind ~keep l =
   Counters.seg_nodes_add l.r.c ~tid:l.tid (-freed);
   Counters.free l.r.c ~tid:l.tid freed;
   freed
+
+(* The era-interval pass, owned by the engine so schemes never probe
+   the snapshot per node themselves (the smrlint [era-per-node] rule
+   pins this). One [exists_in_range] against a block's stamps settles
+   the whole block whenever it can:
+
+   - no reserved era in [min_birth, max_retire] — every node's lifespan
+     is inside that envelope, so none is reserved: free the block;
+   - some reserved era in [max_birth, min_retire] — that era lies
+     inside every node's lifespan: keep the block untouched (when
+     [max_birth > min_retire] the nodes share no common era and the
+     probe is vacuously false);
+   - otherwise inconclusive: fall back to per-node probes against the
+     same snapshot, hoisted once per pass rather than re-fetched per
+     retired node. *)
+let scan_eras ?force ~kind ~collect ~except l =
+  let snap = l.reserved in
+  scan ?force ~kind ~collect ~except
+    ~block_keep:(fun ~min_birth ~max_birth ~min_retire ~max_retire ->
+      if not (Id_set.exists_in_range snap ~lo:min_birth ~hi:max_retire) then Free_block
+      else if Id_set.exists_in_range snap ~lo:max_birth ~hi:min_retire then Keep_block
+      else Scan_block)
+    ~keep:(fun n ->
+      Id_set.exists_in_range snap ~lo:n.Heap.birth_era ~hi:n.Heap.retire_era)
+    l
+
+(* Test-facing audit: walk both lists and count blocks whose stamps are
+   not the exact min/max over their occupied slots. The engine keeps
+   stamps exact (push merges, filter recomputes, keep-whole-block
+   removes nothing), so any nonzero answer is a maintenance bug —
+   either direction: a too-narrow envelope can free a reserved node, a
+   too-wide one only costs fast-path hits but signals drift all the
+   same. *)
+let debug_stamp_errors l =
+  let errors = ref 0 in
+  let check_list bl =
+    let rec walk = function
+      | None -> ()
+      | Some b ->
+          let min_b = ref max_int and max_b = ref min_int in
+          let min_r = ref max_int and max_r = ref min_int in
+          for i = 0 to b.len - 1 do
+            let n = b.slots.(i) in
+            if n.Heap.birth_era < !min_b then min_b := n.Heap.birth_era;
+            if n.Heap.birth_era > !max_b then max_b := n.Heap.birth_era;
+            if n.Heap.retire_era < !min_r then min_r := n.Heap.retire_era;
+            if n.Heap.retire_era > !max_r then max_r := n.Heap.retire_era
+          done;
+          if
+            b.min_birth <> !min_b || b.max_birth <> !max_b || b.min_retire <> !min_r
+            || b.max_retire <> !max_r
+          then incr errors;
+          walk b.next
+    in
+    walk bl.head
+  in
+  check_list l.covered;
+  check_list l.open_seg;
+  !errors

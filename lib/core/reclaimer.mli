@@ -51,22 +51,44 @@
     ping-round schemes amortize an expensive round over more retires,
     cheap-scan schemes keep the global knob.
 
-    {b Orphanage.} A departing thread {!donate}s its retire-buffer
-    survivors to a shared, spinlock-protected stash instead of leaking
-    them; any thread's next pass ({!scan}, {!scan_plain} or {!take_all})
-    adopts the whole stash into its own buffer. The hand-off is
-    exactly-once, and both directions splice whole block lists under
-    the lock in O(1) — no node is copied while the lock is held
-    ({!node_moves} stays flat across a splice). Adopted blocks land in
-    the adopter's uncovered open list, so the covered invariant is
-    preserved and the next fresh pass vets them against a snapshot
-    collected after the donor left. *)
+    {b Era-stamped blocks.} Each block carries the exact min/max of its
+    nodes' [birth_era]/[retire_era] (merged on retire, recomputed over
+    filter survivors, travelling with the block across splices). A
+    block-level classifier ({!scan}[?block_keep], packaged for the era
+    schemes as {!scan_eras}) answers "any reservation inside this
+    block's envelope?" with one {!Id_set.exists_in_range} probe and
+    frees or keeps all [segment_size] nodes at once; only inconclusive
+    blocks fall back to the per-node [keep] ([block_skips] /
+    [block_keeps] in {!Smr_stats}, stamp-soundness audited via
+    [stale_stamps]).
+
+    {b Sharded orphanage.} A departing thread {!donate}s its
+    retire-buffer survivors to its {e own} orphanage stripe (one per
+    donor tid) instead of leaking them; any thread's next pass
+    ({!scan}, {!scan_plain} or {!take_all}) adopts by claiming stripes
+    round-robin with [try_lock], skipping empty stripes on an atomic
+    count and busy stripes without waiting. The hand-off is
+    exactly-once per stripe, donors on different tids never contend,
+    and both directions splice whole block lists in O(1) — no node is
+    copied while a stripe lock is held ({!node_moves} stays flat across
+    a splice). Adopted blocks land in the adopter's uncovered open
+    list, so the covered invariant is preserved and the next fresh pass
+    vets them against a snapshot collected after the donor left. *)
 
 module Heap := Pop_sim.Heap
 
 type pass =
   | Plain  (** Counted as a [reclaim_pass] (epoch/eager scan). *)
   | Pop  (** Counted as a [pop_pass] (ping/neutralization based). *)
+
+type block_verdict =
+  | Free_block
+      (** No node in the block can be reserved: free all of them
+          without a per-node [keep] call. *)
+  | Keep_block
+      (** Every node in the block is certainly kept: leave the block
+          untouched (stamps included). *)
+  | Scan_block  (** Inconclusive: fall back to the per-node [keep]. *)
 
 type 'a t
 (** Shared engine state for one scheme instance. *)
@@ -151,9 +173,11 @@ val take_all : 'a local -> 'a Heap.node array
 
 val donate : 'a local -> unit
 (** Splice the entire retire buffer (covered list included) into the
-    engine's orphan stash — O(1) in nodes and blocks. Called on the
-    thread's own exit path ([deregister]); the nodes are freed by
-    whichever surviving thread scans next. Exactly-once with respect to
+    donor's own orphanage stripe — O(1) in nodes and blocks, contending
+    only with an adopter momentarily claiming that stripe (counted in
+    [orphan_stripe_contention]). Called on the thread's own exit path
+    ([deregister]); the nodes are freed by whichever surviving thread
+    scans next. Exactly-once with respect to
     {!scan}/{!scan_plain}/{!take_all} adoption. *)
 
 val orphans_pending : 'a t -> int
@@ -166,6 +190,8 @@ val note_skip : 'a local -> unit
 val scan :
   ?force:bool ->
   ?fill:bool ->
+  ?block_keep:
+    (min_birth:int -> max_birth:int -> min_retire:int -> max_retire:int -> block_verdict) ->
   kind:pass ->
   collect:(int array -> int) ->
   except:int ->
@@ -187,7 +213,28 @@ val scan :
     drains) filters {e everything}, covered included — seed-engine
     semantics. [keep] must be monotone in the snapshot: it may consult
     {!snapshot} / {!raw} and per-scheme floors captured by the
-    [collect] closure. *)
+    [collect] closure. [?block_keep] is the block-level fast path:
+    given a non-empty block's era stamps it may settle the whole block
+    ([Free_block]/[Keep_block]) with one probe; [Scan_block] falls back
+    to the per-node [keep]. It must be consistent with [keep]:
+    [Free_block] only when [keep] would reject every node in the block,
+    [Keep_block] only when it would accept every one. *)
+
+val scan_eras :
+  ?force:bool -> kind:pass -> collect:(int array -> int) -> except:int -> 'a local -> int
+(** The era-interval pass (HE, HazardEraPOP): {!scan} with the engine's
+    own [keep]/[block_keep] pair over the sealed snapshot — a node is
+    kept iff a reserved era lies in [[birth_era, retire_era]], and a
+    whole block is freed (kept) when one {!Id_set.exists_in_range}
+    probe against its stamps proves no node (every node) is reserved.
+    The snapshot accessor is hoisted once per pass; schemes must not
+    probe the snapshot per node themselves (the smrlint [era-per-node]
+    rule enforces this). *)
+
+val debug_stamp_errors : 'a local -> int
+(** Test hook: blocks in this local's lists whose stamps differ from
+    the exact min/max over their occupied slots (always 0 — the engine
+    keeps stamps exact; see the QCheck stamp-maintenance property). *)
 
 val scan_plain : kind:pass -> keep:('a Heap.node -> bool) -> 'a local -> int
 (** A snapshot-less pass (EBR and EpochPOP's epoch scan): always runs

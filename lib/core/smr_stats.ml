@@ -15,8 +15,12 @@ type t = {
   handshake_timeouts : int;
   suspects : int;
   quarantine_rounds : int;
+  block_skips : int;
+  block_keeps : int;
+  stale_stamps : int;
   orphans_donated : int;
   orphans_adopted : int;
+  orphan_stripe_contention : int;
   epoch : int;
   unreclaimed : int;
   violations : int;
@@ -40,8 +44,12 @@ let zero =
     handshake_timeouts = 0;
     suspects = 0;
     quarantine_rounds = 0;
+    block_skips = 0;
+    block_keeps = 0;
+    stale_stamps = 0;
     orphans_donated = 0;
     orphans_adopted = 0;
+    orphan_stripe_contention = 0;
     epoch = 0;
     unreclaimed = 0;
     violations = 0;
@@ -71,8 +79,12 @@ let to_alist
       handshake_timeouts;
       suspects;
       quarantine_rounds;
+      block_skips;
+      block_keeps;
+      stale_stamps;
       orphans_donated;
       orphans_adopted;
+      orphan_stripe_contention;
       epoch;
       unreclaimed;
       violations;
@@ -95,8 +107,12 @@ let to_alist
     ("handshake_timeouts", handshake_timeouts);
     ("suspects", suspects);
     ("quarantine_rounds", quarantine_rounds);
+    ("block_skips", block_skips);
+    ("block_keeps", block_keeps);
+    ("stale_stamps", stale_stamps);
     ("orphans_donated", orphans_donated);
     ("orphans_adopted", orphans_adopted);
+    ("orphan_stripe_contention", orphan_stripe_contention);
     ("epoch", epoch);
     ("violations", violations);
   ]

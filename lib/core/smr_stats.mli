@@ -47,6 +47,19 @@ type t = {
       (** Per-peer ping skips taken because the peer was quarantined and
           its backed-off re-probe was not yet due; each one is a full
           [ping_timeout_spins] wait avoided against a dead port. *)
+  block_skips : int;
+      (** Whole segment blocks an era-interval fast pass freed with a
+          single range probe over the block's era stamps, without
+          touching any of the (up to 64) nodes inside. *)
+  block_keeps : int;
+      (** Whole segment blocks an era-interval fast pass kept with a
+          single range probe (a reservation lies inside every node's
+          lifespan), skipping the per-node keep closure entirely. *)
+  stale_stamps : int;
+      (** Nodes whose [birth_era]/[retire_era] fell outside their
+          block's stamped interval when the engine touched them. Stamps
+          must over-approximate node lifespans, so any non-zero value is
+          an engine bug; the {!Smr_check} sanitizer flags it. *)
   orphans_donated : int;
       (** Retired nodes a departing thread handed to the {!Reclaimer}
           orphanage at [deregister]/final-[flush] instead of leaking. *)
@@ -54,6 +67,11 @@ type t = {
       (** Orphaned nodes a surviving thread folded into its own retire
           buffer during a later scan ([= orphans_donated] at quiescence:
           the hand-off is exactly-once). *)
+  orphan_stripe_contention : int;
+      (** Times a donor or adopter found an orphanage stripe's lock held
+          and either fell back to blocking (donor) or skipped the stripe
+          (adopter). With per-donor stripes this stays near 0; the old
+          single-lock orphanage would count every collision here. *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
   violations : int;

@@ -423,7 +423,10 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
+(* NaN/∞ must surface as JSON [null], never as a plausible-looking
+   "0.0": a broken cell (zero-duration run, divide-by-zero rate) should
+   fail the tier1 smoke assertions, not masquerade as a throughput. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 
 let to_json ?(label = "") r =
   let b = Buffer.create 1024 in

@@ -111,6 +111,24 @@ let id_set_model =
       Id_set.seal s;
       Id_set.mem s probe = List.mem probe xs)
 
+(* [exists_in_range] against the naive reference, with the generator
+   biased onto the boundaries the block fast path leans on: the empty
+   set, inverted ranges (lo > hi must be false, it encodes "no common
+   era" blocks), and hi = max_int (a block holding unretired nodes
+   whose default retire_era is max_int probes up to the sentinel). *)
+let id_set_range_model =
+  let bound =
+    QCheck2.Gen.(
+      frequency [ (4, int_range (-25) 25); (1, return max_int); (1, return min_int) ])
+  in
+  QCheck2.Test.make ~name:"id_set exists_in_range = List.exists" ~count:500
+    QCheck2.Gen.(triple (list_size (int_range 0 50) (int_range (-20) 20)) bound bound)
+    (fun (xs, lo, hi) ->
+      let s = Id_set.create ~capacity:64 in
+      List.iter (Id_set.add s) xs;
+      Id_set.seal s;
+      Id_set.exists_in_range s ~lo ~hi = List.exists (fun x -> lo <= x && x <= hi) xs)
+
 (* --- Reservations --- *)
 
 let reservations_local_shared () =
@@ -413,6 +431,7 @@ let suite =
     case "id_set: exists_in_range" id_set_exists_in_range;
     case "id_set: sort stress (sorted / reversed / duplicates)" id_set_sort_stress;
     QCheck_alcotest.to_alcotest id_set_model;
+    QCheck_alcotest.to_alcotest id_set_range_model;
     case "reservations: local vs shared vs publish" reservations_local_shared;
     case "reservations: collect row-major" reservations_collect;
     case "reservations: rows are live views" reservations_rows_are_views;

@@ -98,6 +98,21 @@ let retire_vec () =
   Alcotest.(check bool) "other Vec calls accepted" false
     (flags "retire-vec" "lib/baselines/a.ml" "let n = Vec.length l.retired")
 
+let era_per_node () =
+  let probe = "let keep n = Id_set.exists_in_range snap ~lo:n.birth_era ~hi:n.retire_era" in
+  Alcotest.(check bool) "scheme probing per node flagged" true
+    (flags "era-per-node" "lib/baselines/hazard_eras.ml" probe);
+  Alcotest.(check bool) "core scheme code flagged too" true
+    (flags "era-per-node" "lib/core/hazard_era_pop.ml" probe);
+  Alcotest.(check bool) "the engine owns the probe" false
+    (flags "era-per-node" "lib/core/reclaimer.ml" probe);
+  Alcotest.(check bool) "the definition site is exempt" false
+    (flags "era-per-node" "lib/core/id_set.ml" probe);
+  Alcotest.(check bool) "outside scheme land accepted" false
+    (flags "era-per-node" "test/a.ml" probe);
+  Alcotest.(check bool) "unrelated scheme code accepted" false
+    (flags "era-per-node" "lib/baselines/hazard_eras.ml" "let e = Id_set.mem snap n.id")
+
 let diagnostics_have_positions () =
   match L.check_source ~path:"lib/a.ml" "let a = 1\nlet b = Obj.magic a\n" with
   | [ d ] ->
@@ -173,6 +188,7 @@ let suite =
     case "rule: node-eq heuristic" node_eq;
     case "rule: direct-free scoping" direct_free;
     case "rule: retire-vec scoping" retire_vec;
+    case "rule: era-per-node scoping" era_per_node;
     case "diagnostics carry file:line" diagnostics_have_positions;
     case "allow.sexp parsing" parse_allow;
     case "rule: missing-mli over a tree" missing_mli;

@@ -434,6 +434,184 @@ let scan_plain_interleaving () =
   Alcotest.(check int) "empty" 0 (Reclaimer.pending rl);
   Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
 
+(* --- era-stamped blocks --- *)
+
+(* Stamp maintenance under random era traces: after any interleaving of
+   retires (random eras), era passes (random reserved eras, sometimes
+   forced) and donate/adopt hand-offs, every block's stamps equal the
+   exact min/max over its surviving slots — push merges, filter
+   recomputes, splices move blocks wholesale. [debug_stamp_errors]
+   recomputes from the slots, so 0 means the filtered-block and
+   splice-merge halves of the property both held; the engine's own
+   containment audit ([stale_stamps]) must agree. *)
+let stamp_maintenance_property =
+  QCheck2.Test.make ~name:"reclaimer: block stamps stay exact min/max over survivors"
+    ~count:150
+    QCheck2.Gen.(list_size (int_range 1 80) (pair (int_range 0 99) (int_range 0 15)))
+    (fun ops ->
+      let cfg = cfg ~reclaim_freq:1_000_000 ~segment_size:4 () in
+      let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+      let c = Counters.create 2 in
+      let eng = Reclaimer.create cfg ~heap ~counters:c in
+      let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
+      let rl2 = Reclaimer.register eng ~tid:1 ~scratch_slots:8 in
+      let reserved = ref 0 in
+      let scan ?force l =
+        Reclaimer.invalidate eng;
+        ignore
+          (Reclaimer.scan_eras ?force ~kind:Reclaimer.Plain
+             ~collect:(fun scratch ->
+               scratch.(0) <- !reserved;
+               1)
+             ~except:(-1) l)
+      in
+      List.iter
+        (fun (op, arg) ->
+          match op mod 10 with
+          | 0 | 1 | 2 | 3 | 4 ->
+              let n = Heap.alloc heap ~tid:0 ~birth_era:(arg mod 8) in
+              n.Heap.retire_era <- arg;
+              Reclaimer.retire rl n
+          | 5 ->
+              reserved := arg;
+              scan rl
+          | 6 ->
+              reserved := arg;
+              scan ~force:true rl
+          | 7 -> Reclaimer.donate rl
+          | 8 -> scan rl2 (* adopts rl's donations *)
+          | _ ->
+              let n = Heap.alloc heap ~tid:0 ~birth_era:0 in
+              (* retire_era stays max_int: an unretired-looking node. *)
+              Reclaimer.retire rl n)
+        ops;
+      Reclaimer.debug_stamp_errors rl = 0
+      && Reclaimer.debug_stamp_errors rl2 = 0
+      && (stats c).Smr_stats.stale_stamps = 0
+      && Heap.double_free_count heap = 0
+      && Heap.uaf_count heap = 0)
+
+(* The block-level era fast path settles homogeneous blocks with one
+   probe: blocks of doomed nodes are freed without a per-node keep
+   ([block_skips]), blocks fully inside a reserved era are kept without
+   one ([block_keeps]), and a mixed block falls back to the per-node
+   path. Verified against the counters and the freed set. *)
+let era_block_fast_path () =
+  let heap, c, eng, rl = make ~reclaim_freq:1_000_000 ~segment_size:4 () in
+  let retire ~birth ~retire =
+    let n = Heap.alloc heap ~tid:0 ~birth_era:birth in
+    n.Heap.retire_era <- retire;
+    Reclaimer.retire rl n;
+    n
+  in
+  (* Two full blocks of kept nodes (era 5 inside every lifespan, eras
+     spanning blocks), two full blocks of doomed nodes (lifespans all
+     past the reserved era). *)
+  let kept = Array.init 8 (fun i -> retire ~birth:0 ~retire:(1000 + i)) in
+  let doomed = Array.init 8 (fun i -> retire ~birth:10 ~retire:(20 + i)) in
+  let scan ?force () =
+    Reclaimer.invalidate eng;
+    Reclaimer.scan_eras ?force ~kind:Reclaimer.Plain
+      ~collect:(fun scratch ->
+        scratch.(0) <- 5;
+        1)
+      ~except:(-1) rl
+  in
+  Alcotest.(check int) "doomed blocks freed" 8 (scan ());
+  let s = stats c in
+  Alcotest.(check bool) "block skips fired" true (s.Smr_stats.block_skips >= 2);
+  Alcotest.(check int) "no stale stamps" 0 s.Smr_stats.stale_stamps;
+  Array.iter (fun n -> Alcotest.(check bool) "kept alive" true (Heap.is_live n)) kept;
+  Array.iter (fun n -> Alcotest.(check bool) "doomed freed" false (Heap.is_live n)) doomed;
+  (* A forced pass re-vets the covered kept blocks: whole-block keeps. *)
+  Alcotest.(check int) "forced pass keeps the reserved blocks" 0 (scan ~force:true ());
+  let s = stats c in
+  Alcotest.(check bool) "block keeps fired" true (s.Smr_stats.block_keeps >= 2);
+  (* Move the reservation past every kept lifespan: the whole backlog
+     drains. *)
+  Reclaimer.invalidate eng;
+  let freed =
+    Reclaimer.scan_eras ~force:true ~kind:Reclaimer.Plain
+      ~collect:(fun scratch ->
+        scratch.(0) <- 5000;
+        1)
+      ~except:(-1) rl
+  in
+  Alcotest.(check int) "drained" 8 freed;
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap);
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count heap)
+
+(* A mixed block (kept and doomed nodes sharing one block) must fall
+   back to the per-node path: exactly the doomed half is freed and the
+   surviving block's stamps are recomputed over the survivors. *)
+let era_mixed_block_fallback () =
+  let heap, c, eng, rl = make ~reclaim_freq:1_000_000 ~segment_size:8 () in
+  let retire ~birth ~retire =
+    let n = Heap.alloc heap ~tid:0 ~birth_era:birth in
+    n.Heap.retire_era <- retire;
+    Reclaimer.retire rl n;
+    n
+  in
+  let kept = Array.init 4 (fun i -> retire ~birth:0 ~retire:(1000 + i)) in
+  let doomed = Array.init 4 (fun i -> retire ~birth:10 ~retire:(20 + i)) in
+  Reclaimer.invalidate eng;
+  let freed =
+    Reclaimer.scan_eras ~kind:Reclaimer.Plain
+      ~collect:(fun scratch ->
+        scratch.(0) <- 5;
+        1)
+      ~except:(-1) rl
+  in
+  Alcotest.(check int) "doomed half freed" 4 freed;
+  Array.iter (fun n -> Alcotest.(check bool) "kept alive" true (Heap.is_live n)) kept;
+  Array.iter (fun n -> Alcotest.(check bool) "doomed freed" false (Heap.is_live n)) doomed;
+  Alcotest.(check int) "stamps recomputed over survivors" 0
+    (Reclaimer.debug_stamp_errors rl);
+  Alcotest.(check int) "no stale stamps" 0 (stats c).Smr_stats.stale_stamps
+
+(* --- sharded orphanage --- *)
+
+(* Distinct donors park in distinct stripes and one adopter still
+   drains everything: exactly-once per stripe, zero copies, and the
+   single-threaded replay sees no stripe contention. *)
+let sharded_orphanage_drains () =
+  let threads = 4 in
+  let cfg = cfg ~max_threads:threads ~reclaim_freq:1_000_000 ~segment_size:8 () in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let c = Counters.create threads in
+  let eng = Reclaimer.create cfg ~heap ~counters:c in
+  let m = 100 in
+  let donors =
+    Array.init 3 (fun i ->
+        let l = Reclaimer.register eng ~tid:i ~scratch_slots:8 in
+        for _ = 1 to m do
+          Reclaimer.retire l (Heap.alloc heap ~tid:i ~birth_era:0)
+        done;
+        l)
+  in
+  Array.iter Reclaimer.donate donors;
+  Alcotest.(check int) "all stripes counted" (3 * m) (Reclaimer.orphans_pending eng);
+  let adopter = Reclaimer.register eng ~tid:3 ~scratch_slots:8 in
+  let freed = Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter in
+  Alcotest.(check int) "one pass drains every stripe" (3 * m) freed;
+  Alcotest.(check int) "no orphans left" 0 (Reclaimer.orphans_pending eng);
+  Alcotest.(check int) "adoption copies no node" 0 (Reclaimer.node_moves adopter);
+  let s = stats c in
+  Alcotest.(check int) "donated" (3 * m) s.Smr_stats.orphans_donated;
+  Alcotest.(check int) "adopted" (3 * m) s.Smr_stats.orphans_adopted;
+  Alcotest.(check int) "no stripe contention single-threaded" 0
+    s.Smr_stats.orphan_stripe_contention;
+  (* A second donation from the same tid reuses the now-empty stripe. *)
+  let again = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
+  for _ = 1 to 5 do
+    Reclaimer.retire again (Heap.alloc heap ~tid:0 ~birth_era:0)
+  done;
+  Reclaimer.donate again;
+  Alcotest.(check int) "stripe reused" 5 (Reclaimer.orphans_pending eng);
+  let freed = Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter in
+  Alcotest.(check int) "drained again" 5 freed;
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap)
+
 let suite =
   [
     case "reclaimer: adaptive threshold" adaptive_threshold;
@@ -448,4 +626,8 @@ let suite =
     case "reclaimer: concurrent donate/adopt splices" concurrent_donate_adopt;
     case "reclaimer: recycled blocks do not pin drained nodes" recycled_blocks_do_not_pin;
     case "reclaimer: scan_plain keeps segment bookkeeping" scan_plain_interleaving;
+    QCheck_alcotest.to_alcotest stamp_maintenance_property;
+    case "reclaimer: era fast path settles whole blocks" era_block_fast_path;
+    case "reclaimer: mixed block falls back to per-node era probes" era_mixed_block_fallback;
+    case "reclaimer: sharded orphanage drains exactly once" sharded_orphanage_drains;
   ]

@@ -297,6 +297,25 @@ let rules =
         "forbid Vec.push/Vec.filter_sub in scheme code outside the Reclaimer engine \
          (retire buffers are segmented block lists)";
     };
+    {
+      name = "era-per-node";
+      applies =
+        (fun path ->
+          ml_file path && scheme_land path
+          && path <> "lib/core/reclaimer.ml"
+          && path <> "lib/core/id_set.ml" (* the definition site *));
+      check =
+        (fun line ->
+          if has_token line "exists_in_range" then
+            Some
+              "per-node snapshot probe in scheme code; era freeability goes through \
+               Reclaimer.scan_eras, which probes each block's era stamps once and \
+               falls back per node only for inconclusive blocks"
+          else None);
+      doc =
+        "forbid Id_set.exists_in_range in scheme code outside the Reclaimer engine \
+         (era passes use the block-stamp fast path via Reclaimer.scan_eras)";
+    };
   ]
 
 let check_source ~path contents =

@@ -6,14 +6,20 @@
 #   4. dune-file formatting (@fmt is restricted to dune files in
 #      dune-project because ocamlformat is not in the build image)
 #   5. JSON emission smoke test: one short popbench cell with --json
-#      must produce a parseable file that contains the throughput key
+#      must produce a parseable file that contains a finite throughput
+#      (a broken cell emits null, which must fail here)
 #   6. churn smoke test: a fixed-seed thread-churn cell (exit + crash +
 #      join) under the SmrSan sanitizer must fire its events, stay
 #      violation-free, and emit the churn counters in its JSON
 #   7. segment smoke test: the bench's segmented-retire-buffer figure
-#      (--fig seg) must emit a parseable BENCH_seg.json whose cells
-#      recycle blocks and keep freed-set parity (run from _build so the
+#      (--fig seg) must emit a parseable BENCH_seg.json with its three
+#      cell arrays (pass_cost, era_span, donor_churn) sane: blocks
+#      recycled, freed-set parity, block-level era verdicts firing,
+#      zero stale stamps and zero splice moves (run from _build so the
 #      committed repo-root baseline is not overwritten)
+# When python3 is absent every python assertion falls back to greps
+# that check the load-bearing keys exist and no null snuck into a
+# numeric field — the gate must never pass vacuously.
 # Run from the repository root: sh tools/tier1.sh
 set -e
 cd "$(dirname "$0")/.."
@@ -35,11 +41,17 @@ with open(sys.argv[1]) as f:
 assert isinstance(cells, list) and cells, "expected a non-empty JSON array"
 for cell in cells:
     assert "mops" in cell, "throughput key missing"
+    assert isinstance(cell["mops"], (int, float)), "mops is not a finite number (null cell?)"
     assert "smr" in cell and "snapshot_reuses" in cell["smr"], "smr stats missing"
 print("json smoke: ok (%d cells)" % len(cells))
 EOF
 else
   grep -q '"mops"' "$json_smoke"
+  grep -q '"snapshot_reuses"' "$json_smoke"
+  if grep -q '"mops": null' "$json_smoke"; then
+    echo "json smoke: FAIL (null throughput)" >&2
+    exit 1
+  fi
   echo "json smoke: ok (grep only; python3 unavailable)"
 fi
 ./_build/default/bin/popbench.exe --ds hml --smr hp-pop -t 4 -d 0.5 \
@@ -57,13 +69,20 @@ for k in ("exited", "crashed", "joined"):
 assert c["exited"] + c["crashed"] >= 1, "no churn event fired"
 assert c["consistent"], "churn cell inconsistent"
 assert c["smr"]["violations"] == 0, "sanitizer flagged the churn cell"
-for k in ("suspects", "quarantine_rounds", "orphans_donated", "orphans_adopted"):
+for k in ("suspects", "quarantine_rounds", "orphans_donated", "orphans_adopted",
+          "orphan_stripe_contention", "stale_stamps"):
     assert k in c["smr"], "stat %s missing" % k
+assert c["smr"]["stale_stamps"] == 0, "stale block stamps observed"
 print("churn smoke: ok (exited=%d crashed=%d joined=%d)"
       % (c["exited"], c["crashed"], c["joined"]))
 EOF
 else
   grep -q '"crashed"' "$churn_smoke"
+  grep -q '"orphans_adopted"' "$churn_smoke"
+  if grep -q '"mops": null' "$churn_smoke"; then
+    echo "churn smoke: FAIL (null throughput)" >&2
+    exit 1
+  fi
   echo "churn smoke: ok (grep only; python3 unavailable)"
 fi
 mkdir -p "$seg_smoke_dir"
@@ -73,17 +92,36 @@ if command -v python3 > /dev/null 2>&1; then
   python3 - "$seg_smoke_dir/BENCH_seg.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
-    cells = json.load(f)
-assert isinstance(cells, list) and cells, "expected a non-empty JSON array"
-for c in cells:
+    doc = json.load(f)
+assert isinstance(doc, dict), "expected a keyed object of cell arrays"
+for key in ("pass_cost", "era_span", "donor_churn"):
+    assert doc.get(key), "missing or empty %s cells" % key
+for c in doc["pass_cost"]:
     assert c["segments_recycled"] > 0, "no segment blocks recycled"
     assert c["freed_per_pass"] == c["uncovered"], "freed-set parity broken"
     assert c["fresh_ns_per_pass"] > 0 and c["forced_ns_per_pass"] > 0, "missing timings"
-print("seg smoke: ok (%d cells, %d blocks recycled)"
-      % (len(cells), sum(c["segments_recycled"] for c in cells)))
+for c in doc["era_span"]:
+    assert c["freed_per_pass"] == c["uncovered"], "era freed-set parity broken"
+    assert c["block_keeps"] > 0 and c["block_skips"] > 0, "block-level era fast path never fired"
+    assert c["stale_stamps"] == 0, "stale block stamps observed"
+    assert c["fresh_ns_per_pass"] > 0, "missing era timings"
+for c in doc["donor_churn"]:
+    assert c["splice_moves"] == 0, "donate/adopt copied nodes"
+    assert c["donated"] == c["adopted"] == c["nodes"], "orphan hand-off not exactly-once"
+    assert isinstance(c["handoff_mops"], (int, float)) and c["handoff_mops"] > 0, \
+        "missing churn throughput"
+print("seg smoke: ok (%d+%d+%d cells, %d blocks recycled)"
+      % (len(doc["pass_cost"]), len(doc["era_span"]), len(doc["donor_churn"]),
+         sum(c["segments_recycled"] for c in doc["pass_cost"])))
 EOF
 else
   grep -q '"segments_recycled"' "$seg_smoke_dir/BENCH_seg.json"
+  grep -q '"block_skips"' "$seg_smoke_dir/BENCH_seg.json"
+  grep -q '"splice_moves": 0' "$seg_smoke_dir/BENCH_seg.json"
+  if grep -q 'null' "$seg_smoke_dir/BENCH_seg.json"; then
+    echo "seg smoke: FAIL (null field)" >&2
+    exit 1
+  fi
   echo "seg smoke: ok (grep only; python3 unavailable)"
 fi
 echo "tier-1: ok"
