@@ -7,9 +7,9 @@
 
    Run with: dune exec examples/kv_store.exe *)
 
-module Hp_table = Pop_ds.Hash_table.Make (Pop_baselines.Hp)
-module Pop_table = Pop_ds.Hash_table.Make (Pop_core.Hazard_ptr_pop)
-module Nr_table = Pop_ds.Hash_table.Make (Pop_baselines.Nr)
+module Hp_table = Pop_ds.Hash_table.Make (Pop_core.Smr_typed.Of (Pop_baselines.Hp))
+module Pop_table = Pop_ds.Hash_table.Make (Pop_core.Smr_typed.Of (Pop_core.Hazard_ptr_pop))
+module Nr_table = Pop_ds.Hash_table.Make (Pop_core.Smr_typed.Of (Pop_baselines.Nr))
 
 let sessions = 8192
 

@@ -8,7 +8,7 @@
 
    Run with: dune exec examples/quickstart.exe *)
 
-module Set = Pop_ds.Hm_list.Make (Pop_core.Epoch_pop)
+module Set = Pop_ds.Hm_list.Make (Pop_core.Smr_typed.Of (Pop_core.Epoch_pop))
 
 let () =
   let threads = 4 in

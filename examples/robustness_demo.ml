@@ -11,8 +11,8 @@
    schemes. Run with: dune exec examples/robustness_demo.exe *)
 
 open Pop_harness
-module Set_ebr = Pop_ds.Hm_list.Make (Pop_baselines.Ebr)
-module Set_pop = Pop_ds.Hm_list.Make (Pop_core.Epoch_pop)
+module Set_ebr = Pop_ds.Hm_list.Make (Pop_core.Smr_typed.Of (Pop_baselines.Ebr))
+module Set_pop = Pop_ds.Hm_list.Make (Pop_core.Smr_typed.Of (Pop_core.Epoch_pop))
 
 let threads = 3
 

@@ -10,8 +10,8 @@
 
    Run with: dune exec examples/task_pipeline.exe *)
 
-module Q_hp = Pop_ds.Ms_queue.Make (Pop_baselines.Hp)
-module Q_pop = Pop_ds.Ms_queue.Make (Pop_core.Hazard_ptr_pop)
+module Q_hp = Pop_ds.Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_baselines.Hp))
+module Q_pop = Pop_ds.Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_core.Hazard_ptr_pop))
 
 let producers = 2
 

@@ -391,35 +391,55 @@ module Make (S : Smr.S) : CHECKED = struct
 
   let unreclaimed g = S.unreclaimed g.inner
 
-  (* The orphanage hand-off is exactly-once: a scheme can never adopt
-     more nodes than departing threads donated. Observing an excess in
-     the counters means a donated batch was handed out twice (the
-     freed-twice half; the dropped half shows up as nodes stuck in
-     [unreclaimed]/[orphans_pending] forever). Detected at observation
-     time, so the tally is set to the deficit rather than incremented —
-     repeated [stats] calls must not inflate it. *)
+  (* Stats-time audit: these categories are detected from the engine's
+     own counters when [stats] is observed, not per call. The tally is
+     set to the current deficit rather than incremented — repeated
+     [stats] calls must not inflate it — and in [`Raise] mode a nonzero
+     deficit fails fast exactly like a per-call violation. *)
+  let audit g cat excess detail =
+    if excess > 0 then begin
+      Atomic.set g.tallies.(category_index cat) excess;
+      if g.mode = `Raise then
+        raise (Violation (Printf.sprintf "[%s] %s: %s" name (category_label cat) detail))
+    end
+
   let stats g =
     let s = S.stats g.inner in
-    if s.Smr_stats.orphans_adopted > s.Smr_stats.orphans_donated then
-      Atomic.set
-        g.tallies.(category_index Orphan_misuse)
-        (s.Smr_stats.orphans_adopted - s.Smr_stats.orphans_donated);
+    (* The orphanage hand-off is exactly-once: a scheme can never adopt
+       more nodes than departing threads donated. An excess means a
+       donated batch was handed out twice (the freed-twice half; the
+       dropped half shows up as nodes stuck in
+       [unreclaimed]/[orphans_pending] forever). *)
+    audit g Orphan_misuse
+      (s.Smr_stats.orphans_adopted - s.Smr_stats.orphans_donated)
+      (Printf.sprintf "%d nodes adopted but only %d donated" s.Smr_stats.orphans_adopted
+         s.Smr_stats.orphans_donated);
     (* Segment blocks can hold at most one retired node per slot, so the
        engine's occupancy (nodes per in-service slot) can never exceed
        100%. Seeing more means the block accounting drifted: a node was
        pushed without a slot entering service, or a recycled block's
-       slots were double-counted out. Same set-the-deficit discipline as
-       above. *)
-    if s.Smr_stats.segment_occupancy > 100 then
-      Atomic.set
-        g.tallies.(category_index Segment_misuse)
-        (s.Smr_stats.segment_occupancy - 100);
+       slots were double-counted out. *)
+    audit g Segment_misuse
+      (s.Smr_stats.segment_occupancy - 100)
+      (Printf.sprintf "segment occupancy at %d%%" s.Smr_stats.segment_occupancy);
     (* Block era stamps must over-approximate every node's lifespan —
        a node observed outside its block's [min_birth, max_retire]
        envelope means the block-level emptiness probe could have freed
-       a reserved node. The engine counts each such observation; same
-       set-the-deficit discipline as above. *)
-    if s.Smr_stats.stale_stamps > 0 then
-      Atomic.set g.tallies.(category_index Stamp_misuse) s.Smr_stats.stale_stamps;
+       a reserved node. The engine counts each such observation. *)
+    audit g Stamp_misuse s.Smr_stats.stale_stamps
+      (Printf.sprintf "%d nodes observed outside their block's era envelope"
+         s.Smr_stats.stale_stamps);
     { s with Smr_stats.violations = total (violations g) }
+end
+
+(* The sanitized end of the typed facade: the same Smr_typed.S surface
+   the data structures compile against, with the full shadow-state
+   sanitizer underneath — this is what catches the protocol errors the
+   types cannot (stale handle aliases, cross-operation witnesses,
+   use-after-deregister through an old alias). *)
+module Typed (Base : Smr.S) : Pop_core.Smr_typed.S = struct
+  module C = Make (Base)
+  include Pop_core.Smr_typed.Of (C)
+
+  let violation_breakdown g = to_alist (C.violations (raw g))
 end

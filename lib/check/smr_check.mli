@@ -29,7 +29,10 @@
     corrupt the scheme's own state — so a full benchmark run completes
     and reports its violation total through {!Pop_core.Smr_stats.t}'s
     [violations] field. In [`Raise] mode the first violation raises
-    {!Violation}, for tests that pin down individual bugs. *)
+    {!Violation}, for tests that pin down individual bugs — including
+    the three stats-time categories ([orphan_misuse], [segment_misuse],
+    [stamp_misuse]), which raise from [stats] when the engine's
+    counters show a deficit. *)
 
 type mode = [ `Count  (** Tally violations, keep running. *) | `Raise  (** Fail fast. *) ]
 
@@ -104,3 +107,12 @@ module type CHECKED = sig
 end
 
 module Make (S : Pop_core.Smr.S) : CHECKED
+
+module Typed (Base : Pop_core.Smr.S) : Pop_core.Smr_typed.S
+(** The sanitized end of the typed facade: the same
+    {!Pop_core.Smr_typed.S} surface the data structures compile
+    against, with {!Make}'s shadow state underneath (in [`Count] mode).
+    This is what catches the protocol errors the types cannot express —
+    stale handle aliases, witnesses smuggled across operations,
+    use-after-deregister through an old alias — and what populates
+    [violation_breakdown]. *)

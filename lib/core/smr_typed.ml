@@ -1,0 +1,150 @@
+(* See smr_typed.mli for the design. The whole module is a type-level
+   view of Smr.S: handles are the raw tctx, slots are ints, witnesses
+   are the values themselves. Nothing here allocates on the read path. *)
+
+type idle = [ `Idle ]
+
+type active = [ `Active ]
+
+type write = [ `Write ]
+
+exception Restart = Smr.Restart
+
+module type S = sig
+  val name : string
+
+  type 'a t
+
+  type ('a, 's) handle
+
+  type slot
+
+  type 'b reserved
+
+  val create : Smr_config.t -> Pop_runtime.Softsignal.t -> 'a Pop_sim.Heap.t -> 'a t
+
+  val register : 'a t -> tid:int -> ('a, idle) handle
+
+  val slots : 'a t -> slot array
+
+  val start_op : ('a, idle) handle -> ('a, active) handle
+
+  val end_op : ('a, [< active | write ]) handle -> ('a, idle) handle
+
+  val reopen_op : ('a, [< active | write ]) handle -> ('a, active) handle
+
+  val enter_write_phase :
+    ('a, active) handle -> 'a Pop_sim.Heap.node array -> ('a, write) handle
+
+  val read :
+    ('a, active) handle -> slot -> 'b Atomic.t -> ('b -> 'a Pop_sim.Heap.node) -> 'b reserved
+
+  (* Declared as primitives *in the signature* so call sites through a
+     functor parameter compile them away (no flambda in the build
+     image): [value] vanishes, [project] becomes a direct application
+     of the (locally known) projection. *)
+  external value : 'b reserved -> 'b = "%identity"
+
+  external project : 'b reserved -> ('b -> 'c) -> 'c reserved = "%revapply"
+
+  val check :
+    ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node reserved -> unit
+
+  val deref :
+    ('a, [< active | write ]) handle ->
+    'b reserved ->
+    ('b -> 'a Pop_sim.Heap.node) ->
+    'a Pop_sim.Heap.node
+
+  val alloc : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node
+
+  val retire : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node -> unit
+
+  val free_unpublished : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node -> unit
+
+  val poll : ('a, _) handle -> unit
+
+  val flush : ('a, idle) handle -> unit
+
+  val deregister : ('a, idle) handle -> unit
+
+  val unreclaimed : 'a t -> int
+
+  val stats : 'a t -> Smr_stats.t
+
+  val violation_breakdown : 'a t -> (string * int) list
+end
+
+module Of (Raw : Smr.S) = struct
+  let name = Raw.name
+
+  type 'a t = { raw : 'a Raw.t; slots : int array }
+
+  (* The phantom ['s] exists only in the signature; at runtime a handle
+     in every state is the same raw context. *)
+  type ('a, _) handle = 'a Raw.tctx
+
+  type slot = int
+
+  type 'b reserved = 'b
+
+  let create cfg hub heap =
+    {
+      raw = Raw.create cfg hub heap;
+      slots = Array.init (max cfg.Smr_config.max_hp 1) Fun.id;
+    }
+
+  let raw g = g.raw
+
+  let slots g = g.slots
+
+  let register g ~tid = Raw.register g.raw ~tid
+
+  let start_op c =
+    Raw.start_op c;
+    c
+
+  let end_op c =
+    Raw.end_op c;
+    c
+
+  let reopen_op c =
+    Raw.end_op c;
+    Raw.start_op c;
+    c
+
+  let enter_write_phase c nodes =
+    Raw.enter_write_phase c nodes;
+    c
+
+  let read = Raw.read
+
+  external value : 'b reserved -> 'b = "%identity"
+
+  external project : 'b reserved -> ('b -> 'c) -> 'c reserved = "%revapply"
+
+  let check = Raw.check
+
+  let deref c r proj =
+    let n = proj r in
+    Raw.check c n;
+    n
+
+  let alloc = Raw.alloc
+
+  let retire = Raw.retire
+
+  let free_unpublished = Raw.free_unpublished
+
+  let poll = Raw.poll
+
+  let flush = Raw.flush
+
+  let deregister = Raw.deregister
+
+  let unreclaimed g = Raw.unreclaimed g.raw
+
+  let stats g = Raw.stats g.raw
+
+  let violation_breakdown _ = []
+end

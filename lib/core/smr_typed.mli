@@ -1,0 +1,170 @@
+(** Compile-time typestate facade over any {!Smr.S} scheme.
+
+    {!Of} wraps a raw scheme in a zero-cost phantom-typed API that makes
+    most of the SmrSan per-call protocol violations unrepresentable:
+
+    - handles are indexed by the operation typestate
+      ([idle] -> [start_op] -> [active] -> [enter_write_phase] ->
+      [write]), so a [read] outside an operation, an [end_op] without a
+      matching [start_op], or a second [enter_write_phase] in one
+      operation are type errors;
+    - [read] returns a {e reservation witness} ([reserved]) and
+      dereferencing ({!S.deref}, the typed [check]) demands one, so a
+      check on a never-reserved value is a type error;
+    - reservation slots are abstract witnesses minted by [create] from
+      {!Smr_config.t.max_hp} ({!S.slots}), so an out-of-bounds slot
+      index cannot be written down;
+    - [deregister] and [flush] demand an [idle] handle, so closing a
+      context mid-operation (or starting an operation from the result
+      of [deregister]) is a type error.
+
+    Everything is a type-level view of the same runtime values: handles
+    {e are} the raw ['a tctx], slots are [int]s, witnesses are the read
+    values themselves — the facade compiles to direct calls with no
+    allocation on the read path.
+
+    What the types cannot express (OCaml has no linearity): a stale
+    handle alias kept across a state transition, a witness smuggled into
+    a later operation, and any call on a context after [deregister]
+    through an old alias. Those remain runtime checks —
+    [Pop_check.Smr_check.Typed] layers the full SmrSan shadow state
+    under this same signature for sanitized runs. See DESIGN.md section
+    8. *)
+
+type idle = [ `Idle ]
+
+type active = [ `Active ]
+
+type write = [ `Write ]
+
+exception Restart
+(** The same exception as {!Smr.Restart} (a rebinding): NBR's
+    neutralization, caught at the operation checkpoint, which re-enters
+    through [start_op]. Re-exported so typed data-structure code never
+    needs the raw {!Smr} module. *)
+
+(** The typed scheme interface. ['s] in [('a, 's) handle] is the
+    operation typestate ({!idle}, {!active} or {!write}); ['a] is the
+    node payload type, as in {!Smr.S}. *)
+module type S = sig
+  val name : string
+
+  type 'a t
+  (** Global reclamation state for one data-structure instance. *)
+
+  type ('a, 's) handle
+  (** Per-thread context in typestate ['s]. Not thread safe; owned by
+      one thread. State transitions return the {e same} runtime context
+      at a new type — treat the argument as consumed. *)
+
+  type slot
+  (** A reservation-slot witness, valid for the instance that minted it
+      (see {!slots}). *)
+
+  type 'b reserved
+  (** A value read under a reservation: proof that some [read] in this
+      operation protected it. [value] unwraps it; {!deref} turns it
+      into a checked node. *)
+
+  val create : Smr_config.t -> Pop_runtime.Softsignal.t -> 'a Pop_sim.Heap.t -> 'a t
+
+  val register : 'a t -> tid:int -> ('a, idle) handle
+  (** Claim thread id [tid] (also registers with the signal hub). *)
+
+  val slots : 'a t -> slot array
+  (** The instance's reservation slots, length [max_hp]: index [i] is
+      the witness for slot [i]. The only way to obtain a [slot]. *)
+
+  val start_op : ('a, idle) handle -> ('a, active) handle
+  (** Leave the quiescent state; must precede any [read]. *)
+
+  val end_op : ('a, [< active | write ]) handle -> ('a, idle) handle
+  (** Return to the quiescent state and clear reservations (CLEAR). *)
+
+  val reopen_op : ('a, [< active | write ]) handle -> ('a, active) handle
+  (** [end_op] then [start_op]: retry an update from scratch (clears
+      reservations, re-announces epochs, returns NBR to its read
+      phase). *)
+
+  val enter_write_phase :
+    ('a, active) handle -> 'a Pop_sim.Heap.node array -> ('a, write) handle
+  (** NBR: publish reservations for the nodes the write phase will
+      touch and disable neutralization; may raise {!Restart}. No-op
+      elsewhere. At most once per operation, by type. *)
+
+  val read :
+    ('a, active) handle -> slot -> 'b Atomic.t -> ('b -> 'a Pop_sim.Heap.node) -> 'b reserved
+  (** Protected read of a cell into a reservation slot, as {!Smr.S.read}
+      — but the result carries its reservation witness. May raise
+      {!Restart} (NBR only). *)
+
+  external value : 'b reserved -> 'b = "%identity"
+  (** Unwrap a witness. Declared as a primitive {e in the signature} so
+      that — without flambda — call sites through a functor parameter
+      compile to nothing. *)
+
+  external project : 'b reserved -> ('b -> 'c) -> 'c reserved = "%revapply"
+  (** Witness-preserving projection: a value computed from a reserved
+      value is protected by the same reservation. Like {!value}, a
+      signature-level primitive: [project r proj] compiles to the
+      direct application [proj r] at every call site, so the hot
+      traversal idiom [let w = project link proj in check a w; value w]
+      costs exactly what the raw [proj]+[check] pair did. *)
+
+  val check :
+    ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node reserved -> unit
+  (** The typed [check] on an already-projected node witness: record a
+      use-after-free if the witnessed node is free. A direct alias of
+      the raw scheme's [check] — use with {!project}/{!value} in
+      per-node traversal loops; {!deref} is the one-call convenience
+      for cold paths. *)
+
+  val deref :
+    ('a, [< active | write ]) handle ->
+    'b reserved ->
+    ('b -> 'a Pop_sim.Heap.node) ->
+    'a Pop_sim.Heap.node
+  (** The typed [check]: record a use-after-free if the witnessed node
+      is free and return it. Call at every first dereference, {e after}
+      the data structure's own reachability validation — exactly like
+      {!Smr.S.check}, except an unwitnessed value cannot be passed. *)
+
+  val alloc : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node
+  (** Allocate a node, stamped with the current birth era if the
+      algorithm tracks eras. *)
+
+  val retire : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node -> unit
+  (** Hand over an unlinked node; may trigger a reclamation pass. *)
+
+  val free_unpublished : ('a, [< active | write ]) handle -> 'a Pop_sim.Heap.node -> unit
+  (** Return a never-published node (failed-CAS insert path) straight
+      to the heap; see {!Smr.S.free_unpublished}. *)
+
+  val poll : ('a, _) handle -> unit
+  (** Serve pending soft signals; legal in any typestate. *)
+
+  val flush : ('a, idle) handle -> unit
+  (** Best-effort drain of this thread's retire list (end of run). *)
+
+  val deregister : ('a, idle) handle -> unit
+  (** Clear reservations and leave. Returns [unit]: nothing can be
+      built from a dead handle. *)
+
+  val unreclaimed : 'a t -> int
+
+  val stats : 'a t -> Smr_stats.t
+
+  val violation_breakdown : 'a t -> (string * int) list
+  (** Per-category SmrSan violation tallies. Empty for the plain {!Of}
+      facade (nothing is checked at runtime); populated by
+      [Pop_check.Smr_check.Typed]. *)
+end
+
+(** The zero-cost facade: every operation is the raw one, retyped. *)
+module Of (Raw : Smr.S) : sig
+  include S
+
+  val raw : 'a t -> 'a Raw.t
+  (** Escape hatch for scheme-level layering (e.g. the sanitizer's
+      typed wrapper); not for data-structure code. *)
+end

@@ -17,18 +17,22 @@
 
     A permanent anchor internal (one child, no separators) sits above the
     root, so updates always have a lockable parent, and grandparent /
-    parent locks are taken in root-to-leaf order (deadlock free). *)
+    parent locks are taken in root-to-leaf order (deadlock free).
+
+    Node constructors take the write-phase handle: allocation is only
+    legal once the write set is published, and the typed API makes that
+    ordering structural. *)
 
 open Pop_core
 open Pop_runtime
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Set_intf.SET = struct
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (T)
 
   let name = "abt"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   type data = {
     mutable leaf : bool;
@@ -45,7 +49,13 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   type t = { base : data Common.base; anchor : data Heap.node; b : int }
 
-  type ctx = { s : t; rctx : data R.tctx; tid : int; tmp : int array }
+  type ctx = {
+    s : t;
+    h : (data, Smr_typed.idle) T.handle;
+    sl : T.slot array;
+    tid : int;
+    tmp : int array;
+  }
 
   let payload_for b _id =
     {
@@ -71,7 +81,13 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     { base; anchor; b }
 
   let register s ~tid =
-    { s; rctx = R.register s.base.smr ~tid; tid; tmp = Array.make (s.b + 1) 0 }
+    {
+      s;
+      h = T.register s.base.smr ~tid;
+      sl = T.slots s.base.smr;
+      tid;
+      tmp = Array.make (s.b + 1) 0;
+    }
 
   (* Child index for [key] in internal node [n]. *)
   let route n key =
@@ -100,14 +116,16 @@ module Make (R : Smr.S) : Set_intf.SET = struct
      After reading a child out of [l], validate that [l] is still
      unmarked (hence still linked, hence the child was reachable and
      unretired when reserved); restart from the anchor otherwise. *)
-  let search ctx key =
-    let rec go gp gpcell p pcell lidx l sfree =
-      R.check ctx.rctx l;
+  let search ctx a key =
+    let rec go gp gpcell p pcell lidx l_r sfree =
+      let l_w = T.project l_r proj in
+      T.check a l_w;
+      let l = T.value l_w in
       if (pl l).leaf then { gp; gpcell; p; pcell; lidx; l }
       else begin
         let idx = route l key in
         let cell = (pl l).children.(idx) in
-        let c = proj (R.read ctx.rctx sfree cell proj) in
+        let c = T.read a ctx.sl.(sfree) cell proj in
         if (pl l).marked then raise Retry_search;
         (* the slot that held gp is free next *)
         go p pcell l cell idx c (match sfree with 0 -> 1 | 1 -> 2 | _ -> 0)
@@ -116,15 +134,15 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     let rec attempt () =
       let anchor = ctx.s.anchor in
       let cell0 = (pl anchor).children.(0) in
-      let n0 = proj (R.read ctx.rctx 0 cell0 proj) in
+      let n0_r = T.read a ctx.sl.(0) cell0 proj in
       match
-        (R.check ctx.rctx n0;
+        (let n0 = T.deref a n0_r proj in
          if (pl n0).leaf then
            { gp = anchor; gpcell = cell0; p = anchor; pcell = cell0; lidx = 0; l = n0 }
          else begin
            let idx = route n0 key in
            let cell1 = (pl n0).children.(idx) in
-           let n1 = proj (R.read ctx.rctx 1 cell1 proj) in
+           let n1 = T.read a ctx.sl.(1) cell1 proj in
            if (pl n0).marked then raise Retry_search;
            go anchor cell0 n0 cell1 idx n1 2
          end)
@@ -136,12 +154,14 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let points_to cell n = match Atomic.get cell with Some x -> x == n | None -> false
 
-  let contains ctx key = Common.with_op ctx.rctx (fun () -> leaf_mem (search ctx key).l key)
+  let contains ctx key =
+    Common.with_op ctx.h (fun a -> leaf_mem (search ctx a key).l key)
 
-  (* Node constructors (fresh nodes are private until linked). *)
+  (* Node constructors (fresh nodes are private until linked). All
+     allocation happens in the write phase, so each takes [w]. *)
 
-  let new_leaf ctx src count =
-    let n = R.alloc ctx.rctx in
+  let new_leaf w src count =
+    let n = T.alloc w in
     let p = pl n in
     p.leaf <- true;
     p.marked <- false;
@@ -149,8 +169,8 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     Array.blit src 0 p.keys 0 count;
     n
 
-  let new_internal ctx =
-    let n = R.alloc ctx.rctx in
+  let new_internal w =
+    let n = T.alloc w in
     let p = pl n in
     p.leaf <- false;
     p.marked <- false;
@@ -177,17 +197,17 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     copy 0 0
 
   (* Split ctx.tmp[0..n) into two leaves; returns (left, right, separator). *)
-  let split_leaf ctx n =
+  let split_leaf ctx w n =
     let half = (n + 1) / 2 in
-    let left = new_leaf ctx ctx.tmp half in
+    let left = new_leaf w ctx.tmp half in
     let right_src = Array.sub ctx.tmp half (n - half) in
-    let right = new_leaf ctx right_src (n - half) in
+    let right = new_leaf w right_src (n - half) in
     (left, right, (pl right).keys.(0))
 
   (* A 2-child internal replacing an overfull leaf when the parent has no
      room (relaxed local height growth). *)
-  let mini_internal ctx left right sep =
-    let ni = new_internal ctx in
+  let mini_internal w left right sep =
+    let ni = new_internal w in
     let p = pl ni in
     p.nkeys <- 2;
     p.keys.(0) <- sep;
@@ -197,10 +217,10 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   (* Copy of internal [p] with child [idx] replaced by [left]+[right] and
      [sep] inserted at separator position [idx]. *)
-  let internal_with_split ctx pnode idx left right sep =
+  let internal_with_split w pnode idx left right sep =
     let src = pl pnode in
     let c = src.nkeys in
-    let ni = new_internal ctx in
+    let ni = new_internal w in
     let dst = pl ni in
     dst.nkeys <- c + 1;
     Array.blit src.keys 0 dst.keys 0 idx;
@@ -217,10 +237,10 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     ni
 
   (* Copy of internal [p] without child [idx] (and one separator). *)
-  let internal_without ctx pnode idx =
+  let internal_without w pnode idx =
     let src = pl pnode in
     let c = src.nkeys in
-    let ni = new_internal ctx in
+    let ni = new_internal w in
     let dst = pl ni in
     dst.nkeys <- c - 1;
     let drop = if idx = 0 then 0 else idx - 1 in
@@ -245,54 +265,52 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     Spinlock.unlock (pl a).lock
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
+    Common.with_op ctx.h (fun a ->
         let b = ctx.s.b in
-        let rec attempt () =
-          let path = search ctx key in
+        let rec attempt a =
+          let path = search ctx a key in
           if leaf_mem path.l key then false
           else if (pl path.l).nkeys < b then begin
             (* Fast path: replace the leaf in place. *)
-            R.enter_write_phase ctx.rctx [| path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.p; path.l |] in
+            Common.lock_serving w (pl path.p).lock;
             if (pl path.p).marked || not (points_to path.pcell path.l) then begin
               Spinlock.unlock (pl path.p).lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               let n = merged_keys ctx path.l key in
-              let nl = new_leaf ctx ctx.tmp n in
+              let nl = new_leaf w ctx.tmp n in
               (pl path.l).marked <- true;
               Atomic.set path.pcell (Some nl);
               Spinlock.unlock (pl path.p).lock;
-              R.retire ctx.rctx path.l;
+              T.retire w path.l;
               true
             end
           end
           else if path.p == ctx.s.anchor then begin
             (* Overfull root leaf: grow the tree under the anchor. *)
-            R.enter_write_phase ctx.rctx [| path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.p; path.l |] in
+            Common.lock_serving w (pl path.p).lock;
             if not (points_to path.pcell path.l) then begin
               Spinlock.unlock (pl path.p).lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               let n = merged_keys ctx path.l key in
-              let left, right, sep = split_leaf ctx n in
+              let left, right, sep = split_leaf ctx w n in
               (pl path.l).marked <- true;
-              Atomic.set path.pcell (Some (mini_internal ctx left right sep));
+              Atomic.set path.pcell (Some (mini_internal w left right sep));
               Spinlock.unlock (pl path.p).lock;
-              R.retire ctx.rctx path.l;
+              T.retire w path.l;
               true
             end
           end
           else begin
             (* Split: lock grandparent then parent (root-to-leaf order). *)
-            R.enter_write_phase ctx.rctx [| path.gp; path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.gp).lock;
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.gp; path.p; path.l |] in
+            Common.lock_serving w (pl path.gp).lock;
+            Common.lock_serving w (pl path.p).lock;
             let valid =
               (not (pl path.gp).marked)
               && (not (pl path.p).marked)
@@ -301,48 +319,46 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             in
             if not valid then begin
               unlock2 path.gp path.p;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               let n = merged_keys ctx path.l key in
-              let left, right, sep = split_leaf ctx n in
+              let left, right, sep = split_leaf ctx w n in
               if (pl path.p).nkeys < b then begin
                 (* Absorb the split into a rebuilt parent. *)
-                let np = internal_with_split ctx path.p path.lidx left right sep in
+                let np = internal_with_split w path.p path.lidx left right sep in
                 (pl path.p).marked <- true;
                 (pl path.l).marked <- true;
                 Atomic.set path.gpcell (Some np);
                 unlock2 path.gp path.p;
-                R.retire ctx.rctx path.p;
-                R.retire ctx.rctx path.l
+                T.retire w path.p;
+                T.retire w path.l
               end
               else begin
                 (* Parent full: local height growth. *)
                 (pl path.l).marked <- true;
-                Atomic.set path.pcell (Some (mini_internal ctx left right sep));
+                Atomic.set path.pcell (Some (mini_internal w left right sep));
                 unlock2 path.gp path.p;
-                R.retire ctx.rctx path.l
+                T.retire w path.l
               end;
               true
             end
           end
         in
-        attempt ())
+        attempt a)
 
   let delete ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let path = search ctx key in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let path = search ctx a key in
           if not (leaf_mem path.l key) then false
           else if (pl path.l).nkeys > 1 || path.p == ctx.s.anchor then begin
             (* Fast path: shrink (or empty, if it is the root leaf). *)
-            R.enter_write_phase ctx.rctx [| path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.p; path.l |] in
+            Common.lock_serving w (pl path.p).lock;
             if (pl path.p).marked || not (points_to path.pcell path.l) then begin
               Spinlock.unlock (pl path.p).lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               let src = pl path.l in
@@ -353,19 +369,19 @@ module Make (R : Smr.S) : Set_intf.SET = struct
                   incr j
                 end
               done;
-              let nl = new_leaf ctx ctx.tmp !j in
+              let nl = new_leaf w ctx.tmp !j in
               (pl path.l).marked <- true;
               Atomic.set path.pcell (Some nl);
               Spinlock.unlock (pl path.p).lock;
-              R.retire ctx.rctx path.l;
+              T.retire w path.l;
               true
             end
           end
           else begin
             (* The leaf empties: restructure under the grandparent. *)
-            R.enter_write_phase ctx.rctx [| path.gp; path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.gp).lock;
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.gp; path.p; path.l |] in
+            Common.lock_serving w (pl path.gp).lock;
+            Common.lock_serving w (pl path.p).lock;
             let valid =
               (not (pl path.gp).marked)
               && (not (pl path.p).marked)
@@ -374,8 +390,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             in
             if not valid then begin
               unlock2 path.gp path.p;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               (pl path.l).marked <- true;
@@ -386,36 +401,36 @@ module Make (R : Smr.S) : Set_intf.SET = struct
                  Atomic.set path.gpcell sibling
                end
                else begin
-                 let np = internal_without ctx path.p path.lidx in
+                 let np = internal_without w path.p path.lidx in
                  (pl path.p).marked <- true;
                  Atomic.set path.gpcell (Some np)
                end);
               unlock2 path.gp path.p;
-              R.retire ctx.rctx path.p;
-              R.retire ctx.rctx path.l;
+              T.retire w path.p;
+              T.retire w path.l;
               true
             end
           end
         in
-        attempt ())
+        attempt a)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
   (* The reservation both [stall] and [crash] hold: a protected read of
      the structure's first pointer, never written back, so the set's
      contents are unaffected however long it stays pinned. *)
   let stall_pin ctx =
     let cell = (pl ctx.s.anchor).children.(0) in
-    fun () -> ignore (R.read ctx.rctx 0 cell proj)
+    fun a -> ignore (T.read a ctx.sl.(0) cell proj)
 
   let stall ?wake ctx ~seconds ~polling =
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+    Common.stall_in_op ?wake ctx.h ~seconds ~polling ~pin:(stall_pin ctx)
 
-  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
+  let crash ctx = Common.crash_in_op ctx.h ~pin:(stall_pin ctx)
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let iter_seq s f =
     let rec go n =
@@ -483,7 +498,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

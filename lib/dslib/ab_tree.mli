@@ -4,4 +4,4 @@
     lock-free traversals, wholesale retire of replaced nodes. See the
     implementation header for the balancing rules. *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

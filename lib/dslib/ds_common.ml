@@ -1,15 +1,20 @@
 (** Plumbing shared by every data-structure implementation: heap + SMR
     construction, the operation wrapper that restarts on NBR
-    neutralization, ping-serving lock acquisition, and stall injection. *)
+    neutralization, ping-serving lock acquisition, and stall injection.
+
+    Everything is written against the typed facade
+    {!Pop_core.Smr_typed.S}: the operation brackets here are the only
+    place a data structure's handle changes typestate, so the wrappers
+    hand the body an [active] handle and take care of closing it. *)
 
 open Pop_runtime
 open Pop_core
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) = struct
+module Make (T : Smr_typed.S) = struct
   type 'p base = {
     heap : 'p Heap.t;
-    smr : 'p R.t;
+    smr : 'p T.t;
     scfg : Smr_config.t;
     dcfg : Ds_config.t;
   }
@@ -17,57 +22,50 @@ module Make (R : Smr.S) = struct
   let make_base scfg dcfg hub payload =
     Ds_config.validate dcfg;
     let heap = Heap.create ~max_threads:scfg.Smr_config.max_threads ~payload in
-    { heap; smr = R.create scfg hub heap; scfg; dcfg }
+    { heap; smr = T.create scfg hub heap; scfg; dcfg }
 
   (* Run one operation: start/end bracketing plus restart-on-neutralize.
-     Only NBR ever raises [Smr.Restart]. *)
-  let with_op rctx f =
+     Only NBR ever raises [Smr_typed.Restart]. *)
+  let with_op h f =
     let rec go () =
-      R.start_op rctx;
-      match f () with
+      let a = T.start_op h in
+      match f a with
       | r ->
-          R.end_op rctx;
+          ignore (T.end_op a);
           r
-      | exception Smr.Restart -> go ()
+      | exception Smr_typed.Restart -> go ()
     in
     go ()
-
-  (* Close the current operation and open a fresh one: used to retry an
-     update from scratch (clears reservations, re-announces epochs, and
-     returns NBR to its read phase). *)
-  let reopen_op rctx =
-    R.end_op rctx;
-    R.start_op rctx
 
   (* Spinlock acquisition that keeps serving soft signals: a thread
      spinning on a lock must still publish reservations (or be
      neutralized), or the lock holder's reclamation pass deadlocks. *)
-  let lock_serving rctx l =
+  let lock_serving c l =
     if not (Spinlock.try_lock l) then begin
       let b = Backoff.make () in
       while not (Spinlock.try_lock l) do
-        R.poll rctx;
+        T.poll c;
         Backoff.once b
       done
     end
 
   (* Stall inside an operation for [seconds] (or until [wake ()] turns
      true), after [pin] has taken whatever reservations/epoch the caller
-     wants pinned. With [polling = false] the thread is deaf to pings
-     for the duration. *)
-  let stall_in_op ?(wake = fun () -> false) rctx ~seconds ~polling ~pin =
+     wants pinned on the freshly opened handle. With [polling = false]
+     the thread is deaf to pings for the duration. *)
+  let stall_in_op ?(wake = fun () -> false) h ~seconds ~polling ~pin =
     let t0 = Clock.now () in
     let rec hold () =
-      R.start_op rctx;
+      let a = T.start_op h in
       match
-        pin ();
+        pin a;
         while Clock.elapsed t0 < seconds && not (wake ()) do
-          if polling then R.poll rctx;
+          if polling then T.poll a;
           Unix.sleepf 0.0005
         done
       with
-      | () -> R.end_op rctx
-      | exception Smr.Restart ->
+      | () -> ignore (T.end_op a)
+      | exception Smr_typed.Restart ->
           (* NBR neutralized the stalled thread — that is precisely how
              NBR stays robust; resume stalling for the remaining time. *)
           if Clock.elapsed t0 < seconds && not (wake ()) then hold () else ()
@@ -79,7 +77,7 @@ module Make (R : Smr.S) = struct
      lands during the pin is swallowed: a dead thread cannot honour the
      restart protocol either, which is exactly the case DEBRA+-style
      recovery must tolerate. *)
-  let crash_in_op rctx ~pin =
-    R.start_op rctx;
-    (try pin () with Smr.Restart -> ())
+  let crash_in_op h ~pin =
+    let a = T.start_op h in
+    (try pin a with Smr_typed.Restart -> ())
 end

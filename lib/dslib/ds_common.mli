@@ -1,13 +1,16 @@
 (** Plumbing shared by every data-structure implementation: heap + SMR
     construction, the operation wrapper that restarts on NBR
-    neutralization, ping-serving lock acquisition, and stall injection. *)
+    neutralization, ping-serving lock acquisition, and stall injection —
+    all against the typed facade {!Pop_core.Smr_typed.S}, so the
+    operation typestate transitions live here and the structures only
+    ever see correctly staged handles. *)
 
-module Make (R : Pop_core.Smr.S) : sig
+module Make (T : Pop_core.Smr_typed.S) : sig
   (** One structure's heap and reclamation instance plus the configs
       they were built from. ['p] is the node payload type. *)
   type 'p base = {
     heap : 'p Pop_sim.Heap.t;
-    smr : 'p R.t;
+    smr : 'p T.t;
     scfg : Pop_core.Smr_config.t;
     dcfg : Ds_config.t;
   }
@@ -21,37 +24,39 @@ module Make (R : Pop_core.Smr.S) : sig
   (** [make_base scfg dcfg hub payload] validates [dcfg] and builds the
       heap (fresh nodes get [payload id]) and the SMR instance on it. *)
 
-  val with_op : 'p R.tctx -> (unit -> 'r) -> 'r
-  (** Run one operation: [start_op]/[end_op] bracketing plus
-      restart-on-neutralize (re-enters through [start_op] when the body
-      raises {!Pop_core.Smr.Restart}). *)
+  val with_op :
+    ('p, Pop_core.Smr_typed.idle) T.handle ->
+    (('p, Pop_core.Smr_typed.active) T.handle -> 'r) ->
+    'r
+  (** Run one operation: the body gets the freshly opened [active]
+      handle, and the bracket closes it — including
+      restart-on-neutralize (re-runs the body when it raises
+      {!Pop_core.Smr_typed.Restart}). *)
 
-  val reopen_op : 'p R.tctx -> unit
-  (** Close the current operation and open a fresh one: used to retry an
-      update from scratch (clears reservations, re-announces epochs, and
-      returns NBR to its read phase). *)
-
-  val lock_serving : 'p R.tctx -> Pop_runtime.Spinlock.t -> unit
+  val lock_serving : ('p, _) T.handle -> Pop_runtime.Spinlock.t -> unit
   (** Spinlock acquisition that keeps serving soft signals: a thread
       spinning on a lock must still publish reservations (or be
       neutralized), or the lock holder's reclamation pass deadlocks. *)
 
   val stall_in_op :
     ?wake:(unit -> bool) ->
-    'p R.tctx ->
+    ('p, Pop_core.Smr_typed.idle) T.handle ->
     seconds:float ->
     polling:bool ->
-    pin:(unit -> unit) ->
+    pin:(('p, Pop_core.Smr_typed.active) T.handle -> unit) ->
     unit
   (** Stall inside an operation for [seconds] (or until [wake ()] turns
       true), after [pin] has taken whatever reservations/epoch the
-      caller wants pinned. With [polling = false] the thread is deaf to
-      pings for the duration. *)
+      caller wants pinned on the freshly opened handle. With
+      [polling = false] the thread is deaf to pings for the duration. *)
 
-  val crash_in_op : 'p R.tctx -> pin:(unit -> unit) -> unit
+  val crash_in_op :
+    ('p, Pop_core.Smr_typed.idle) T.handle ->
+    pin:(('p, Pop_core.Smr_typed.active) T.handle -> unit) ->
+    unit
   (** Crash inside an operation: open it, take [pin]'s reservations, and
       abandon everything — no [end_op], no [deregister], and any NBR
       neutralization raised during the pin is swallowed (a dead thread
-      cannot honour the restart protocol). The context must never be
+      cannot honour the restart protocol). The handle must never be
       used again. *)
 end

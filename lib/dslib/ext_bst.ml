@@ -20,12 +20,12 @@ open Pop_core
 open Pop_runtime
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Set_intf.SET = struct
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (T)
 
   let name = "dgt"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   let inf0 = max_int - 2
 
@@ -58,7 +58,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   type t = { base : data Common.base; anchor : data Heap.node }
 
-  type ctx = { s : t; rctx : data R.tctx; tid : int }
+  type ctx = { s : t; h : (data, Smr_typed.idle) T.handle; sl : T.slot array; tid : int }
 
   let make_leaf_sentinel heap key =
     let n = Heap.sentinel heap in
@@ -81,7 +81,8 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     Atomic.set (pl anchor).right (Some (make_leaf_sentinel heap inf2));
     { base; anchor }
 
-  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+  let register s ~tid =
+    { s; h = T.register s.base.smr ~tid; sl = T.slots s.base.smr; tid }
 
   let child_cell n key = if key < (pl n).key then (pl n).left else (pl n).right
 
@@ -100,32 +101,34 @@ module Make (R : Smr.S) : Set_intf.SET = struct
      unmarked: an unmarked internal is still linked, so the child was
      reachable (and unretired) when reserved. A marked [l] means the
      descent walked into a removed subtree — restart from the anchor. *)
-  let search ctx key =
-    let rec go gp gpcell p pcell l sgp sp sl =
-      R.check ctx.rctx l;
+  let search ctx a key =
+    let rec go gp gpcell p pcell l_r sgp sp slf =
+      let l_w = T.project l_r proj in
+      T.check a l_w;
+      let l = T.value l_w in
       if (pl l).is_leaf then { gp; gpcell; p; pcell; l }
       else begin
         let cell = child_cell l key in
-        let c = proj (R.read ctx.rctx sgp cell proj) in
+        let c = T.read a sgp cell proj in
         if (pl l).marked then raise Retry_search;
-        go p pcell l cell c sp sl sgp
+        go p pcell l cell c sp slf sgp
       end
     in
     let rec attempt () =
       let anchor = ctx.s.anchor in
       let cell0 = (pl anchor).left in
-      let n0 = proj (R.read ctx.rctx 0 cell0 proj) in
+      let n0_r = T.read a ctx.sl.(0) cell0 proj in
       match
-        (R.check ctx.rctx n0;
+        (let n0 = T.deref a n0_r proj in
          if (pl n0).is_leaf then
            (* Degenerate tree: a single leaf under the anchor; it only
               holds sentinel keys, so updates never need gp here. *)
            { gp = anchor; gpcell = cell0; p = anchor; pcell = cell0; l = n0 }
          else begin
            let cell1 = child_cell n0 key in
-           let n1 = proj (R.read ctx.rctx 1 cell1 proj) in
+           let n1_r = T.read a ctx.sl.(1) cell1 proj in
            if (pl n0).marked then raise Retry_search;
-           go anchor cell0 n0 cell1 n1 2 0 1
+           go anchor cell0 n0 cell1 n1_r ctx.sl.(2) ctx.sl.(0) ctx.sl.(1)
          end)
       with
       | r -> r
@@ -136,28 +139,27 @@ module Make (R : Smr.S) : Set_intf.SET = struct
   let points_to cell n = match Atomic.get cell with Some x -> x == n | None -> false
 
   let contains ctx key =
-    Common.with_op ctx.rctx (fun () -> (pl (search ctx key).l).key = key)
+    Common.with_op ctx.h (fun a -> (pl (search ctx a key).l).key = key)
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let path = search ctx key in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let path = search ctx a key in
           let lkey = (pl path.l).key in
           if lkey = key then false
           else begin
-            R.enter_write_phase ctx.rctx [| path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.p; path.l |] in
+            Common.lock_serving w (pl path.p).lock;
             if (pl path.p).marked || not (points_to path.pcell path.l) then begin
               Spinlock.unlock (pl path.p).lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
-              let leaf = R.alloc ctx.rctx in
+              let leaf = T.alloc w in
               (pl leaf).key <- key;
               (pl leaf).is_leaf <- true;
               (pl leaf).marked <- false;
-              let internal = R.alloc ctx.rctx in
+              let internal = T.alloc w in
               (pl internal).is_leaf <- false;
               (pl internal).marked <- false;
               if key < lkey then begin
@@ -176,17 +178,17 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             end
           end
         in
-        attempt ())
+        attempt a)
 
   let delete ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let path = search ctx key in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let path = search ctx a key in
           if (pl path.l).key <> key then false
           else begin
-            R.enter_write_phase ctx.rctx [| path.gp; path.p; path.l |];
-            Common.lock_serving ctx.rctx (pl path.gp).lock;
-            Common.lock_serving ctx.rctx (pl path.p).lock;
+            let w = T.enter_write_phase a [| path.gp; path.p; path.l |] in
+            Common.lock_serving w (pl path.gp).lock;
+            Common.lock_serving w (pl path.p).lock;
             let valid =
               (not (pl path.gp).marked)
               && (not (pl path.p).marked)
@@ -196,8 +198,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             if not valid then begin
               Spinlock.unlock (pl path.p).lock;
               Spinlock.unlock (pl path.gp).lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               let sibling_cell =
@@ -209,31 +210,31 @@ module Make (R : Smr.S) : Set_intf.SET = struct
               Atomic.set path.gpcell sibling;
               Spinlock.unlock (pl path.p).lock;
               Spinlock.unlock (pl path.gp).lock;
-              R.retire ctx.rctx path.p;
-              R.retire ctx.rctx path.l;
+              T.retire w path.p;
+              T.retire w path.l;
               true
             end
           end
         in
-        attempt ())
+        attempt a)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
   (* The reservation both [stall] and [crash] hold: a protected read of
      the structure's first pointer, never written back, so the set's
      contents are unaffected however long it stays pinned. *)
   let stall_pin ctx =
     let cell = (pl ctx.s.anchor).left in
-    fun () -> ignore (R.read ctx.rctx 0 cell proj)
+    fun a -> ignore (T.read a ctx.sl.(0) cell proj)
 
   let stall ?wake ctx ~seconds ~polling =
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+    Common.stall_in_op ?wake ctx.h ~seconds ~polling ~pin:(stall_pin ctx)
 
-  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
+  let crash ctx = Common.crash_in_op ctx.h ~pin:(stall_pin ctx)
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let iter_seq s f =
     let rec go n =
@@ -282,7 +283,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

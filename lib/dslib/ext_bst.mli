@@ -4,4 +4,4 @@
     live in leaves; replaced nodes are marked and retired after
     unlock. See the implementation header for the full invariants. *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

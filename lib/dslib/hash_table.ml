@@ -5,17 +5,22 @@
 open Pop_core
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Set_intf.SET = struct
-  module Core = Hm_core.Make (R)
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Set_intf.SET = struct
+  module Core = Hm_core.Make (T)
+  module Common = Ds_common.Make (T)
 
   let name = "hmht"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   type t = { base : Core.data Common.base; buckets : Core.bucket array }
 
-  type ctx = { s : t; rctx : Core.data R.tctx; tid : int }
+  type ctx = {
+    s : t;
+    h : (Core.data, Smr_typed.idle) T.handle;
+    sl : T.slot array;
+    tid : int;
+  }
 
   (* Fibonacci hashing spreads consecutive keys across buckets. *)
   let hash nbuckets key = ((key * 0x9E3779B1) land max_int) mod nbuckets
@@ -27,36 +32,37 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     let buckets = Array.init nbuckets (fun _ -> Core.make_bucket base.heap ~tail) in
     { base; buckets }
 
-  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+  let register s ~tid =
+    { s; h = T.register s.base.smr ~tid; sl = T.slots s.base.smr; tid }
 
   let bucket_of ctx key = ctx.s.buckets.(hash (Array.length ctx.s.buckets) key)
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () -> Core.insert_in_op ctx.rctx (bucket_of ctx key) key)
+    Common.with_op ctx.h (fun a -> Core.insert_in_op a ctx.sl (bucket_of ctx key) key)
 
   let delete ctx key =
-    Common.with_op ctx.rctx (fun () -> Core.delete_in_op ctx.rctx (bucket_of ctx key) key)
+    Common.with_op ctx.h (fun a -> Core.delete_in_op a ctx.sl (bucket_of ctx key) key)
 
   let contains ctx key =
-    Common.with_op ctx.rctx (fun () -> Core.contains_in_op ctx.rctx (bucket_of ctx key) key)
+    Common.with_op ctx.h (fun a -> Core.contains_in_op a ctx.sl (bucket_of ctx key) key)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
   (* The reservation both [stall] and [crash] hold: a protected read of
      the structure's first pointer, never written back, so the set's
      contents are unaffected however long it stays pinned. *)
   let stall_pin ctx =
     let cell = Core.next_cell ctx.s.buckets.(0).head in
-    fun () -> ignore (R.read ctx.rctx 0 cell Core.proj)
+    fun a -> ignore (T.read a ctx.sl.(0) cell Core.proj)
 
   let stall ?wake ctx ~seconds ~polling =
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+    Common.stall_in_op ?wake ctx.h ~seconds ~polling ~pin:(stall_pin ctx)
 
-  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
+  let crash ctx = Common.crash_in_op ctx.h ~pin:(stall_pin ctx)
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let size_seq s = Array.fold_left (fun acc b -> acc + Core.size_seq b) 0 s.buckets
 
@@ -73,7 +79,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

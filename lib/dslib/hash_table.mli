@@ -2,4 +2,4 @@
     bucket, the paper's fifth benchmark structure. Bucket count is
     [key_range / ht_load] (the paper's "load factor"). *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

@@ -8,15 +8,19 @@
     which keeps the write (the unlink CAS and retire) inside an NBR
     write phase without violating its one-write-phase-per-op rule.
 
-    Every pointer step goes through [R.read] with three rotating
+    Every pointer step goes through [T.read] with three rotating
     reservation slots (prev, curr, next) and re-validates [prev.next]
     after reading [curr.next] — the standard hazard-pointer discipline
-    that makes all reservation-based schemes in this repository safe. *)
+    that makes all reservation-based schemes in this repository safe.
+    The in-op entry points take the operation's [active] handle and the
+    instance's slot witnesses; link values travel as reservation
+    witnesses ([link T.reserved]), so every dereference is forced
+    through [T.deref]. *)
 
 open Pop_core
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) = struct
+module Make (T : Smr_typed.S) = struct
   type data = { mutable key : int; next : link Atomic.t }
 
   and link = { tgt : data Heap.node option; marked : bool }
@@ -48,33 +52,35 @@ module Make (R : Smr.S) = struct
     found : bool;
     fprev : data Heap.node;
     fprev_cell : link Atomic.t;
-    fcurr_link : link;  (* value read at [fprev_cell]; its target is curr *)
-    fnext_link : link;  (* value of curr.next (meaningful when curr < tail) *)
+    fcurr_link : link T.reserved;  (* witness read at [fprev_cell]; target is curr *)
+    fnext_link : link T.reserved;  (* witness of curr.next (meaningful when curr < tail) *)
   }
 
   (* One traversal attempt; raises [Retry_find] when the list moved under
      us or after unlinking a marked node. Slots rotate prev<-curr<-next. *)
-  let find_attempt rctx bucket key =
+  let find_attempt a sl bucket key =
     let rec step prev_node prev_cell curr_link sprev scurr snext =
-      let curr = proj curr_link in
       (* First dereference of curr: it was reserved by the read that
          produced [curr_link] and validated reachable by the previous
          iteration's prev re-check (or read from the head sentinel). *)
-      R.check rctx curr;
+      let curr_w = T.project curr_link proj in
+      T.check a curr_w;
+      let curr = T.value curr_w in
       if node_key curr = max_int then
         { found = false; fprev = prev_node; fprev_cell = prev_cell; fcurr_link = curr_link;
           fnext_link = curr_link }
       else begin
-        let nl = R.read rctx snext (next_cell curr) proj in
-        if Atomic.get prev_cell != curr_link then raise Retry_find;
-        if nl.marked then begin
+        let nl = T.read a snext (next_cell curr) proj in
+        if Atomic.get prev_cell != T.value curr_link then raise Retry_find;
+        if (T.value nl).marked then begin
           (* curr is logically deleted: unlink it, then restart the
              traversal as a fresh operation. *)
-          R.enter_write_phase rctx [| prev_node; curr |];
-          if Atomic.compare_and_set prev_cell curr_link { tgt = nl.tgt; marked = false } then
-            R.retire rctx curr;
-          R.end_op rctx;
-          R.start_op rctx;
+          let w = T.enter_write_phase a [| prev_node; curr |] in
+          if
+            Atomic.compare_and_set prev_cell (T.value curr_link)
+              { tgt = (T.value nl).tgt; marked = false }
+          then T.retire w curr;
+          ignore (T.reopen_op w);
           raise Retry_find
         end
         else if node_key curr >= key then
@@ -84,61 +90,61 @@ module Make (R : Smr.S) = struct
       end
     in
     let cell = next_cell bucket.head in
-    step bucket.head cell (R.read rctx 0 cell proj) 2 0 1
+    step bucket.head cell (T.read a sl.(0) cell proj) sl.(2) sl.(0) sl.(1)
 
-  let rec find rctx bucket key =
-    match find_attempt rctx bucket key with
+  let rec find a sl bucket key =
+    match find_attempt a sl bucket key with
     | r -> r
-    | exception Retry_find -> find rctx bucket key
+    | exception Retry_find -> find a sl bucket key
 
   (* The in-op bodies below assume the caller bracketed them with
      start_op/end_op (see Ds_common.with_op). *)
 
-  let contains_in_op rctx bucket key = (find rctx bucket key).found
+  let contains_in_op a sl bucket key = (find a sl bucket key).found
 
-  let rec insert_in_op rctx bucket key =
-    let r = find rctx bucket key in
+  let rec insert_in_op a sl bucket key =
+    let r = find a sl bucket key in
     if r.found then false
     else begin
-      let n = R.alloc rctx in
+      let n = T.alloc a in
       n.Heap.payload.key <- key;
-      Atomic.set n.Heap.payload.next { tgt = r.fcurr_link.tgt; marked = false };
-      R.enter_write_phase rctx [| r.fprev |];
-      if Atomic.compare_and_set r.fprev_cell r.fcurr_link { tgt = Some n; marked = false }
+      Atomic.set n.Heap.payload.next { tgt = (T.value r.fcurr_link).tgt; marked = false };
+      let w = T.enter_write_phase a [| r.fprev |] in
+      if
+        Atomic.compare_and_set r.fprev_cell (T.value r.fcurr_link)
+          { tgt = Some n; marked = false }
       then true
       else begin
         (* Never published: hand the node straight back to the heap. *)
-        R.free_unpublished rctx n;
-        R.end_op rctx;
-        R.start_op rctx;
-        insert_in_op rctx bucket key
+        T.free_unpublished w n;
+        let a = T.reopen_op w in
+        insert_in_op a sl bucket key
       end
     end
 
-  let rec delete_in_op rctx bucket key =
-    let r = find rctx bucket key in
+  let rec delete_in_op a sl bucket key =
+    let r = find a sl bucket key in
     if not r.found then false
     else begin
-      let curr = proj r.fcurr_link in
-      R.enter_write_phase rctx [| r.fprev; curr; proj r.fnext_link |];
+      let curr = proj (T.value r.fcurr_link) in
+      let w = T.enter_write_phase a [| r.fprev; curr; proj (T.value r.fnext_link) |] in
       (* Logical deletion: mark curr's own next link. *)
       if
         not
-          (Atomic.compare_and_set (next_cell curr) r.fnext_link
-             { tgt = r.fnext_link.tgt; marked = true })
+          (Atomic.compare_and_set (next_cell curr) (T.value r.fnext_link)
+             { tgt = (T.value r.fnext_link).tgt; marked = true })
       then begin
-        R.end_op rctx;
-        R.start_op rctx;
-        delete_in_op rctx bucket key
+        let a = T.reopen_op w in
+        delete_in_op a sl bucket key
       end
       else begin
         (* The mark is the linearization point; nothing after it may
            restart (NBR), so on unlink failure the marked node is left
            for a later find to unlink and retire. *)
         if
-          Atomic.compare_and_set r.fprev_cell r.fcurr_link
-            { tgt = r.fnext_link.tgt; marked = false }
-        then R.retire rctx curr;
+          Atomic.compare_and_set r.fprev_cell (T.value r.fcurr_link)
+            { tgt = (T.value r.fnext_link).tgt; marked = false }
+        then T.retire w curr;
         true
       end
     end

@@ -8,12 +8,14 @@
     which keeps the write (the unlink CAS and retire) inside an NBR
     write phase without violating its one-write-phase-per-op rule.
 
-    Every pointer step goes through [R.read] with three rotating
+    Every pointer step goes through [T.read] with three rotating
     reservation slots (prev, curr, next) and re-validates [prev.next]
     after reading [curr.next] — the standard hazard-pointer discipline
-    that makes all reservation-based schemes in this repository safe. *)
+    that makes all reservation-based schemes in this repository safe.
+    Link values travel as reservation witnesses ([link T.reserved]), so
+    every dereference is forced through [T.deref]. *)
 
-module Make (R : Pop_core.Smr.S) : sig
+module Make (T : Pop_core.Smr_typed.S) : sig
   type data = { mutable key : int; next : link Atomic.t }
 
   and link = { tgt : data Pop_sim.Heap.node option; marked : bool }
@@ -26,7 +28,7 @@ module Make (R : Pop_core.Smr.S) : sig
   (** Fresh-node payload builder, for {!Ds_common.Make.make_base}. *)
 
   val proj : link -> data Pop_sim.Heap.node
-  (** The link's target; the projection passed to [R.read]. *)
+  (** The link's target; the projection passed to [T.read]. *)
 
   val node_key : data Pop_sim.Heap.node -> int
 
@@ -44,20 +46,27 @@ module Make (R : Pop_core.Smr.S) : sig
     found : bool;
     fprev : data Pop_sim.Heap.node;
     fprev_cell : link Atomic.t;
-    fcurr_link : link;  (** value read at [fprev_cell]; its target is curr *)
-    fnext_link : link;  (** value of curr.next (meaningful when curr < tail) *)
+    fcurr_link : link T.reserved;
+        (** witness read at [fprev_cell]; its target is curr *)
+    fnext_link : link T.reserved;
+        (** witness of curr.next (meaningful when curr < tail) *)
   }
 
-  val find : data R.tctx -> bucket -> int -> find_res
+  val find :
+    (data, Pop_core.Smr_typed.active) T.handle -> T.slot array -> bucket -> int -> find_res
   (** Traverse, unlinking marked nodes along the way; retries
-      internally, so it never raises {!Retry_find}. Must run inside an
-      operation. *)
+      internally, so it never raises {!Retry_find}. The slot array is
+      the instance's {!Pop_core.Smr_typed.S.slots} (the first three are
+      used, rotating). *)
 
-  val contains_in_op : data R.tctx -> bucket -> int -> bool
+  val contains_in_op :
+    (data, Pop_core.Smr_typed.active) T.handle -> T.slot array -> bucket -> int -> bool
 
-  val insert_in_op : data R.tctx -> bucket -> int -> bool
+  val insert_in_op :
+    (data, Pop_core.Smr_typed.active) T.handle -> T.slot array -> bucket -> int -> bool
 
-  val delete_in_op : data R.tctx -> bucket -> int -> bool
+  val delete_in_op :
+    (data, Pop_core.Smr_typed.active) T.handle -> T.slot array -> bucket -> int -> bool
   (** The [_in_op] bodies assume the caller bracketed them with
       [start_op]/[end_op] (see {!Ds_common.Make.with_op}). *)
 

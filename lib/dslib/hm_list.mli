@@ -1,4 +1,4 @@
 (** The Harris-Michael sorted linked list (HML in the paper's plots):
     a single {!Hm_core} bucket behind the SET interface. *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

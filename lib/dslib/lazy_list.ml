@@ -10,12 +10,12 @@ open Pop_core
 open Pop_runtime
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Set_intf.SET = struct
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (T)
 
   let name = "ll"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   type data = {
     mutable key : int;
@@ -35,7 +35,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   type t = { base : data Common.base; head : data Heap.node }
 
-  type ctx = { s : t; rctx : data R.tctx; tid : int }
+  type ctx = { s : t; h : (data, Smr_typed.idle) T.handle; sl : T.slot array; tid : int }
 
   let create scfg dcfg ~hub =
     let base = Common.make_base scfg dcfg hub payload in
@@ -46,7 +46,8 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     Atomic.set head.Heap.payload.next (Some tail);
     { base; head }
 
-  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+  let register s ~tid =
+    { s; h = T.register s.base.smr ~tid; sl = T.slots s.base.smr; tid }
 
   exception Retry_walk
 
@@ -57,14 +58,20 @@ module Make (R : Smr.S) : Set_intf.SET = struct
      linked, hence curr was reachable (and unretired) when reserved.
      A marked pred means the traversal walked onto a removed prefix —
      restart from the head. *)
-  let walk ctx key =
+  let walk ctx a key =
     let rec go pred spred scurr =
-      let curr = proj (R.read ctx.rctx scurr (next_cell pred) proj) in
+      let curr_r = T.read a scurr (next_cell pred) proj in
       if pred.Heap.payload.marked then raise Retry_walk;
-      R.check ctx.rctx curr;
+      let curr_w = T.project curr_r proj in
+      T.check a curr_w;
+      let curr = T.value curr_w in
       if node_key curr < key then go curr scurr spred else (pred, curr)
     in
-    let rec attempt () = match go ctx.s.head 1 0 with r -> r | exception Retry_walk -> attempt () in
+    let rec attempt () =
+      match go ctx.s.head ctx.sl.(1) ctx.sl.(0) with
+      | r -> r
+      | exception Retry_walk -> attempt ()
+    in
     attempt ()
 
   let validate pred curr =
@@ -73,22 +80,21 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     && match Atomic.get (next_cell pred) with Some n -> n == curr | None -> false
 
   let contains ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let _, curr = walk ctx key in
+    Common.with_op ctx.h (fun a ->
+        let _, curr = walk ctx a key in
         node_key curr = key && not curr.Heap.payload.marked)
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let pred, curr = walk ctx key in
-          R.enter_write_phase ctx.rctx [| pred; curr |];
-          Common.lock_serving ctx.rctx pred.Heap.payload.lock;
-          Common.lock_serving ctx.rctx curr.Heap.payload.lock;
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let pred, curr = walk ctx a key in
+          let w = T.enter_write_phase a [| pred; curr |] in
+          Common.lock_serving w pred.Heap.payload.lock;
+          Common.lock_serving w curr.Heap.payload.lock;
           if not (validate pred curr) then begin
             Spinlock.unlock curr.Heap.payload.lock;
             Spinlock.unlock pred.Heap.payload.lock;
-            Common.reopen_op ctx.rctx;
-            attempt ()
+            attempt (T.reopen_op w)
           end
           else if node_key curr = key then begin
             Spinlock.unlock curr.Heap.payload.lock;
@@ -96,7 +102,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             false
           end
           else begin
-            let n = R.alloc ctx.rctx in
+            let n = T.alloc w in
             n.Heap.payload.key <- key;
             n.Heap.payload.marked <- false;
             Atomic.set n.Heap.payload.next (Some curr);
@@ -106,52 +112,51 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             true
           end
         in
-        attempt ())
+        attempt a)
 
   let delete ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let pred, curr = walk ctx key in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let pred, curr = walk ctx a key in
           if node_key curr <> key then false
           else begin
-            R.enter_write_phase ctx.rctx [| pred; curr |];
-            Common.lock_serving ctx.rctx pred.Heap.payload.lock;
-            Common.lock_serving ctx.rctx curr.Heap.payload.lock;
+            let w = T.enter_write_phase a [| pred; curr |] in
+            Common.lock_serving w pred.Heap.payload.lock;
+            Common.lock_serving w curr.Heap.payload.lock;
             if not (validate pred curr) then begin
               Spinlock.unlock curr.Heap.payload.lock;
               Spinlock.unlock pred.Heap.payload.lock;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
               curr.Heap.payload.marked <- true;
               Atomic.set (next_cell pred) (Atomic.get (next_cell curr));
               Spinlock.unlock curr.Heap.payload.lock;
               Spinlock.unlock pred.Heap.payload.lock;
-              R.retire ctx.rctx curr;
+              T.retire w curr;
               true
             end
           end
         in
-        attempt ())
+        attempt a)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
   (* The reservation both [stall] and [crash] hold: a protected read of
      the structure's first pointer, never written back, so the set's
      contents are unaffected however long it stays pinned. *)
   let stall_pin ctx =
     let cell = next_cell ctx.s.head in
-    fun () -> ignore (R.read ctx.rctx 0 cell proj)
+    fun a -> ignore (T.read a ctx.sl.(0) cell proj)
 
   let stall ?wake ctx ~seconds ~polling =
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+    Common.stall_in_op ?wake ctx.h ~seconds ~polling ~pin:(stall_pin ctx)
 
-  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
+  let crash ctx = Common.crash_in_op ctx.h ~pin:(stall_pin ctx)
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let iter_seq s f =
     let rec go n =
@@ -189,7 +194,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

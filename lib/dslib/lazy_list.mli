@@ -6,4 +6,4 @@
     spun with {!Ds_common.Make.lock_serving} so a spinning thread keeps
     serving pings. Nodes are retired after unlock. *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

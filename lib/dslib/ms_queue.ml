@@ -7,19 +7,21 @@
     Head points at a dummy node whose successor holds the front value;
     dequeue swings head forward and retires the old dummy. Reservations:
     slot 0 = head/tail anchor, slot 1 = its successor; both validated by
-    re-reading the anchor cell (Michael's D2/D5 checks), which [R.read]
+    re-reading the anchor cell (Michael's D2/D5 checks), which [T.read]
     performs plus an explicit anchor re-check before dereferencing the
-    successor. *)
+    successor. Successor witnesses are unwrapped with [T.value] where
+    the algorithm only needs the pointer identity (help paths, write
+    sets) and forced through [T.deref] before any payload access. *)
 
 open Pop_core
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Queue_intf.QUEUE = struct
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Queue_intf.QUEUE = struct
+  module Common = Ds_common.Make (T)
 
   let name = "msq"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   type data = { mutable value : int; next : data Heap.node option Atomic.t }
 
@@ -33,7 +35,7 @@ module Make (R : Smr.S) : Queue_intf.QUEUE = struct
     tail : data Heap.node Atomic.t;
   }
 
-  type ctx = { s : t; rctx : data R.tctx; tid : int }
+  type ctx = { s : t; h : (data, Smr_typed.idle) T.handle; sl : T.slot array; tid : int }
 
   let proj_node (n : data Heap.node) = n
 
@@ -42,84 +44,81 @@ module Make (R : Smr.S) : Queue_intf.QUEUE = struct
     let dummy = Heap.sentinel base.Common.heap in
     { base; head = Atomic.make dummy; tail = Atomic.make dummy }
 
-  let register s ~tid = { s; rctx = R.register s.base.smr ~tid; tid }
+  let register s ~tid =
+    { s; h = T.register s.base.smr ~tid; sl = T.slots s.base.smr; tid }
 
   (* Reserve the successor of [anchor_node] (read from its next cell),
      validating that the anchor cell still holds the anchor. *)
   let proj_opt_of anchor = function Some n -> n | None -> anchor
 
   let enqueue ctx v =
-    Common.with_op ctx.rctx (fun () ->
-        let n = R.alloc ctx.rctx in
+    Common.with_op ctx.h (fun a ->
+        let n = T.alloc a in
         (pl n).value <- v;
         Atomic.set (pl n).next None;
-        let rec attempt () =
-          let last = R.read ctx.rctx 0 ctx.s.tail proj_node in
-          R.check ctx.rctx last;
-          let next = R.read ctx.rctx 1 (pl last).next (proj_opt_of last) in
+        let rec attempt a =
+          let last_r = T.read a ctx.sl.(0) ctx.s.tail proj_node in
+          T.check a (T.project last_r proj_node);
+          let last = T.value last_r in
+          let next_r = T.read a ctx.sl.(1) (pl last).next (proj_opt_of last) in
           if Atomic.get ctx.s.tail == last then begin
-            match next with
+            match T.value next_r with
             | None ->
-                R.enter_write_phase ctx.rctx [| last |];
+                let w = T.enter_write_phase a [| last |] in
                 if Atomic.compare_and_set (pl last).next None (Some n) then
                   (* Swing tail; failure means someone helped. *)
                   ignore (Atomic.compare_and_set ctx.s.tail last n)
-                else begin
-                  Common.reopen_op ctx.rctx;
-                  attempt ()
-                end
+                else attempt (T.reopen_op w)
             | Some nx ->
                 (* Tail is lagging: help swing it. *)
-                R.enter_write_phase ctx.rctx [| last; nx |];
+                let w = T.enter_write_phase a [| last; nx |] in
                 ignore (Atomic.compare_and_set ctx.s.tail last nx);
-                Common.reopen_op ctx.rctx;
-                attempt ()
+                attempt (T.reopen_op w)
           end
-          else attempt ()
+          else attempt a
         in
-        attempt ())
+        attempt a)
 
   let dequeue ctx =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let first = R.read ctx.rctx 0 ctx.s.head proj_node in
-          R.check ctx.rctx first;
-          let next = R.read ctx.rctx 1 (pl first).next (proj_opt_of first) in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let first_r = T.read a ctx.sl.(0) ctx.s.head proj_node in
+          T.check a (T.project first_r proj_node);
+          let first = T.value first_r in
+          let next_r = T.read a ctx.sl.(1) (pl first).next (proj_opt_of first) in
           if Atomic.get ctx.s.head == first then begin
             let last = Atomic.get ctx.s.tail in
-            match next with
+            match T.value next_r with
             | None -> None (* empty *)
-            | Some nx ->
+            | Some nx0 ->
                 if first == last then begin
                   (* Tail lagging behind a concurrent enqueue: help. *)
-                  R.enter_write_phase ctx.rctx [| first; nx |];
-                  ignore (Atomic.compare_and_set ctx.s.tail first nx);
-                  Common.reopen_op ctx.rctx;
-                  attempt ()
+                  let w = T.enter_write_phase a [| first; nx0 |] in
+                  ignore (Atomic.compare_and_set ctx.s.tail first nx0);
+                  attempt (T.reopen_op w)
                 end
                 else begin
-                  R.check ctx.rctx nx;
+                  let nx_w = T.project next_r (proj_opt_of first) in
+                  T.check a nx_w;
+                  let nx = T.value nx_w in
                   let v = (pl nx).value in
-                  R.enter_write_phase ctx.rctx [| first; nx |];
+                  let w = T.enter_write_phase a [| first; nx |] in
                   if Atomic.compare_and_set ctx.s.head first nx then begin
-                    R.retire ctx.rctx first;
+                    T.retire w first;
                     Some v
                   end
-                  else begin
-                    Common.reopen_op ctx.rctx;
-                    attempt ()
-                  end
+                  else attempt (T.reopen_op w)
                 end
           end
-          else attempt ()
+          else attempt a
         in
-        attempt ())
+        attempt a)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let to_list_seq s =
     let rec go acc cell =
@@ -150,7 +149,9 @@ module Make (R : Smr.S) : Queue_intf.QUEUE = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

@@ -4,4 +4,4 @@
     drop-in for everything hazard pointers apply to, not just ordered
     sets. *)
 
-module Make (R : Pop_core.Smr.S) : Queue_intf.QUEUE
+module Make (T : Pop_core.Smr_typed.S) : Queue_intf.QUEUE

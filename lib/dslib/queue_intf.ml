@@ -41,4 +41,8 @@ module type QUEUE = sig
   val smr_unreclaimed : t -> int
 
   val smr_stats : t -> Pop_core.Smr_stats.t
+
+  val smr_violations : t -> (string * int) list
+  (** Per-category SmrSan violation tallies, as in
+      {!Set_intf.SET.smr_violations}. *)
 end

@@ -74,4 +74,10 @@ module type SET = sig
   val smr_unreclaimed : t -> int
 
   val smr_stats : t -> Pop_core.Smr_stats.t
+
+  val smr_violations : t -> (string * int) list
+  (** Per-category SmrSan violation tallies
+      ({!Pop_core.Smr_typed.S.violation_breakdown}): empty when the
+      structure was built on the plain typed facade, one row per
+      category when built on the sanitized one. *)
 end

@@ -19,12 +19,12 @@ open Pop_core
 open Pop_runtime
 module Heap = Pop_sim.Heap
 
-module Make (R : Smr.S) : Set_intf.SET = struct
-  module Common = Ds_common.Make (R)
+module Make (T : Smr_typed.S) : Set_intf.SET = struct
+  module Common = Ds_common.Make (T)
 
   let name = "sl"
 
-  let smr_name = R.name
+  let smr_name = T.name
 
   type data = {
     mutable key : int;
@@ -57,7 +57,8 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   type ctx = {
     s : t;
-    rctx : data R.tctx;
+    h : (data, Smr_typed.idle) T.handle;
+    sl : T.slot array;
     tid : int;
     rng : Rng.t;
     preds : data Heap.node array; (* scratch, length = levels *)
@@ -86,7 +87,8 @@ module Make (R : Smr.S) : Set_intf.SET = struct
   let register s ~tid =
     {
       s;
-      rctx = R.register s.base.smr ~tid;
+      h = T.register s.base.smr ~tid;
+      sl = T.slots s.base.smr;
       tid;
       rng = Rng.make (0xabcd + tid);
       preds = Array.make s.levels s.head;
@@ -100,17 +102,18 @@ module Make (R : Smr.S) : Set_intf.SET = struct
      alternates between slots [2l] and [2l+1]; the final pred and succ
      of each level end up parked in that level's two slots, and the
      walk of lower levels never touches them. *)
-  let find_attempt ctx key =
-    let rctx = ctx.rctx in
+  let find_attempt ctx a key =
     let lfound = ref (-1) in
     let pred = ref ctx.s.head in
     for level = ctx.s.levels - 1 downto 0 do
-      let sa = 2 * level and sb = (2 * level) + 1 in
+      let sa = ctx.sl.(2 * level) and sb = ctx.sl.((2 * level) + 1) in
       let rec walk pred slot_parity =
         let slot = if slot_parity then sa else sb in
-        let curr = proj (R.read rctx slot (pl pred).nexts.(level) proj) in
+        let curr_r = T.read a slot (pl pred).nexts.(level) proj in
         if (pl pred).marked then raise Retry_find;
-        R.check rctx curr;
+        let curr_w = T.project curr_r proj in
+        T.check a curr_w;
+        let curr = T.value curr_w in
         if (pl curr).key < key then walk curr (not slot_parity) else (pred, curr)
       in
       let p, c = walk !pred true in
@@ -121,12 +124,12 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     done;
     !lfound
 
-  let rec find ctx key =
-    match find_attempt ctx key with r -> r | exception Retry_find -> find ctx key
+  let rec find ctx a key =
+    match find_attempt ctx a key with r -> r | exception Retry_find -> find ctx a key
 
   let contains ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let lfound = find ctx key in
+    Common.with_op ctx.h (fun a ->
+        let lfound = find ctx a key in
         lfound >= 0
         &&
         let c = pl ctx.succs.(lfound) in
@@ -134,10 +137,10 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   (* Lock preds[0..top], skipping duplicates (the same node can be the
      pred at several levels; the spinlock is not reentrant). *)
-  let lock_preds ctx top =
+  let lock_preds ctx w top =
     for l = 0 to top do
       if l = 0 || ctx.preds.(l) != ctx.preds.(l - 1) then
-        Common.lock_serving ctx.rctx (pl ctx.preds.(l)).lock
+        Common.lock_serving w (pl ctx.preds.(l)).lock
     done
 
   let unlock_preds ctx top =
@@ -166,21 +169,19 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     Array.of_list !nodes
 
   let insert ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let rec attempt () =
-          let lfound = find ctx key in
+    Common.with_op ctx.h (fun a ->
+        let rec attempt a =
+          let lfound = find ctx a key in
           if lfound >= 0 then begin
             let c = pl ctx.succs.(lfound) in
-            if c.marked then begin
+            if c.marked then
               (* A deletion is in flight; retry until it is unlinked. *)
-              Common.reopen_op ctx.rctx;
-              attempt ()
-            end
+              attempt (T.reopen_op a)
             else begin
               (* Wait for the concurrent inserter to finish linking. *)
               let b = Backoff.make () in
               while not c.fully_linked do
-                R.poll ctx.rctx;
+                T.poll a;
                 Backoff.once b
               done;
               false
@@ -188,19 +189,18 @@ module Make (R : Smr.S) : Set_intf.SET = struct
           end
           else begin
             let top = random_top ctx in
-            R.enter_write_phase ctx.rctx (write_set ctx top []);
-            lock_preds ctx top;
+            let w = T.enter_write_phase a (write_set ctx top []) in
+            lock_preds ctx w top;
             let valid = ref true in
             for l = 0 to top do
               if not (valid_level ctx l) then valid := false
             done;
             if not !valid then begin
               unlock_preds ctx top;
-              Common.reopen_op ctx.rctx;
-              attempt ()
+              attempt (T.reopen_op w)
             end
             else begin
-              let n = R.alloc ctx.rctx in
+              let n = T.alloc w in
               let p = pl n in
               p.key <- key;
               p.top <- top;
@@ -218,28 +218,30 @@ module Make (R : Smr.S) : Set_intf.SET = struct
             end
           end
         in
-        attempt ())
+        attempt a)
 
   (* Second phase of a delete whose pred validation failed after the
      victim was already marked (the linearization point): re-find and
      unlink the same victim. Nothing after the mark may restart the
      enclosing operation, so an NBR neutralization during the re-find is
-     caught here and only this phase retries. *)
-  let rec retry_unlink ctx victim =
-    match unlink_attempt ctx victim with
+     caught here and only this phase retries — re-entering through
+     [start_op] to get a fresh active handle, since the raised [Restart]
+     aborted the operation in flight. *)
+  let rec retry_unlink ctx a victim =
+    match unlink_attempt ctx a victim with
     | done_ -> done_
-    | exception Smr.Restart -> retry_unlink ctx victim
+    | exception Smr_typed.Restart -> retry_unlink ctx (T.start_op ctx.h) victim
 
-  and unlink_attempt ctx victim =
+  and unlink_attempt ctx a victim =
     let v = pl victim in
     let key = v.key in
-    ignore (find ctx key);
+    ignore (find ctx a key);
     (* The preds computed for the victim's key are exactly its
        predecessors while it remains linked. *)
-    R.enter_write_phase ctx.rctx (write_set ctx v.top [ victim ]);
-    Common.lock_serving ctx.rctx v.lock;
+    let w = T.enter_write_phase a (write_set ctx v.top [ victim ]) in
+    Common.lock_serving w v.lock;
     let top = v.top in
-    lock_preds ctx top;
+    lock_preds ctx w top;
     let valid = ref true in
     for l = 0 to top do
       let pred = pl ctx.preds.(l) in
@@ -251,8 +253,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
     if not !valid then begin
       unlock_preds ctx top;
       Spinlock.unlock v.lock;
-      Common.reopen_op ctx.rctx;
-      unlink_attempt ctx victim
+      unlink_attempt ctx (T.reopen_op w) victim
     end
     else begin
       for l = top downto 0 do
@@ -260,22 +261,22 @@ module Make (R : Smr.S) : Set_intf.SET = struct
       done;
       unlock_preds ctx top;
       Spinlock.unlock v.lock;
-      R.retire ctx.rctx victim;
+      T.retire w victim;
       true
     end
 
   let delete ctx key =
-    Common.with_op ctx.rctx (fun () ->
-        let attempt () =
-          let lfound = find ctx key in
+    Common.with_op ctx.h (fun a ->
+        let attempt a =
+          let lfound = find ctx a key in
           if lfound < 0 then false
           else begin
             let victim = ctx.succs.(lfound) in
             let v = pl victim in
             if not (v.fully_linked && v.top = lfound && not v.marked) then false
             else begin
-              R.enter_write_phase ctx.rctx (write_set ctx v.top [ victim ]);
-              Common.lock_serving ctx.rctx v.lock;
+              let w = T.enter_write_phase a (write_set ctx v.top [ victim ]) in
+              Common.lock_serving w v.lock;
               if v.marked then begin
                 Spinlock.unlock v.lock;
                 false
@@ -283,7 +284,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
               else begin
                 v.marked <- true;
                 let top = v.top in
-                lock_preds ctx top;
+                lock_preds ctx w top;
                 let valid = ref true in
                 for l = 0 to top do
                   let pred = pl ctx.preds.(l) in
@@ -301,8 +302,7 @@ module Make (R : Smr.S) : Set_intf.SET = struct
                      fresh find (it will still be found via lower
                      levels until unlinked; we must not abandon it). *)
                   Spinlock.unlock v.lock;
-                  Common.reopen_op ctx.rctx;
-                  retry_unlink ctx victim
+                  retry_unlink ctx (T.reopen_op w) victim
                 end
                 else begin
                   for l = top downto 0 do
@@ -310,32 +310,32 @@ module Make (R : Smr.S) : Set_intf.SET = struct
                   done;
                   unlock_preds ctx top;
                   Spinlock.unlock v.lock;
-                  R.retire ctx.rctx victim;
+                  T.retire w victim;
                   true
                 end
               end
             end
           end
         in
-        attempt ())
+        attempt a)
 
-  let poll ctx = R.poll ctx.rctx
+  let poll ctx = T.poll ctx.h
 
   (* The reservation both [stall] and [crash] hold: a protected read of
      the structure's first pointer, never written back, so the set's
      contents are unaffected however long it stays pinned. *)
   let stall_pin ctx =
     let cell = (pl ctx.s.head).nexts.(0) in
-    fun () -> ignore (R.read ctx.rctx 0 cell proj)
+    fun a -> ignore (T.read a ctx.sl.(0) cell proj)
 
   let stall ?wake ctx ~seconds ~polling =
-    Common.stall_in_op ?wake ctx.rctx ~seconds ~polling ~pin:(stall_pin ctx)
+    Common.stall_in_op ?wake ctx.h ~seconds ~polling ~pin:(stall_pin ctx)
 
-  let crash ctx = Common.crash_in_op ctx.rctx ~pin:(stall_pin ctx)
+  let crash ctx = Common.crash_in_op ctx.h ~pin:(stall_pin ctx)
 
-  let flush ctx = R.flush ctx.rctx
+  let flush ctx = T.flush ctx.h
 
-  let deregister ctx = R.deregister ctx.rctx
+  let deregister ctx = T.deregister ctx.h
 
   let iter_seq s f =
     let rec go n =
@@ -398,7 +398,9 @@ module Make (R : Smr.S) : Set_intf.SET = struct
 
   let heap_double_free s = Heap.double_free_count s.base.heap
 
-  let smr_unreclaimed s = R.unreclaimed s.base.smr
+  let smr_unreclaimed s = T.unreclaimed s.base.smr
 
-  let smr_stats s = R.stats s.base.smr
+  let smr_stats s = T.stats s.base.smr
+
+  let smr_violations s = T.violation_breakdown s.base.smr
 end

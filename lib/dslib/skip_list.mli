@@ -8,4 +8,4 @@
     reservations, so [Smr_config.max_hp] must be at least that
     ([create] enforces it; the harness sizes it automatically). *)
 
-module Make (R : Pop_core.Smr.S) : Set_intf.SET
+module Make (T : Pop_core.Smr_typed.S) : Set_intf.SET

@@ -94,12 +94,17 @@ let smr_module ?(sanitize = false) kind : (module Pop_core.Smr.S) =
   let ((module S : Pop_core.Smr.S) as base) = base_smr_module kind in
   if sanitize then (module Pop_check.Smr_check.Make (S)) else base
 
+let typed_smr_module ?(sanitize = false) kind : (module Pop_core.Smr_typed.S) =
+  let (module S : Pop_core.Smr.S) = base_smr_module kind in
+  if sanitize then (module Pop_check.Smr_check.Typed (S))
+  else (module Pop_core.Smr_typed.Of (S))
+
 let set_module ?(sanitize = false) ds smr : (module Set_intf.SET) =
-  let (module R : Pop_core.Smr.S) = smr_module ~sanitize smr in
+  let (module T : Pop_core.Smr_typed.S) = typed_smr_module ~sanitize smr in
   match ds with
-  | HML -> (module Hm_list.Make (R))
-  | LL -> (module Lazy_list.Make (R))
-  | HMHT -> (module Hash_table.Make (R))
-  | DGT -> (module Ext_bst.Make (R))
-  | ABT -> (module Ab_tree.Make (R))
-  | SL -> (module Skip_list.Make (R))
+  | HML -> (module Hm_list.Make (T))
+  | LL -> (module Lazy_list.Make (T))
+  | HMHT -> (module Hash_table.Make (T))
+  | DGT -> (module Ext_bst.Make (T))
+  | ABT -> (module Ab_tree.Make (T))
+  | SL -> (module Skip_list.Make (T))

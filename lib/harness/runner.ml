@@ -97,6 +97,7 @@ type result = {
   crashed : int;
   joined : int;
   smr : Pop_core.Smr_stats.t;
+  violations_by_category : (string * int) list;
 }
 
 (* Per-worker tally, returned through Domain.join — no shared state.
@@ -401,7 +402,10 @@ let run cfg =
     exited = Array.fold_left (fun a t -> if t.fate = 1 then a + 1 else a) 0 tallies;
     crashed = Array.fold_left (fun a t -> if t.fate = 2 then a + 1 else a) 0 tallies;
     joined = !joined;
+    (* Read stats before the breakdown: the stats-time audits in the
+       sanitizer update their per-category tallies as a side effect. *)
     smr = S.smr_stats set;
+    violations_by_category = S.smr_violations set;
   }
 
 let consistent r =
@@ -464,6 +468,15 @@ let to_json ?(label = "") r =
     (json_float
        (let total = passes + lookup "snapshot_reuses" in
         if total = 0 then 0.0 else float_of_int (lookup "snapshot_reuses") /. float_of_int total));
+  (* Per-category sanitizer breakdown (empty object when the run was
+     not sanitized: the plain typed facade reports no categories). *)
+  Buffer.add_string b "\"violations_by_category\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape k) v))
+    r.violations_by_category;
+  Buffer.add_string b "}, ";
   Buffer.add_string b "\"smr\": {";
   List.iteri
     (fun i (k, v) ->

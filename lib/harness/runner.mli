@@ -104,6 +104,10 @@ type result = {
   crashed : int;  (** Workers that died mid-operation (churn [Crash]es). *)
   joined : int;  (** Fresh workers spawned onto recycled tids. *)
   smr : Pop_core.Smr_stats.t;
+  violations_by_category : (string * int) list;
+      (** Sanitizer tallies keyed by {!Pop_check.Smr_check} category
+          label ([read_outside_op], [check_unreserved], ...). Empty
+          when [cfg.sanitize] is false. *)
 }
 
 val run : cfg -> result
@@ -114,9 +118,11 @@ val consistent : result -> bool
 val to_json : ?label:string -> result -> string
 (** One result as a flat JSON object: throughput ([mops]), memory peaks
     ([max_unreclaimed]), safety counters ([uaf], [double_free]),
-    amortization stats ([frees_per_pass], [snapshot_reuse_ratio]) and
-    the full {!Pop_core.Smr_stats} record under ["smr"]. Handwritten
-    emitter — no JSON library dependency. *)
+    amortization stats ([frees_per_pass], [snapshot_reuse_ratio]), the
+    sanitizer's per-category tallies under ["violations_by_category"]
+    (an empty object on unsanitized runs) and the full
+    {!Pop_core.Smr_stats} record under ["smr"]. Handwritten emitter —
+    no JSON library dependency. *)
 
 val write_json : string -> (string * result) list -> unit
 (** [write_json path results] writes a JSON array of labelled results

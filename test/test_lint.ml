@@ -98,6 +98,32 @@ let retire_vec () =
   Alcotest.(check bool) "other Vec calls accepted" false
     (flags "retire-vec" "lib/baselines/a.ml" "let n = Vec.length l.retired")
 
+let raw_smr () =
+  let sig_use = "module Make (R : Smr.S) : Set_intf.SET = struct" in
+  let call_use = "let go ctx = Pop_core.Smr.wrap ctx" in
+  Alcotest.(check bool) "dslib functor over raw Smr flagged" true
+    (flags "raw-smr-in-dslib" "lib/dslib/a.ml" sig_use);
+  Alcotest.(check bool) "dslib mli flagged too" true
+    (flags "raw-smr-in-dslib" "lib/dslib/a.mli" sig_use);
+  Alcotest.(check bool) "harness code flagged" true
+    (flags "raw-smr-in-dslib" "lib/harness/runner.ml" call_use);
+  Alcotest.(check bool) "examples flagged" true
+    (flags "raw-smr-in-dslib" "examples/quickstart.ml" call_use);
+  Alcotest.(check bool) "scheme-land exempt" false
+    (flags "raw-smr-in-dslib" "lib/core/epoch_pop.ml" sig_use);
+  Alcotest.(check bool) "the sanitizer is exempt" false
+    (flags "raw-smr-in-dslib" "lib/check/smr_check.ml" sig_use);
+  Alcotest.(check bool) "the dispatch bridge is exempt" false
+    (flags "raw-smr-in-dslib" "lib/harness/dispatch.ml" call_use);
+  Alcotest.(check bool) "tests exempt (they rig raw schemes)" false
+    (flags "raw-smr-in-dslib" "test/a.ml" sig_use);
+  Alcotest.(check bool) "the typed facade does not match" false
+    (flags "raw-smr-in-dslib" "lib/dslib/a.ml"
+       "module Make (T : Smr_typed.S) : Set_intf.SET = struct");
+  Alcotest.(check bool) "Smr_stats/Smr_config do not match" false
+    (flags "raw-smr-in-dslib" "lib/harness/runner.ml"
+       "let s : Pop_core.Smr_stats.t = stats in let c = Smr_config.default ()")
+
 let era_per_node () =
   let probe = "let keep n = Id_set.exists_in_range snap ~lo:n.birth_era ~hi:n.retire_era" in
   Alcotest.(check bool) "scheme probing per node flagged" true
@@ -188,6 +214,7 @@ let suite =
     case "rule: node-eq heuristic" node_eq;
     case "rule: direct-free scoping" direct_free;
     case "rule: retire-vec scoping" retire_vec;
+    case "rule: raw-smr-in-dslib scoping" raw_smr;
     case "rule: era-per-node scoping" era_per_node;
     case "diagnostics carry file:line" diagnostics_have_positions;
     case "allow.sexp parsing" parse_allow;

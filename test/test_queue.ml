@@ -20,10 +20,10 @@ module Make_rig (Q : Queue_intf.QUEUE) = struct
     (q, Q.register q ~tid:0)
 end
 
-module Q_epop = Ms_queue.Make (Pop_core.Epoch_pop)
-module Q_hpp = Ms_queue.Make (Pop_core.Hazard_ptr_pop)
-module Q_hp = Ms_queue.Make (Pop_baselines.Hp)
-module Q_nbr = Ms_queue.Make (Pop_baselines.Nbr)
+module Q_epop = Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_core.Epoch_pop))
+module Q_hpp = Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_core.Hazard_ptr_pop))
+module Q_hp = Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_baselines.Hp))
+module Q_nbr = Ms_queue.Make (Pop_core.Smr_typed.Of (Pop_baselines.Nbr))
 
 let fifo_basics () =
   let module G = Make_rig (Q_epop) in
@@ -195,7 +195,7 @@ let works_with_every_smr =
   List.map
     (fun (nm, (module R : Pop_core.Smr.S)) ->
       case (Printf.sprintf "msq/%s: smoke" nm) (fun () ->
-          let module Q = Ms_queue.Make (R) in
+          let module Q = Ms_queue.Make (Pop_core.Smr_typed.Of (R)) in
           let module G = Make_rig (Q) in
           let q, ctx = G.fresh () in
           for v = 1 to 200 do

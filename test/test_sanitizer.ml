@@ -139,6 +139,69 @@ let raise_mode () =
       Alcotest.(check bool) "count mode does not raise" false
         (raises (fun () -> C.retire ctx n)))
 
+(* Stats-time audits: the three engine-accounting categories
+   (orphan/segment/stamp misuse) are detected from the wrapped scheme's
+   own counters when [stats] is observed, not per call. Doctor a scheme
+   whose stats the test controls, so each audit fires deterministically
+   — including in [`Raise] mode, where the raise comes out of [stats]
+   itself. *)
+let doctored = ref Smr_stats.zero
+
+module Doctored = struct
+  include Pop_baselines.Nr
+
+  let stats _ = !doctored
+end
+
+module D = Check.Make (Doctored)
+
+let audit_rig f =
+  doctored := Smr_stats.zero;
+  let rig = make_rig () in
+  let g = D.create rig.cfg rig.hub rig.heap in
+  f g
+
+let audit_raises g =
+  match D.stats g with _ -> false | exception Check.Violation _ -> true
+
+let orphan_audit () =
+  audit_rig (fun g ->
+      doctored :=
+        { Smr_stats.zero with Smr_stats.orphans_donated = 2; orphans_adopted = 5 };
+      let s = D.stats g in
+      vcheck "adoption deficit tallied" 3 (D.violations g).Check.orphan_misuse;
+      vcheck "total surfaces through stats" 3 s.Smr_stats.violations;
+      ignore (D.stats g);
+      vcheck "repeated stats does not inflate" 3 (D.violations g).Check.orphan_misuse;
+      D.set_mode g `Raise;
+      Alcotest.(check bool) "raise mode fails fast from stats" true (audit_raises g);
+      doctored :=
+        { Smr_stats.zero with Smr_stats.orphans_donated = 5; orphans_adopted = 5 };
+      Alcotest.(check bool) "balanced hand-off does not raise" false (audit_raises g))
+
+let segment_audit () =
+  audit_rig (fun g ->
+      doctored := { Smr_stats.zero with Smr_stats.segment_occupancy = 97 };
+      ignore (D.stats g);
+      vcheck "full-but-legal occupancy is clean" 0 (D.violations g).Check.segment_misuse;
+      doctored := { Smr_stats.zero with Smr_stats.segment_occupancy = 130 };
+      ignore (D.stats g);
+      vcheck "occupancy excess tallied" 30 (D.violations g).Check.segment_misuse;
+      D.set_mode g `Raise;
+      Alcotest.(check bool) "raise mode fails fast from stats" true (audit_raises g))
+
+let stamp_audit () =
+  audit_rig (fun g ->
+      doctored := { Smr_stats.zero with Smr_stats.stale_stamps = 4 };
+      ignore (D.stats g);
+      vcheck "stale stamps tallied" 4 (D.violations g).Check.stamp_misuse;
+      ignore (D.stats g);
+      vcheck "repeated stats does not inflate" 4 (D.violations g).Check.stamp_misuse;
+      D.set_mode g `Raise;
+      Alcotest.(check bool) "raise mode fails fast from stats" true (audit_raises g);
+      D.set_mode g `Count;
+      Alcotest.(check bool) "count mode does not raise" false (audit_raises g))
+
 (* Restart interplay: wrap NBR and drive a neutralization through the
    sanitizer. The Restart must reset the typestate so the usual
    catch-and-restart pattern (start_op with no end_op) is not counted
@@ -235,6 +298,9 @@ let suite =
     case "unbalanced start/end" unbalanced_op;
     case "use after deregister" use_after_deregister;
     case "raise mode fails fast" raise_mode;
+    case "stats-time audit: orphan accounting" orphan_audit;
+    case "stats-time audit: segment occupancy" segment_audit;
+    case "stats-time audit: era stamps" stamp_audit;
     case "NBR restart resets the typestate" restart_resets_typestate;
   ]
   @ List.concat_map

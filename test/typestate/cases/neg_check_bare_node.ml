@@ -1,0 +1,9 @@
+(* Category: check on a never-reserved value, via the hot-path [check]
+   entry point. Like [deref], it demands a reservation witness — a bare
+   node must not type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (a : (int, Pop_core.Smr_typed.active) T.handle)
+    (n : int Pop_sim.Heap.node) =
+  T.check a n

@@ -1,0 +1,9 @@
+(* Category: check on a never-reserved value. [deref] demands a
+   reservation witness minted by [read]; a bare node must not
+   type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (a : (int, Pop_core.Smr_typed.active) T.handle)
+    (n : int Pop_sim.Heap.node) =
+  T.deref a n Fun.id

@@ -1,0 +1,8 @@
+(* Category: read outside an operation. [read] demands an [active]
+   handle; an [idle] one (no [start_op]) must not type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (h : (int, Pop_core.Smr_typed.idle) T.handle) (s : T.slot)
+    (cell : int Pop_sim.Heap.node Atomic.t) =
+  T.read h s cell Fun.id

@@ -1,0 +1,9 @@
+(* Category: out-of-range reservation slot. Slots are abstract
+   witnesses minted by [slots] from the instance's [max_hp]; a raw
+   integer index must not type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (a : (int, Pop_core.Smr_typed.active) T.handle)
+    (cell : int Pop_sim.Heap.node Atomic.t) =
+  T.read a 99 cell Fun.id

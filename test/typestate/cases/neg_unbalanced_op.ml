@@ -1,0 +1,7 @@
+(* Category: unbalanced operation. [end_op] without a matching
+   [start_op] means calling it on an [idle] handle, which must not
+   type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (h : (int, Pop_core.Smr_typed.idle) T.handle) = T.end_op h

@@ -1,0 +1,8 @@
+(* Category: use after deregister. [deregister] returns [unit] — no
+   handle survives it, so restarting an operation from its result must
+   not type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (h : (int, Pop_core.Smr_typed.idle) T.handle) =
+  T.start_op (T.deregister h)

@@ -1,0 +1,9 @@
+(* Category: write-phase misuse. [enter_write_phase] consumes an
+   [active] handle and at most once per operation; calling it again on
+   the [write] handle must not type-check. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let bad (w : (int, Pop_core.Smr_typed.write) T.handle)
+    (nodes : int Pop_sim.Heap.node array) =
+  T.enter_write_phase w nodes

@@ -1,0 +1,32 @@
+(* Positive control: the full legal protocol type-checks. If this case
+   ever fails to compile, the negative results above prove nothing. *)
+
+module T = Pop_core.Smr_typed.Of (Pop_core.Epoch_pop)
+
+let protocol (t : int T.t) (cell : int Pop_sim.Heap.node Atomic.t) =
+  let sl = T.slots t in
+  let h = T.register t ~tid:0 in
+  let a = T.start_op h in
+  T.poll a;
+  let r = T.read a sl.(0) cell Fun.id in
+  let n = T.deref a r Fun.id in
+  let _same : int Pop_sim.Heap.node = T.value r in
+  (* The hot-path idiom: project keeps the witness, check consumes it. *)
+  let w0 = T.project r Fun.id in
+  T.check a w0;
+  let _n0 : int Pop_sim.Heap.node = T.value w0 in
+  let w = T.enter_write_phase a [| n |] in
+  let fresh = T.alloc w in
+  T.free_unpublished w fresh;
+  T.retire w n;
+  let h = T.end_op w in
+  T.flush h;
+  T.deregister h
+
+(* A retry loop: [reopen_op] takes either in-operation state back to
+   [active], from where the write phase can be re-entered. *)
+let retry (a : (int, Pop_core.Smr_typed.active) T.handle)
+    (nodes : int Pop_sim.Heap.node array) =
+  let w = T.enter_write_phase a nodes in
+  let a = T.reopen_op w in
+  T.enter_write_phase a nodes

@@ -1,0 +1,120 @@
+(* Negative-compilation driver for the typestate facade.
+
+   Each [cases/neg_*.ml] encodes one SmrSan per-call violation category
+   written against {!Pop_core.Smr_typed}; the suite passes when every
+   such case is *rejected by the type checker* with exactly the error
+   recorded in the matching [cases/neg_*.expected] file, and every
+   [cases/pos_*.ml] control compiles cleanly. The controls matter: a
+   broken include path would "fail" every negative case with an
+   [Unbound module] error and prove nothing, so that error is treated
+   as a harness bug, not a pass.
+
+   The driver runs from [_build/default/test/typestate] (dune rules are
+   not sandboxed here; the include paths below resolve against the
+   already-built library objects) and shells out to the same [ocamlc]
+   that built the tree. Errors are compared byte for byte — the
+   toolchain is pinned, so drift in message wording is a real signal
+   that the facade's types changed. *)
+
+let include_dirs =
+  [
+    "../../lib/core/.pop_core.objs/byte";
+    "../../lib/simheap/.pop_sim.objs/byte";
+    "../../lib/runtime/.pop_runtime.objs/byte";
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let failures = ref 0
+
+let fail name msg =
+  incr failures;
+  Printf.eprintf "neg_compile: %s: %s\n" name msg
+
+let compile src =
+  let err = Filename.temp_file "typestate" ".err" in
+  let incs =
+    String.concat " " (List.map (fun d -> "-I " ^ Filename.quote d) include_dirs)
+  in
+  let rc =
+    Sys.command
+      (Printf.sprintf "ocamlc -c %s %s 2> %s" incs (Filename.quote src)
+         (Filename.quote err))
+  in
+  let out = read_file err in
+  Sys.remove err;
+  (* Drop in-place artifacts so reruns start clean. *)
+  let base = Filename.remove_extension src in
+  List.iter
+    (fun ext ->
+      let f = base ^ ext in
+      if Sys.file_exists f then Sys.remove f)
+    [ ".cmi"; ".cmo"; ".cmt" ];
+  (rc, out)
+
+let run_case name =
+  let src = Filename.concat "cases" name in
+  let rc, out = compile src in
+  if contains out "Unbound module" then
+    fail name
+      (Printf.sprintf "harness bug: unresolved module, not a typestate error\n%s"
+         out)
+  else if String.length name >= 4 && String.sub name 0 4 = "neg_" then begin
+    let expected_file = Filename.remove_extension src ^ ".expected" in
+    if rc = 0 then fail name "compiled, but this violation must be a type error"
+    else if not (contains out "Error") then
+      fail name (Printf.sprintf "rejected without a type error:\n%s" out)
+    else if not (Sys.file_exists expected_file) then
+      fail name
+        (Printf.sprintf "missing %s; record the expected error:\n%s"
+           expected_file out)
+    else
+      let expected = read_file expected_file in
+      if out <> expected then
+        fail name
+          (Printf.sprintf "error drifted from %s\n--- expected:\n%s--- got:\n%s"
+             expected_file expected out)
+  end
+  else if rc <> 0 then
+    fail name (Printf.sprintf "positive control failed to compile:\n%s" out)
+  else if String.trim out <> "" then
+    fail name (Printf.sprintf "positive control was noisy:\n%s" out)
+
+let () =
+  List.iter
+    (fun d ->
+      if not (Sys.file_exists d) then begin
+        Printf.eprintf "neg_compile: missing include dir %s\n" d;
+        exit 2
+      end)
+    include_dirs;
+  let cases =
+    Sys.readdir "cases" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.sort String.compare
+  in
+  let neg = List.filter (fun f -> String.length f >= 4 && String.sub f 0 4 = "neg_") cases in
+  let pos = List.filter (fun f -> String.length f >= 4 && String.sub f 0 4 = "pos_") cases in
+  (* The acceptance floor: at least 4 violation categories covered, and
+     at least one positive control to keep the harness honest. *)
+  if List.length neg < 4 || pos = [] then begin
+    Printf.eprintf "neg_compile: need >= 4 neg_ cases and a pos_ control (found %d/%d)\n"
+      (List.length neg) (List.length pos);
+    exit 2
+  end;
+  List.iter run_case cases;
+  if !failures > 0 then begin
+    Printf.eprintf "neg_compile: %d case(s) failed\n" !failures;
+    exit 1
+  end;
+  Printf.printf "neg_compile: %d cases ok (%d negative, %d positive)\n"
+    (List.length cases) (List.length neg) (List.length pos)

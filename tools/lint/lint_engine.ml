@@ -198,6 +198,15 @@ let under dir path =
 let scheme_land path =
   under "lib/core" path || under "lib/simheap" path || under "lib/baselines" path
 
+(* Where the raw, untyped [Smr.S] interface may legitimately appear:
+   scheme-land, the sanitizer (it wraps raw schemes), and the dispatch
+   bridge (the one place that applies [Smr_typed.Of] to raw modules).
+   Data-structure and harness code goes through the typed facade. *)
+let raw_smr_ok path =
+  scheme_land path || under "lib/check" path
+  || path = "lib/harness/dispatch.ml"
+  || path = "lib/harness/dispatch.mli"
+
 let node_accessors = [ ".next"; ".nexts"; ".tgt"; ".left"; ".right"; ".children"; ".free_next" ]
 
 let segment_stoppers = [ " in "; " let "; ";"; "{"; "}"; " then"; " else"; " done"; " do " ]
@@ -280,6 +289,25 @@ let rules =
                free_unpublished for nodes that were never published"
           else None);
       doc = "forbid Heap.free outside lib/core, lib/simheap, lib/baselines";
+    };
+    {
+      name = "raw-smr-in-dslib";
+      applies =
+        (fun path ->
+          (Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli")
+          && (under "lib" path || under "examples" path)
+          && not (raw_smr_ok path));
+      check =
+        (fun line ->
+          if has_token line "Smr" then
+            Some
+              "raw Smr.S reference outside scheme-land; data-structure and harness \
+               code must go through the compile-time typestate facade \
+               (Pop_core.Smr_typed.Of / Pop_check.Smr_check.Typed)"
+          else None);
+      doc =
+        "forbid the raw Smr module (untyped scheme interface) outside lib/core, \
+         lib/simheap, lib/baselines, lib/check and the dispatch bridge";
     };
     {
       name = "retire-vec";

@@ -13,6 +13,10 @@
       in a phrase mentioning a node link field);
     - [direct-free] — no [Heap.free] outside the reclamation schemes
       ([lib/core], [lib/simheap], [lib/baselines]);
+    - [raw-smr-in-dslib] — no reference to the raw [Smr] module (the
+      untyped scheme interface) from [lib/]/[examples/] code outside
+      scheme-land, [lib/check] and the [lib/harness/dispatch] bridge;
+      everything else consumes {!Pop_core.Smr_typed.S};
     - [missing-mli] — every [lib/] module except [*_intf.ml] carries an
       interface file.
 

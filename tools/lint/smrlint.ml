@@ -1,25 +1,34 @@
 (* smrlint: the repository's source-level lint gate.
 
-   Usage: smrlint [--root DIR] [--allow FILE]
+   Usage: smrlint [--root DIR] [--allow FILE] [--strict-allow]
 
    Scans lib/ bin/ test/ bench/ examples/ under the root and exits
    non-zero if any rule fires (see Lint_engine for the rule table).
-   Diagnostics are file:line so editors and CI can jump to them. *)
+   Diagnostics are file:line so editors and CI can jump to them.
+
+   With --strict-allow, an allow.sexp entry that no longer matches any
+   diagnostic fails the gate instead of printing a note: stale
+   grandfather entries would silently re-admit a regression of the very
+   finding they were added for, so CI prunes them at the source. *)
 
 module Lint_engine = Pop_lint.Lint_engine
 
 let () =
   let root = ref "." in
   let allow_file = ref "" in
+  let strict_allow = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
       ("--allow", Arg.Set_string allow_file, "FILE allowlist of (rule path) pairs");
+      ( "--strict-allow",
+        Arg.Set strict_allow,
+        " fail when an allowlist entry no longer matches any diagnostic" );
     ]
   in
   Arg.parse spec
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "smrlint [--root DIR] [--allow FILE]";
+    "smrlint [--root DIR] [--allow FILE] [--strict-allow]";
   let allow =
     if !allow_file = "" then []
     else
@@ -34,8 +43,14 @@ let () =
   let diags, notes = Lint_engine.check_tree ~root:!root ~allow in
   List.iter (fun d -> print_endline (Lint_engine.format_diagnostic d)) diags;
   List.iter prerr_endline notes;
-  match diags with
-  | [] -> print_endline "smrlint: ok"
-  | _ :: _ ->
+  let stale = if !strict_allow then List.length notes else 0 in
+  match (diags, stale) with
+  | [], 0 -> print_endline "smrlint: ok"
+  | [], _ ->
+      Printf.eprintf "smrlint: %d stale allow.sexp entr%s (--strict-allow); prune them\n"
+        stale
+        (if stale = 1 then "y" else "ies");
+      exit 1
+  | _ :: _, _ ->
       Printf.eprintf "smrlint: %d violation(s)\n" (List.length diags);
       exit 1

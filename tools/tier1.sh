@@ -10,13 +10,19 @@
 #      (a broken cell emits null, which must fail here)
 #   6. churn smoke test: a fixed-seed thread-churn cell (exit + crash +
 #      join) under the SmrSan sanitizer must fire its events, stay
-#      violation-free, and emit the churn counters in its JSON
+#      violation-free, and emit the churn counters plus the full
+#      per-category violation breakdown (all eleven categories, all
+#      zero) in its JSON
 #   7. segment smoke test: the bench's segmented-retire-buffer figure
 #      (--fig seg) must emit a parseable BENCH_seg.json with its three
 #      cell arrays (pass_cost, era_span, donor_churn) sane: blocks
 #      recycled, freed-set parity, block-level era verdicts firing,
 #      zero stale stamps and zero splice moves (run from _build so the
 #      committed repo-root baseline is not overwritten)
+#   8. typestate suite guard: the negative-compilation cases under
+#      test/typestate (run as part of step 2) must still exist in
+#      force — at least four violation categories, each with a
+#      recorded type error
 # When python3 is absent every python assertion falls back to greps
 # that check the load-bearing keys exist and no null snuck into a
 # numeric field — the gate must never pass vacuously.
@@ -73,12 +79,23 @@ for k in ("suspects", "quarantine_rounds", "orphans_donated", "orphans_adopted",
           "orphan_stripe_contention", "stale_stamps"):
     assert k in c["smr"], "stat %s missing" % k
 assert c["smr"]["stale_stamps"] == 0, "stale block stamps observed"
-print("churn smoke: ok (exited=%d crashed=%d joined=%d)"
-      % (c["exited"], c["crashed"], c["joined"]))
+cats = c["violations_by_category"]
+expected_cats = {"read_outside_op", "check_unreserved", "double_retire",
+                 "write_phase_misuse", "slot_out_of_bounds",
+                 "use_after_deregister", "unbalanced_op", "churn_misuse",
+                 "orphan_misuse", "segment_misuse", "stamp_misuse"}
+assert set(cats) == expected_cats, \
+    "violation breakdown keys drifted: %s" % sorted(set(cats) ^ expected_cats)
+for k, v in cats.items():
+    assert v == 0, "sanitizer category %s nonzero: %d" % (k, v)
+print("churn smoke: ok (exited=%d crashed=%d joined=%d, %d categories clean)"
+      % (c["exited"], c["crashed"], c["joined"], len(cats)))
 EOF
 else
   grep -q '"crashed"' "$churn_smoke"
   grep -q '"orphans_adopted"' "$churn_smoke"
+  grep -q '"violations_by_category"' "$churn_smoke"
+  grep -q '"churn_misuse": 0' "$churn_smoke"
   if grep -q '"mops": null' "$churn_smoke"; then
     echo "churn smoke: FAIL (null throughput)" >&2
     exit 1
@@ -124,4 +141,19 @@ else
   fi
   echo "seg smoke: ok (grep only; python3 unavailable)"
 fi
+# The typestate negative-compilation suite already ran under `dune
+# runtest`; guard it against going vacuous (cases deleted or .expected
+# files emptied would make the driver's floor the only defence).
+neg_cases=$(ls test/typestate/cases/neg_*.ml 2> /dev/null | wc -l)
+if [ "$neg_cases" -lt 4 ]; then
+  echo "typestate suite: FAIL (only $neg_cases negative cases; need >= 4)" >&2
+  exit 1
+fi
+for exp in test/typestate/cases/neg_*.expected; do
+  if ! grep -q "Error" "$exp"; then
+    echo "typestate suite: FAIL ($exp records no type error)" >&2
+    exit 1
+  fi
+done
+echo "typestate suite: ok ($neg_cases negative cases recorded)"
 echo "tier-1: ok"
