@@ -856,7 +856,7 @@ let emit_seg_json (pass_cells, era_cells, churn_cells) =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|seg|ablation|all] \
+    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|seg|kv|ablation|all] \
      [--full] [--json]";
   exit 2
 
@@ -882,7 +882,7 @@ let () =
   let sc = if !full then Experiments.full else Experiments.quick in
   let known =
     [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "churn"; "over"; "latency";
-      "seg"; "ablation"; "all" ]
+      "seg"; "kv"; "ablation"; "all" ]
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
@@ -895,6 +895,7 @@ let () =
   if want [ "rob" ] then emit_json "rob" (Experiments.fig_robustness sc);
   if want [ "churn" ] then emit_json "churn" (Experiments.fig_churn sc);
   if want [ "seg" ] then emit_seg_json (fig_seg sc);
+  if want [ "kv" ] then emit_json "kv" (Experiments.fig_kv sc);
   if want [ "over" ] then fig_oversubscription sc;
   if want [ "latency" ] then fig_signal_latency sc;
   if want [ "ablation" ] then fig_ablation sc;

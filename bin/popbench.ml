@@ -8,7 +8,8 @@ let ds_conv =
   let parse s =
     match Dispatch.ds_of_string s with
     | Some d -> Ok d
-    | None -> Error (`Msg (Printf.sprintf "unknown data structure %S (hml|ll|hmht|dgt|abt)" s))
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown data structure %S (hml|ll|hmht|dgt|abt|sl)" s))
   in
   Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Dispatch.ds_name d))
 
@@ -29,16 +30,25 @@ let smr_conv =
 let csv_header =
   "ds,smr,threads,duration,key_range,ins_pct,del_pct,reclaim_freq,mops,read_mops,total_ops,\
 max_unreclaimed,final_unreclaimed,max_live,final_live,uaf,double_free,final_size,\
-expected_size,invariants_ok,exited,crashed,joined," ^ Pop_core.Smr_stats.csv_header
+expected_size,invariants_ok,exited,crashed,joined,p50_us,p99_us,p999_us,max_us,"
+  ^ Pop_core.Smr_stats.csv_header
+
+let quantile_us (r : Runner.result) q =
+  float_of_int (Pop_runtime.Histogram.quantile r.latency q) /. 1e3
+
+let max_lat_us (r : Runner.result) =
+  float_of_int (Pop_runtime.Histogram.max_value r.latency) /. 1e3
 
 let print_csv (r : Runner.result) =
   print_endline csv_header;
-  Printf.printf "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%s\n"
+  Printf.printf
+    "%s,%s,%d,%.3f,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%s\n"
     (Dispatch.ds_name r.r_cfg.ds) (Dispatch.smr_name r.r_cfg.smr) r.r_cfg.threads
     r.r_cfg.duration r.r_cfg.key_range r.r_cfg.mix.Workload.ins_pct r.r_cfg.mix.Workload.del_pct
     r.r_cfg.reclaim_freq r.mops r.read_mops r.total_ops r.max_unreclaimed r.final_unreclaimed
     r.max_live r.final_live r.uaf r.double_free r.final_size r.expected_size r.invariants_ok
-    r.exited r.crashed r.joined
+    r.exited r.crashed r.joined (quantile_us r 0.50) (quantile_us r 0.99) (quantile_us r 0.999)
+    (max_lat_us r)
     (Pop_core.Smr_stats.csv_row r.smr)
 
 let print_result (r : Runner.result) =
@@ -64,14 +74,27 @@ let print_result (r : Runner.result) =
          [ "invariants"; (if r.invariants_ok then "ok" else "VIOLATED: " ^ r.invariant_error) ];
          [ "exited / crashed / joined"; Printf.sprintf "%d / %d / %d" r.exited r.crashed r.joined ];
        ]
+      @ (if Pop_runtime.Histogram.count r.latency = 0 then []
+         else
+           [
+             [ "latency p50 (us)"; Printf.sprintf "%.1f" (quantile_us r 0.50) ];
+             [ "latency p99 (us)"; Printf.sprintf "%.1f" (quantile_us r 0.99) ];
+             [ "latency p999 (us)"; Printf.sprintf "%.1f" (quantile_us r 0.999) ];
+             [ "latency max (us)"; Printf.sprintf "%.1f" (max_lat_us r) ];
+             [
+               "max reclaim pause (us)";
+               Printf.sprintf "%.1f" (float_of_int r.smr.Pop_core.Smr_stats.max_pause_ns /. 1e3);
+             ];
+           ])
       @ List.map
           (fun (k, v) -> [ k; string_of_int v ])
           (Pop_core.Smr_stats.to_alist r.smr));
   if not (Runner.consistent r) then prerr_endline "warning: cell inconsistent (see table)"
 
 let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scale epoch_freq
-    pop_mult lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
-    suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json =
+    pop_mult lrr kv zipf rate stall_for stall_polling churn_counts churn_start churn_period
+    ping_timeout suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv
+    json =
   let mix = { Workload.ins_pct = ins; del_pct = del } in
   let stall =
     if stall_for > 0.0 then
@@ -111,6 +134,9 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
       epoch_freq;
       pop_mult;
       long_running_reads = lrr;
+      kv;
+      zipf_theta = zipf;
+      arrival_rate = rate;
       stall;
       churn;
       ping_timeout_spins = ping_timeout;
@@ -134,9 +160,9 @@ let run_cell ds smr threads duration key_range ins del reclaim_freq reclaim_scal
 
 let run_figure fig fullscale =
   let sc = if fullscale then Experiments.full else Experiments.quick in
-  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "deaf"; "churn"; "all" ] in
+  let known = [ "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "deaf"; "churn"; "kv"; "all" ] in
   if not (List.mem fig known) then
-    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|deaf|churn|all)" fig);
+    invalid_arg (Printf.sprintf "unknown figure %S (use 1|3|4|5|10|rob|deaf|churn|kv|all)" fig);
   if List.mem fig [ "1"; "2"; "all" ] then ignore (Experiments.fig_update_heavy sc);
   if List.mem fig [ "3"; "all" ] then ignore (Experiments.fig_read_heavy sc);
   if List.mem fig [ "5"; "9"; "all" ] then ignore (Experiments.fig_read_heavy_appendix sc);
@@ -144,7 +170,8 @@ let run_figure fig fullscale =
   if List.mem fig [ "10"; "11"; "all" ] then ignore (Experiments.fig_crystalline sc);
   if List.mem fig [ "rob"; "all" ] then ignore (Experiments.fig_robustness sc);
   if List.mem fig [ "deaf"; "all" ] then ignore (Experiments.fig_deaf sc);
-  if List.mem fig [ "churn"; "all" ] then ignore (Experiments.fig_churn sc)
+  if List.mem fig [ "churn"; "all" ] then ignore (Experiments.fig_churn sc);
+  if List.mem fig [ "kv"; "all" ] then ignore (Experiments.fig_kv sc)
 
 let cmd =
   let ds = Arg.(value & opt ds_conv Dispatch.HML & info [ "ds" ] ~doc:"Data structure.") in
@@ -167,6 +194,31 @@ let cmd =
   let popm = Arg.(value & opt int 2 & info [ "pop-mult" ] ~doc:"EpochPOP C multiplier.") in
   let lrr =
     Arg.(value & flag & info [ "long-running-reads" ] ~doc:"Figure-4 reader/updater split.")
+  in
+  let kv =
+    Arg.(
+      value & flag
+      & info [ "kv" ]
+          ~doc:
+            "KV-service mode: a memcached-style get/set/cas/delete mix (90/6/2/2) with \
+             per-operation latency percentiles; combine with --zipf and --rate.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 0.0
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:
+            "Zipfian key-popularity skew for --kv (0.99 = YCSB default); 0 keeps keys \
+             uniform.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"OPS"
+          ~doc:
+            "Open-loop aggregate arrival rate in ops/second for --kv: operations arrive on \
+             a seeded Poisson schedule and latency includes queueing delay behind it. 0 runs \
+             closed-loop (latency = bare service time).")
   in
   let stall_for =
     Arg.(value & opt float 0.0 & info [ "stall" ] ~doc:"Stall thread 0 for this many seconds.")
@@ -252,22 +304,24 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "fig" ] ~doc:"Run a figure sweep instead.")
   in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
-  let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr
-      stall_for stall_polling churn_counts churn_start churn_period ping_timeout suspect_after
-      probe_cap segment_size drop_ping delay_poll seed sanitize csv json fig fullscale =
+  let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr kv
+      zipf rate stall_for stall_polling churn_counts churn_start churn_period ping_timeout
+      suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json fig
+      fullscale =
     match fig with
     | Some f -> run_figure f fullscale
     | None ->
         run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
-          lrr stall_for stall_polling churn_counts churn_start churn_period ping_timeout
-          suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json
+          lrr kv zipf rate stall_for stall_polling churn_counts churn_start churn_period
+          ping_timeout suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize
+          csv json
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
     Term.(
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim
-      $ reclaim_scale $ epochf $ popm $ lrr $ stall_for $ stall_polling $ churn_counts
-      $ churn_start $ churn_period $ ping_timeout $ suspect_after $ probe_cap $ segment_size
-      $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
+      $ reclaim_scale $ epochf $ popm $ lrr $ kv $ zipf $ rate $ stall_for $ stall_polling
+      $ churn_counts $ churn_start $ churn_period $ ping_timeout $ suspect_after $ probe_cap
+      $ segment_size $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
 
 let () = exit (Cmd.eval cmd)

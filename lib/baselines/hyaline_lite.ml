@@ -85,7 +85,11 @@ let distribute ctx batch =
 
 let reclaim ctx =
   Counters.reclaim_pass ctx.g.c ~tid:ctx.tid;
-  distribute ctx { nodes = Reclaimer.take_all ctx.rl; refs = Atomic.make 1 }
+  (* The pass here is drain + distribute (frees happen lazily on
+     release), so that whole span is this scheme's reclamation pause. *)
+  let t0 = Clock.now () in
+  distribute ctx { nodes = Reclaimer.take_all ctx.rl; refs = Atomic.make 1 };
+  Counters.note_pause ctx.g.c ~tid:ctx.tid (int_of_float (Clock.elapsed t0 *. 1e9))
 
 let retire ctx n =
   Reclaimer.retire ctx.rl n;

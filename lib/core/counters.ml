@@ -20,6 +20,7 @@ type t = {
   orphans_donated : Striped.t;
   orphans_adopted : Striped.t;
   orphan_stripe_contention : Striped.t;
+  pause_ns : Striped.t;
 }
 
 let create n =
@@ -43,6 +44,7 @@ let create n =
     orphans_donated = Striped.create n;
     orphans_adopted = Striped.create n;
     orphan_stripe_contention = Striped.create n;
+    pause_ns = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -73,6 +75,10 @@ let seg_nodes_add t ~tid n = if n <> 0 then Striped.add t.seg_nodes tid n
    read-compare-set max needs no CAS loop. *)
 let note_scan_blocks t ~tid n =
   if n > Striped.get t.scan_blocks tid then Striped.set t.scan_blocks tid n
+
+(* Single-writer max like [note_scan_blocks]: only [tid] runs [tid]'s
+   reclamation passes, so read-compare-set suffices. *)
+let note_pause t ~tid ns = if ns > Striped.get t.pause_ns tid then Striped.set t.pause_ns tid ns
 
 let block_skip t ~tid = Striped.incr t.block_skips tid
 
@@ -122,6 +128,7 @@ let snapshot ?hs t ~hub ~epoch =
     orphans_donated = Striped.sum t.orphans_donated;
     orphans_adopted = Striped.sum t.orphans_adopted;
     orphan_stripe_contention = Striped.sum t.orphan_stripe_contention;
+    max_pause_ns = max 0 (Striped.max_value t.pause_ns);
     epoch;
     unreclaimed = retired - freed;
     violations = 0;

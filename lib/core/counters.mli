@@ -49,6 +49,12 @@ val note_scan_blocks : t -> tid:int -> int -> unit
     threads. Each slot is single-writer ([tid] only scans its own
     buffer), so no CAS loop is needed. *)
 
+val note_pause : t -> tid:int -> int -> unit
+(** [note_pause t ~tid ns] records that one of [tid]'s reclamation
+    passes took [ns] wall-clock nanoseconds; the snapshot reports the
+    max over all threads ({!Smr_stats.t.max_pause_ns}). Single-writer
+    per slot, like {!note_scan_blocks}. *)
+
 val block_skip : t -> tid:int -> unit
 (** An era-interval fast pass freed a whole segment block on one stamp
     probe, without touching its nodes. *)

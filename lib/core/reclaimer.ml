@@ -538,6 +538,10 @@ let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~kee
   end
   else begin
     count_pass l kind;
+    (* Time the whole fresh pass — collect included, so a ping-based
+       scheme's handshake wait (and timeout fallback) lands in the
+       pause figure the latency report surfaces. *)
+    let t0 = Clock.now () in
     let k = collect l.scratch in
     l.scratch_len <- k;
     if fill then begin
@@ -566,6 +570,7 @@ let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~kee
        collect read the table is in this snapshot, so handler bumps
        caused by our own ping round must not mark it stale. *)
     l.snap_gen <- Atomic.get l.r.gen;
+    Counters.note_pause l.r.c ~tid:l.tid (int_of_float (Clock.elapsed t0 *. 1e9));
     Counters.note_scan_blocks l.r.c ~tid:l.tid !touched;
     Counters.seg_nodes_add l.r.c ~tid:l.tid (- !freed);
     Counters.segment l.r.c ~tid:l.tid;
@@ -576,12 +581,14 @@ let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~kee
 let scan_plain ~kind ~keep l =
   ignore (adopt l);
   count_pass l kind;
+  let t0 = Clock.now () in
   (* Epoch-style passes don't use the snapshot: filter both lists in
      place. Filtering only removes nodes, so the covered list stays
      covered by whatever snapshot the cache holds. *)
   let touched = l.covered.blocks + l.open_seg.blocks in
   let freed = filter_blist l l.covered keep in
   let freed = freed + filter_blist l l.open_seg keep in
+  Counters.note_pause l.r.c ~tid:l.tid (int_of_float (Clock.elapsed t0 *. 1e9));
   Counters.note_scan_blocks l.r.c ~tid:l.tid touched;
   Counters.seg_nodes_add l.r.c ~tid:l.tid (-freed);
   Counters.free l.r.c ~tid:l.tid freed;

@@ -21,6 +21,7 @@ type t = {
   orphans_donated : int;
   orphans_adopted : int;
   orphan_stripe_contention : int;
+  max_pause_ns : int;
   epoch : int;
   unreclaimed : int;
   violations : int;
@@ -50,6 +51,7 @@ let zero =
     orphans_donated = 0;
     orphans_adopted = 0;
     orphan_stripe_contention = 0;
+    max_pause_ns = 0;
     epoch = 0;
     unreclaimed = 0;
     violations = 0;
@@ -85,6 +87,7 @@ let to_alist
       orphans_donated;
       orphans_adopted;
       orphan_stripe_contention;
+      max_pause_ns;
       epoch;
       unreclaimed;
       violations;
@@ -113,6 +116,7 @@ let to_alist
     ("orphans_donated", orphans_donated);
     ("orphans_adopted", orphans_adopted);
     ("orphan_stripe_contention", orphan_stripe_contention);
+    ("max_pause_ns", max_pause_ns);
     ("epoch", epoch);
     ("violations", violations);
   ]

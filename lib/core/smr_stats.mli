@@ -72,6 +72,13 @@ type t = {
           and either fell back to blocking (donor) or skipped the stripe
           (adopter). With per-donor stripes this stays near 0; the old
           single-lock orphanage would count every collision here. *)
+  max_pause_ns : int;
+      (** Wall-clock nanoseconds of the longest single reclamation pass
+          any thread has run — the worst pause an operation can absorb
+          when its retire tips the threshold. For ping-based schemes
+          this includes the handshake wait (and its timeout fallback),
+          which is exactly the tail the KV-workload latency SLOs are
+          after. *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
   violations : int;

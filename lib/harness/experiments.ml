@@ -10,6 +10,8 @@ type scale = {
   lrr_sizes : int list;
   lrr_threads : int;
   lrr_reclaim_freq : int;
+  kv_rate : float;
+  kv_theta : float;
 }
 
 let quick =
@@ -25,6 +27,8 @@ let quick =
     lrr_sizes = [ 4096; 16384 ];
     lrr_threads = 4;
     lrr_reclaim_freq = 16;
+    kv_rate = 20_000.0;
+    kv_theta = 0.99;
   }
 
 let full =
@@ -40,6 +44,8 @@ let full =
     lrr_sizes = [ 8192; 32768 ];
     lrr_threads = 8;
     lrr_reclaim_freq = 16;
+    kv_rate = 50_000.0;
+    kv_theta = 0.99;
   }
 
 let size_of sc = function
@@ -281,6 +287,62 @@ let fig_churn sc =
            ])
          cells);
   List.map snd cells
+
+let fig_kv sc =
+  let module Histogram = Pop_runtime.Histogram in
+  let threads = List.fold_left max 2 sc.threads_list in
+  let duration = max 1.0 sc.duration in
+  let fmt_us us = Printf.sprintf "%.1f" us in
+  let acc = ref [] in
+  List.iter
+    (fun ds ->
+      Report.section
+        (Printf.sprintf
+           "KV service : %s (size=%d, %d threads, zipf theta=%.2f, open-loop %.0f \
+            ops/s aggregate, 90g/6s/2c/2d, sanitized). Latency runs from scheduled \
+            arrival to completion, so reclamation pauses surface as queueing delay at \
+            the tail; max_pause is the longest single reclamation pass."
+           (Dispatch.ds_name ds) (size_of sc ds) threads sc.kv_theta sc.kv_rate);
+      let smrs = Dispatch.[ EBR; IBR; HP; HPPOP; HEPOP; EPOCHPOP ] in
+      let cells =
+        List.map
+          (fun smr ->
+            ( smr,
+              Runner.run
+                {
+                  (base_cfg sc ds smr threads) with
+                  duration;
+                  kv = true;
+                  kv_mix = Workload.kv_default;
+                  zipf_theta = sc.kv_theta;
+                  arrival_rate = sc.kv_rate;
+                  sanitize = true;
+                } ))
+          smrs
+      in
+      Report.table
+        ~header:
+          [
+            "algo"; "Kops"; "p50us"; "p99us"; "p999us"; "maxus"; "max_pause_us"; "garb";
+          ]
+        ~rows:
+          (List.map
+             (fun (smr, (r : Runner.result)) ->
+               let q p = float_of_int (Histogram.quantile r.latency p) /. 1e3 in
+               [
+                 Dispatch.smr_name smr ^ flag r;
+                 Printf.sprintf "%.0f" (r.mops *. 1e3);
+                 fmt_us (q 0.50);
+                 fmt_us (q 0.99);
+                 fmt_us (q 0.999);
+                 fmt_us (float_of_int (Histogram.max_value r.latency) /. 1e3);
+                 fmt_us (float_of_int r.smr.max_pause_ns /. 1e3);
+                 Report.fmt_count r.max_unreclaimed;
+               ])
+             cells);
+      List.iter (fun (_, r) -> acc := r :: !acc) cells)
+    [ Dispatch.HMHT; Dispatch.SL ];
+  !acc
 
 let fig_deaf sc =
   let threads = List.fold_left max 2 sc.threads_list in

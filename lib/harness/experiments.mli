@@ -15,6 +15,11 @@ type scale = {
   lrr_sizes : int list;  (** Figure 4 list sizes. *)
   lrr_threads : int;
   lrr_reclaim_freq : int;  (** Figure 4 uses a small retire threshold. *)
+  kv_rate : float;
+      (** Aggregate open-loop arrival rate (ops/s) for the KV cells —
+          deliberately below saturation so percentiles reflect service
+          time plus reclamation pauses, not overload queueing. *)
+  kv_theta : float;  (** Zipfian skew for the KV cells (YCSB 0.99). *)
 }
 
 val quick : scale
@@ -68,6 +73,15 @@ val fig_churn : scale -> Runner.result list
     suspect/quarantine counters. EBR's garbage grows behind a crashed
     thread's frozen epoch; HP/HE/POP stay bounded by [max_hp] per
     crashed thread. *)
+
+val fig_kv : scale -> Runner.result list
+(** Production KV-service cells (ROADMAP item 1): a memcached-style
+    get/set/cas/delete front-end over the hash table and the skip list,
+    Zipfian keys ([kv_theta]), open-loop Poisson arrivals ([kv_rate])
+    and per-op latency percentiles (p50/p99/p999/max, microseconds)
+    next to the longest reclamation-pass pause. All cells run
+    sanitized, so the committed JSON doubles as a safety check
+    ([violations] and [uaf] must be 0). *)
 
 val fig_deaf : scale -> Runner.result list
 (** Adversarial variant of {!fig_robustness} for the bounded handshake:

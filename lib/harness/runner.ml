@@ -44,6 +44,10 @@ type cfg = {
   delay_poll : float;
   seed : int;
   sanitize : bool;
+  kv : bool;
+  kv_mix : Workload.kv_mix;
+  zipf_theta : float;
+  arrival_rate : float;
 }
 
 let default_cfg =
@@ -74,6 +78,10 @@ let default_cfg =
     delay_poll = 0.0;
     seed = 42;
     sanitize = false;
+    kv = false;
+    kv_mix = Workload.kv_default;
+    zipf_theta = 0.0;
+    arrival_rate = 0.0;
   }
 
 type result = {
@@ -98,12 +106,21 @@ type result = {
   joined : int;
   smr : Pop_core.Smr_stats.t;
   violations_by_category : (string * int) list;
+  latency : Histogram.t;
 }
 
 (* Per-worker tally, returned through Domain.join — no shared state.
    [fate]: 0 = ran to the stop flag, 1 = exited early (clean
-   deregister), 2 = crashed (abandoned everything mid-operation). *)
-type tally = { ops : int; reads : int; updates : int; net_inserts : int; fate : int }
+   deregister), 2 = crashed (abandoned everything mid-operation).
+   [lat] is only populated in KV mode (empty otherwise). *)
+type tally = {
+  ops : int;
+  reads : int;
+  updates : int;
+  net_inserts : int;
+  fate : int;
+  lat : Histogram.t;
+}
 
 let smr_config cfg ~max_threads =
   (* The skip list holds a pred+succ reservation per level. *)
@@ -135,6 +152,9 @@ let ds_config cfg =
 
 let run cfg =
   Workload.validate cfg.mix;
+  if cfg.kv then Workload.validate_kv cfg.kv_mix;
+  if cfg.arrival_rate < 0.0 then
+    invalid_arg "Runner.run: arrival_rate must be non-negative (0 = closed loop)";
   if cfg.threads < 1 then invalid_arg "Runner.run: need at least one thread";
   (match cfg.churn with
   | None -> ()
@@ -180,16 +200,12 @@ let run cfg =
     let reader_role = cfg.long_running_reads && tid < cfg.threads / 2 in
     let updater_span = max 1 (min cfg.near_head_span cfg.key_range) in
     let ops = ref 0 and reads = ref 0 and updates = ref 0 and net = ref 0 in
+    let lat = Histogram.create () in
     let stalled = ref false in
     let quit = ref 0 in
     let t0 = ref 0.0 in
-    Atomic.incr ready;
-    while not (Atomic.get start) do
-      Domain.cpu_relax ()
-    done;
-    t0 := Clock.now ();
-    while !quit = 0 && not (Atomic.get stop) do
-      (match cfg.stall with
+    let check_stall () =
+      match cfg.stall with
       | Some sp
         when sp.stall_tid = tid && (not !stalled) && Clock.elapsed !t0 >= sp.stall_after ->
           stalled := true;
@@ -198,28 +214,92 @@ let run cfg =
           S.stall ctx
             ~wake:(fun () -> Atomic.get stop)
             ~seconds:sp.stall_for ~polling:sp.stall_polling
-      | _ -> ());
-      let op =
-        if cfg.long_running_reads then
-          if reader_role then Workload.Contains (Rng.int rng cfg.key_range)
-          else if Rng.bool rng then Workload.Insert (Rng.int rng updater_span)
-          else Workload.Delete (Rng.int rng updater_span)
-        else Workload.gen rng cfg.mix ~key_range:cfg.key_range
-      in
-      (match op with
-      | Workload.Contains k ->
-          ignore (S.contains ctx k);
-          incr reads
-      | Workload.Insert k ->
-          if S.insert ctx k then incr net;
-          incr updates
-      | Workload.Delete k ->
-          if S.delete ctx k then decr net;
-          incr updates);
-      incr ops;
-      S.poll ctx;
-      quit := Atomic.get commands.(tid)
+      | _ -> ()
+    in
+    Atomic.incr ready;
+    while not (Atomic.get start) do
+      Domain.cpu_relax ()
     done;
+    t0 := Clock.now ();
+    if cfg.kv then begin
+      (* KV-service loop, latency-instrumented. Open loop when
+         [arrival_rate > 0]: each worker draws its own Poisson stream at
+         1/threads of the aggregate rate, and an op's latency runs from
+         its *scheduled* arrival to completion — a worker that falls
+         behind accrues queueing delay instead of silently shedding
+         load, which is what makes reclamation pauses visible at the
+         tail. Closed loop (rate = 0) measures bare service time. *)
+      let kg = Workload.keygen ~key_range:cfg.key_range ~theta:cfg.zipf_theta in
+      let rate = cfg.arrival_rate /. float_of_int cfg.threads in
+      let open_loop = rate > 0.0 in
+      let next_arrival = ref 0.0 in
+      while !quit = 0 && not (Atomic.get stop) do
+        check_stall ();
+        let op = Workload.gen_kv rng cfg.kv_mix kg ~key_range:cfg.key_range in
+        if open_loop then begin
+          next_arrival := !next_arrival +. Workload.exp_interval rng ~rate;
+          (* Ahead of schedule: idle (still serving pings) until due. *)
+          while Clock.elapsed !t0 < !next_arrival && not (Atomic.get stop) do
+            S.poll ctx;
+            Domain.cpu_relax ()
+          done
+        end;
+        let op_start = Clock.elapsed !t0 in
+        (match op with
+        | Workload.Get k ->
+            ignore (S.contains ctx k);
+            incr reads
+        | Workload.Set k ->
+            if S.insert ctx k then incr net;
+            incr updates
+        | Workload.Cas k ->
+            (* Read-modify-write over a SET: replace the key if present
+               (delete + re-insert — two traversals and a retire, like a
+               value swap would be), else behave as an insert-if-absent.
+               Not atomic end-to-end, which is fine for a latency
+               workload: consistency accounting uses the actual return
+               values. *)
+            if S.contains ctx k then begin
+              if S.delete ctx k then decr net;
+              if S.insert ctx k then incr net
+            end
+            else if S.insert ctx k then incr net;
+            incr updates
+        | Workload.Remove k ->
+            if S.delete ctx k then decr net;
+            incr updates);
+        let finished = Clock.elapsed !t0 in
+        let since = if open_loop then !next_arrival else op_start in
+        Histogram.record_s lat (finished -. since);
+        incr ops;
+        S.poll ctx;
+        quit := Atomic.get commands.(tid)
+      done
+    end
+    else
+      while !quit = 0 && not (Atomic.get stop) do
+        check_stall ();
+        let op =
+          if cfg.long_running_reads then
+            if reader_role then Workload.Contains (Rng.int rng cfg.key_range)
+            else if Rng.bool rng then Workload.Insert (Rng.int rng updater_span)
+            else Workload.Delete (Rng.int rng updater_span)
+          else Workload.gen rng cfg.mix ~key_range:cfg.key_range
+        in
+        (match op with
+        | Workload.Contains k ->
+            ignore (S.contains ctx k);
+            incr reads
+        | Workload.Insert k ->
+            if S.insert ctx k then incr net;
+            incr updates
+        | Workload.Delete k ->
+            if S.delete ctx k then decr net;
+            incr updates);
+        incr ops;
+        S.poll ctx;
+        quit := Atomic.get commands.(tid)
+      done;
     let fate =
       if !quit = 2 then begin
         (* Die mid-operation: the open op, raised reservations, retire
@@ -236,7 +316,7 @@ let run cfg =
       end
     in
     Atomic.set wstatus.(tid) (if fate = 2 then 2 else 1);
-    { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net; fate }
+    { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net; fate; lat }
   in
   let domains = Array.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
   while Atomic.get ready < cfg.threads do
@@ -375,6 +455,8 @@ let run cfg =
   let read_ops = Array.fold_left (fun a t -> a + t.reads) 0 tallies in
   let update_ops = Array.fold_left (fun a t -> a + t.updates) 0 tallies in
   let net = Array.fold_left (fun a t -> a + t.net_inserts) 0 tallies in
+  let latency = Histogram.create () in
+  Array.iter (fun t -> Histogram.merge_into latency ~src:t.lat) tallies;
   let invariants_ok, invariant_error =
     match S.check_invariants set with
     | () -> (true, "")
@@ -406,6 +488,7 @@ let run cfg =
        sanitizer update their per-category tallies as a side effect. *)
     smr = S.smr_stats set;
     violations_by_category = S.smr_violations set;
+    latency;
   }
 
 let consistent r =
@@ -445,6 +528,19 @@ let to_json ?(label = "") r =
   field "reclaim_scale" (string_of_int r.r_cfg.reclaim_scale);
   field "mops" (json_float r.mops);
   field "read_mops" (json_float r.read_mops);
+  field "kv" (if r.r_cfg.kv then "true" else "false");
+  field "zipf_theta" (json_float r.r_cfg.zipf_theta);
+  field "rate" (json_float r.r_cfg.arrival_rate);
+  (* Latency percentiles in microseconds (0 outside KV mode, where no
+     samples are recorded), plus the worst single reclamation-pass
+     pause any thread absorbed. *)
+  let us ns = float_of_int ns /. 1e3 in
+  field "lat_count" (string_of_int (Histogram.count r.latency));
+  field "p50" (json_float (us (Histogram.quantile r.latency 0.50)));
+  field "p99" (json_float (us (Histogram.quantile r.latency 0.99)));
+  field "p999" (json_float (us (Histogram.quantile r.latency 0.999)));
+  field "max" (json_float (us (Histogram.max_value r.latency)));
+  field "max_pause" (json_float (us r.smr.Pop_core.Smr_stats.max_pause_ns));
   field "total_ops" (string_of_int r.total_ops);
   field "read_ops" (string_of_int r.read_ops);
   field "update_ops" (string_of_int r.update_ops);

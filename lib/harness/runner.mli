@@ -78,6 +78,20 @@ type cfg = {
       (** Wrap the scheme in the {!Pop_check.Smr_check} typestate
           sanitizer (counting mode); the run's violation total lands in
           [result.smr.violations]. *)
+  kv : bool;
+      (** Run the latency-instrumented KV-service loop
+          ({!Workload.kv_op} over the SET) instead of the plain
+          throughput loop; [mix] is ignored in favour of [kv_mix]. *)
+  kv_mix : Workload.kv_mix;
+  zipf_theta : float;
+      (** Zipfian skew of KV key popularity ([0.99] = YCSB default);
+          [<= 0.] keeps keys uniform. Only read in KV mode. *)
+  arrival_rate : float;
+      (** Aggregate open-loop arrival rate in ops/second, split evenly
+          across workers as independent Poisson streams. Latency then
+          runs from *scheduled* arrival to completion, so queueing
+          delay counts. [0.] = closed loop (latency = service time).
+          Only read in KV mode. *)
 }
 
 val default_cfg : cfg
@@ -108,6 +122,9 @@ type result = {
       (** Sanitizer tallies keyed by {!Pop_check.Smr_check} category
           label ([read_outside_op], [check_unreserved], ...). Empty
           when [cfg.sanitize] is false. *)
+  latency : Pop_runtime.Histogram.t;
+      (** Per-op latencies (ns) merged across workers; empty unless
+          [cfg.kv]. *)
 }
 
 val run : cfg -> result
@@ -118,11 +135,13 @@ val consistent : result -> bool
 val to_json : ?label:string -> result -> string
 (** One result as a flat JSON object: throughput ([mops]), memory peaks
     ([max_unreclaimed]), safety counters ([uaf], [double_free]),
-    amortization stats ([frees_per_pass], [snapshot_reuse_ratio]), the
-    sanitizer's per-category tallies under ["violations_by_category"]
-    (an empty object on unsanitized runs) and the full
-    {!Pop_core.Smr_stats} record under ["smr"]. Handwritten emitter —
-    no JSON library dependency. *)
+    latency percentiles in microseconds ([p50]/[p99]/[p999]/[max],
+    zeros outside KV mode) with the worst reclamation-pass pause
+    ([max_pause]), amortization stats ([frees_per_pass],
+    [snapshot_reuse_ratio]), the sanitizer's per-category tallies under
+    ["violations_by_category"] (an empty object on unsanitized runs)
+    and the full {!Pop_core.Smr_stats} record under ["smr"].
+    Handwritten emitter — no JSON library dependency. *)
 
 val write_json : string -> (string * result) list -> unit
 (** [write_json path results] writes a JSON array of labelled results

@@ -1,3 +1,16 @@
-let now () = Unix.gettimeofday ()
+(* CLOCK_MONOTONIC via the bechamel stub (a single noalloc external —
+   no other part of bechamel is linked here). The previous
+   Unix.gettimeofday source was wall clock: an NTP step or manual clock
+   set mid-run could make [elapsed] negative or jump, which a latency
+   histogram turns into garbage buckets even though throughput averages
+   never notice. *)
 
-let elapsed t0 = Unix.gettimeofday () -. t0
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* The source is monotonic within a process, so a negative difference
+   should be impossible; the clamp pins the documented contract (and
+   covers callers that pass a [t0] from the future, e.g. a scheduled
+   arrival time that has not come due yet). *)
+let elapsed t0 =
+  let d = now () -. t0 in
+  if d > 0.0 then d else 0.0

@@ -1,10 +1,18 @@
-(** Wall-clock timing for benchmark cells.
+(** Monotonic timing for benchmark cells and latency samples.
 
-    Runs are a few seconds long, so microsecond-resolution wall time is
-    sufficient; no monotonic-clock binding is needed. *)
+    Backed by [CLOCK_MONOTONIC] (the [bechamel.monotonic_clock] C stub),
+    so per-operation latency samples cannot go negative or jump when the
+    wall clock is stepped mid-run. The epoch is unspecified (typically
+    boot time): values returned by {!now} are only meaningful as inputs
+    to {!elapsed}, never as calendar time. Nanosecond readings are
+    converted to float seconds, which keeps sub-nanosecond precision for
+    uptimes up to ~100 days — far beyond any run length here. *)
 
 val now : unit -> float
-(** Current time in seconds. *)
+(** Current monotonic time in seconds (arbitrary epoch). *)
 
 val elapsed : float -> float
-(** [elapsed t0] is seconds since [t0] (a value returned by {!now}). *)
+(** [elapsed t0] is seconds since [t0] (a value returned by {!now}),
+    clamped at [0.]: even if the platform clock were to misbehave — or
+    [t0] lies in the future — callers never observe a negative
+    duration. *)

@@ -1,0 +1,132 @@
+(* Fixed-bucket log-scaled histogram (HdrHistogram-style): 16 linear
+   sub-buckets per power of two over non-negative integer samples
+   (nanoseconds, by convention). Bucket index is pure bit arithmetic —
+   no floating point, no allocation — so recording is cheap enough for
+   the per-operation latency path, and two histograms with the same
+   fixed geometry merge by adding counts. Quantiles come back as the
+   upper bound of the bucket holding the requested rank, so a reported
+   pN is >= the true pN by at most one sub-bucket width (6.25%
+   relative); the maximum is tracked exactly on the side. *)
+
+let sub_bits = 4
+
+let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+
+(* Samples up to 2^62-1 ns (~146 years) index without overflow:
+   exponents 4..61 each contribute [sub] buckets past the 16 unit
+   buckets. *)
+let buckets = ((62 - sub_bits) * sub) + sub
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; total = 0; sum = 0; max_v = 0; min_v = max_int }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.max_v <- 0;
+  t.min_v <- max_int
+
+let count t = t.total
+
+let sum t = t.sum
+
+let max_value t = if t.total = 0 then 0 else t.max_v
+
+let min_value t = if t.total = 0 then 0 else t.min_v
+
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let floor_log2 v =
+  (* v >= 1 *)
+  let r = ref 0 and x = ref v in
+  if !x >= 1 lsl 32 then begin
+    r := !r + 32;
+    x := !x lsr 32
+  end;
+  if !x >= 1 lsl 16 then begin
+    r := !r + 16;
+    x := !x lsr 16
+  end;
+  if !x >= 1 lsl 8 then begin
+    r := !r + 8;
+    x := !x lsr 8
+  end;
+  if !x >= 1 lsl 4 then begin
+    r := !r + 4;
+    x := !x lsr 4
+  end;
+  if !x >= 1 lsl 2 then begin
+    r := !r + 2;
+    x := !x lsr 2
+  end;
+  if !x >= 1 lsl 1 then r := !r + 1;
+  !r
+
+(* Values below [sub] map to their own unit bucket; above, the top
+   [sub_bits + 1] bits select (octave, sub-bucket). Contiguous at the
+   seam: v in [16, 32) lands on index v exactly. *)
+let index_of v = if v < sub then v else ((floor_log2 v - sub_bits) * sub) + (v lsr (floor_log2 v - sub_bits))
+
+(* Upper bound (inclusive) of bucket [i]: the largest value mapping to it. *)
+let bucket_upper i =
+  if i < sub then i
+  else begin
+    let exp = (i / sub) + sub_bits - 1 in
+    let m = i mod sub in
+    (((sub + m) lsl (exp - sub_bits)) + (1 lsl (exp - sub_bits))) - 1
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let record_s t seconds = record t (int_of_float (seconds *. 1e9))
+
+let merge_into dst ~src =
+  for i = 0 to buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum + src.sum;
+  if src.total > 0 then begin
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v
+  end
+
+let quantile t q =
+  if t.total = 0 then 0
+  else if q >= 1.0 then t.max_v
+  else begin
+    let q = if q < 0.0 then 0.0 else q in
+    (* Rank of the requested quantile, 1-based: the smallest rank whose
+       cumulative count covers fraction [q] of the samples. *)
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let rec walk i cum =
+      let cum = cum + t.counts.(i) in
+      if cum >= rank then begin
+        let u = bucket_upper i in
+        (* Never report past the exact max (the top bucket's upper bound
+           can exceed it). *)
+        if u > t.max_v then t.max_v else u
+      end
+      else walk (i + 1) cum
+    in
+    walk 0 0
+  end

@@ -1,0 +1,49 @@
+(** Fixed-bucket log-scaled latency histogram.
+
+    Buckets cover non-negative integers (nanoseconds, by convention)
+    with 16 linear sub-buckets per power of two, HdrHistogram-style:
+    constant-time, allocation-free recording and a bounded relative
+    error. {!quantile} returns the inclusive upper bound of the bucket
+    containing the requested rank, so a reported percentile exceeds the
+    true one by at most one sub-bucket (6.25% relative); the maximum is
+    tracked exactly. Not thread-safe — give each worker its own
+    histogram and {!merge_into} a fresh one at the end. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram (a few KiB of buckets). *)
+
+val clear : t -> unit
+(** Reset to empty, reusing the bucket array. *)
+
+val record : t -> int -> unit
+(** [record t ns] adds one sample. Negative samples are clamped to 0. *)
+
+val record_s : t -> float -> unit
+(** [record_s t seconds] is [record] after converting to nanoseconds. *)
+
+val count : t -> int
+(** Number of recorded samples. *)
+
+val sum : t -> int
+(** Exact sum of recorded samples (ns). *)
+
+val mean : t -> float
+(** Exact mean of recorded samples (ns); [0.] when empty. *)
+
+val max_value : t -> int
+(** Exact largest recorded sample (ns); [0] when empty. *)
+
+val min_value : t -> int
+(** Exact smallest recorded sample (ns); [0] when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]: an upper bound (ns) on the
+    sample at rank [ceil (q * count)], within one sub-bucket of the true
+    value and never above {!max_value}. [q >= 1.] returns the exact
+    maximum; an empty histogram returns [0]. *)
+
+val merge_into : t -> src:t -> unit
+(** [merge_into dst ~src] adds all of [src]'s samples into [dst];
+    [src] is left untouched. *)

@@ -17,17 +17,45 @@ let next t =
 let hash k =
   Int64.to_int (mix (Int64.mul (Int64.of_int k) golden_gamma)) land max_int
 
-let unit_hash k = float_of_int (hash k) /. float_of_int max_int
+(* The top 53 bits of a draw, scaled by 2^-53: every result is an exact
+   multiple of 2^-53 in [0, 1 - 2^-53], so the unit interval is half-open
+   by construction. The previous [v / max_int] mapping was not: a 62-bit
+   numerator rounds to 1.0 whenever it lands within half an ulp of
+   max_int (e.g. hash = max_int itself), and an inverse-CDF sampler fed
+   a 1.0 indexes one past the end of its table. *)
+let mask53 = (1 lsl 53) - 1
+
+let unit_of_bits v = float_of_int (v land mask53) *. 0x1p-53
+
+let unit_hash k = unit_of_bits (hash k)
 
 let split t = { state = next t }
 
 let int t bound =
   assert (bound > 0);
-  let v = Int64.to_int (next t) land max_int in
-  v mod bound
+  (* Rejection against the smallest all-ones mask covering [bound):
+     [v land mask] is uniform over [0, mask], so conditioning on
+     [v < bound] is uniform over [0, bound) with no modulo bias (the
+     old [v mod bound] over-weighted the low residues by up to 2x for
+     bounds near 3*2^60). At most half the masked draws are rejected,
+     so the expected cost is < 2 draws for any bound. *)
+  let m = bound - 1 in
+  let m = m lor (m lsr 1) in
+  let m = m lor (m lsr 2) in
+  let m = m lor (m lsr 4) in
+  let m = m lor (m lsr 8) in
+  let m = m lor (m lsr 16) in
+  let mask = m lor (m lsr 32) in
+  let rec draw () =
+    let v = Int64.to_int (next t) land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
 
 let float t bound =
-  let v = Int64.to_int (next t) land max_int in
-  bound *. (float_of_int v /. float_of_int max_int)
+  let x = bound *. unit_of_bits (Int64.to_int (next t)) in
+  (* [bound *. u] can round back up to [bound] for u within an ulp of 1,
+     so clamp to keep the documented half-open contract. *)
+  if bound > 0.0 && x >= bound then Float.pred bound else x
 
 let bool t = Int64.logand (next t) 1L = 1L

@@ -25,13 +25,17 @@ val hash : int -> int
     plus an atomic event counter). *)
 
 val unit_hash : int -> float
-(** [hash] scaled into [\[0, 1)]. *)
+(** [hash] scaled into [\[0, 1)]. Strictly half-open: the result is an
+    exact multiple of [2^-53] and never [1.0], so inverse-CDF samplers
+    may index [floor (unit_hash k *. n)] without an end-of-table guard. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Unbiased for every bound (mask-and-reject, not modulo). *)
 
 val float : t -> float -> float
-(** [float t bound] is uniform in [\[0, bound)]. *)
+(** [float t bound] is uniform in [\[0, bound)]; the bound itself is
+    never returned (for positive [bound]). *)
 
 val bool : t -> bool
 (** Uniform coin flip. *)

@@ -50,7 +50,11 @@ let clear_faults t = t.faults <- None
 
 (* One deterministic uniform draw per fault-injection event: hashing a
    seed plus a shared event counter keeps the stream reproducible for a
-   fixed schedule without sharing mutable Rng state across domains. *)
+   fixed schedule without sharing mutable Rng state across domains.
+   [unit_hash] is strictly < 1.0, so the [draw f < p] comparisons below
+   fire with probability exactly p in units of 2^-53 — in particular a
+   probability-1.0 fault now fires on *every* event, where the old
+   bound-inclusive unit_hash could return 1.0 and skip one. *)
 let draw f = Rng.unit_hash (f.fseed + Atomic.fetch_and_add f.events 1)
 
 let max_threads t = Striped.length t.pending

@@ -68,6 +68,97 @@ let prefill_is_half () =
   let keys_odd = Workload.prefill_keys ~key_range:7 in
   Alcotest.(check (list int)) "odd range" [ 0; 2; 4; 6 ] (List.sort Int.compare keys_odd)
 
+(* --- Zipfian generator --- *)
+
+(* Rank-frequency slope against the law: log(count) vs log(rank+1)
+   fitted over the head (100 ranks with thousands of hits each) must
+   have slope ~ -theta. Checked at two thetas so a generator that
+   ignores theta (or returns uniform, slope ~ 0) cannot pass. A slope
+   fit is robust to the Gray et al. inverse-CDF discretization, which
+   perturbs individual small-rank probabilities by >10% but not the
+   power law itself (measured slopes: -1.015 and -0.509). *)
+let zipf_matches_law () =
+  let n = 1000 in
+  let draws = 200_000 in
+  List.iter
+    (fun theta ->
+      let z = Workload.zipf ~n ~theta in
+      let rng = Pop_runtime.Rng.make 17 in
+      let counts = Array.make n 0 in
+      for _ = 1 to draws do
+        let r = Workload.zipf_draw z rng in
+        if r < 0 || r >= n then Alcotest.failf "rank %d out of [0,%d)" r n;
+        counts.(r) <- counts.(r) + 1
+      done;
+      let pts = ref [] in
+      for r = 0 to 99 do
+        if counts.(r) > 0 then
+          pts := (log (float_of_int (r + 1)), log (float_of_int counts.(r))) :: !pts
+      done;
+      let l = !pts in
+      let m = float_of_int (List.length l) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 l in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 l in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 l in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 l in
+      let slope = ((m *. sxy) -. (sx *. sy)) /. ((m *. sxx) -. (sx *. sx)) in
+      if Float.abs (slope +. theta) > 0.06 then
+        Alcotest.failf "theta=%.2f: rank-frequency slope %.4f, want ~%.2f" theta slope
+          (-.theta);
+      (* Monotone head: rank 0 strictly dominates rank 9. *)
+      if counts.(0) <= counts.(9) then
+        Alcotest.failf "theta=%.2f: rank 0 (%d) not more popular than rank 9 (%d)" theta
+          counts.(0) counts.(9))
+    [ 0.99; 0.5 ]
+
+let zipf_deterministic () =
+  let z = Workload.zipf ~n:500 ~theta:0.99 in
+  let draw_seq () =
+    let rng = Pop_runtime.Rng.make 23 in
+    List.init 200 (fun _ -> Workload.zipf_draw z rng)
+  in
+  Alcotest.(check (list int)) "same seed, same ranks" (draw_seq ()) (draw_seq ());
+  Alcotest.check_raises "theta out of range"
+    (Invalid_argument "Workload.zipf: theta must lie in (0, 1)") (fun () ->
+      ignore (Workload.zipf ~n:10 ~theta:1.0))
+
+let kv_mix_proportions () =
+  let rng = Pop_runtime.Rng.make 29 in
+  let kg = Workload.keygen ~key_range:100 ~theta:0.99 in
+  let n = 20_000 in
+  let get = ref 0 and set = ref 0 and cas = ref 0 and rem = ref 0 in
+  for _ = 1 to n do
+    match Workload.gen_kv rng Workload.kv_default kg ~key_range:100 with
+    | Workload.Get k -> if k < 0 || k >= 100 then Alcotest.failf "key %d" k else incr get
+    | Workload.Set _ -> incr set
+    | Workload.Cas _ -> incr cas
+    | Workload.Remove _ -> incr rem
+  done;
+  let pct x = 100 * x / n in
+  Alcotest.(check bool) "gets ~90%" true (abs (pct !get - 90) <= 3);
+  Alcotest.(check bool) "sets ~6%" true (abs (pct !set - 6) <= 3);
+  Alcotest.(check bool) "cas+remove ~4%" true (abs (pct (!cas + !rem) - 4) <= 3);
+  Alcotest.check_raises "overfull kv mix"
+    (Invalid_argument "Workload.kv_mix: percentages must be non-negative and sum to at most 100")
+    (fun () -> Workload.validate_kv { Workload.get_pct = 90; set_pct = 9; cas_pct = 2 })
+
+let exp_interval_sane () =
+  let rng = Pop_runtime.Rng.make 31 in
+  let rate = 1000.0 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let d = Workload.exp_interval rng ~rate in
+    if (not (Float.is_finite d)) || d < 0.0 then Alcotest.failf "bad interval %g" d;
+    sum := !sum +. d
+  done;
+  let mean = !sum /. float_of_int n in
+  (* Exp(rate) has mean 1/rate; 5% tolerance at 50k samples. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.6f ~ 0.001" mean)
+    true
+    (Float.abs (mean -. 0.001) < 0.00005)
+
 let report_formatting () =
   Alcotest.(check string) "mops" "1.234" (Report.fmt_mops 1.2341);
   Alcotest.(check string) "small count" "9999" (Report.fmt_count 9999);
@@ -200,6 +291,91 @@ let runner_rejects_nonsense () =
                  };
            }))
 
+let runner_kv_open_loop () =
+  (* End-to-end KV cell, sanitized: Zipfian keys, open-loop arrivals,
+     latency percentiles populated and ordered, zero violations. *)
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HMHT;
+        smr = Dispatch.HPPOP;
+        threads = 2;
+        duration = 0.3;
+        key_range = 1024;
+        reclaim_freq = 64;
+        kv = true;
+        zipf_theta = 0.99;
+        arrival_rate = 10_000.0;
+        sanitize = true;
+      }
+  in
+  let module H = Pop_runtime.Histogram in
+  Alcotest.(check bool) "ops happened" true (r.Runner.total_ops > 100);
+  Alcotest.(check int) "every op recorded a latency" r.Runner.total_ops
+    (H.count r.Runner.latency);
+  Alcotest.(check bool) "reads and updates both seen" true
+    (r.Runner.read_ops > 0 && r.Runner.update_ops > 0);
+  let p50 = H.quantile r.Runner.latency 0.50 in
+  let p99 = H.quantile r.Runner.latency 0.99 in
+  let p999 = H.quantile r.Runner.latency 0.999 in
+  let mx = H.max_value r.Runner.latency in
+  Alcotest.(check bool)
+    (Printf.sprintf "percentiles ordered (%d <= %d <= %d <= %d)" p50 p99 p999 mx)
+    true
+    (0 < p50 && p50 <= p99 && p99 <= p999 && p999 <= mx);
+  Alcotest.(check bool) "consistent" true (Runner.consistent r);
+  Alcotest.(check int) "no sanitizer violations" 0 r.Runner.smr.Pop_core.Smr_stats.violations;
+  Alcotest.(check int) "no uaf" 0 r.Runner.uaf
+
+let runner_kv_closed_loop_deterministic_counts () =
+  (* Closed-loop KV on the skip list: latency is bare service time and
+     the cas/get/set plumbing keeps the size ledger consistent. *)
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.SL;
+        smr = Dispatch.EPOCHPOP;
+        threads = 2;
+        duration = 0.2;
+        key_range = 512;
+        reclaim_freq = 64;
+        kv = true;
+        zipf_theta = 0.8;
+      }
+  in
+  let module H = Pop_runtime.Histogram in
+  Alcotest.(check int) "every op recorded a latency" r.Runner.total_ops
+    (H.count r.Runner.latency);
+  Alcotest.(check bool) "consistent (cas net accounting)" true (Runner.consistent r)
+
+let runner_kv_records_pause () =
+  (* An update-heavy KV cell must run reclamation passes, and the pass
+     timer must record a nonzero max pause. *)
+  let r =
+    Runner.run
+      {
+        Runner.default_cfg with
+        ds = Dispatch.HMHT;
+        smr = Dispatch.EBR;
+        threads = 2;
+        duration = 0.2;
+        key_range = 512;
+        reclaim_freq = 32;
+        kv = true;
+        kv_mix = { Workload.get_pct = 20; set_pct = 40; cas_pct = 20 };
+      }
+  in
+  let passes =
+    r.Runner.smr.Pop_core.Smr_stats.reclaim_passes + r.Runner.smr.Pop_core.Smr_stats.pop_passes
+  in
+  Alcotest.(check bool) "passes ran" true (passes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "max pause recorded (%d ns)" r.Runner.smr.Pop_core.Smr_stats.max_pause_ns)
+    true
+    (r.Runner.smr.Pop_core.Smr_stats.max_pause_ns > 0)
+
 let experiments_micro_sweep () =
   (* A miniature figure sweep end-to-end: exercises fig_mixed and the
      result plumbing without benchmark-scale runtimes. *)
@@ -239,6 +415,10 @@ let suite =
     case "workload: proportions and key bounds" workload_proportions;
     case "workload: mix validation" workload_validation;
     case "workload: prefill covers half the range" prefill_is_half;
+    case "workload: zipf matches the law at two thetas" zipf_matches_law;
+    case "workload: zipf deterministic under fixed seed" zipf_deterministic;
+    case "workload: kv mix proportions" kv_mix_proportions;
+    case "workload: exponential inter-arrivals" exp_interval_sane;
     case "report: number formatting" report_formatting;
     case "runner: metrics are sane" runner_sane_metrics;
     case "runner: single thread" runner_single_thread;
@@ -246,6 +426,9 @@ let suite =
     case "runner: long-running reads reuse snapshots" runner_lrr_reuses_snapshots;
     case "runner: cadence reuses tick-stamped snapshots" runner_cadence_reuses_snapshots;
     case "runner: rejects bad config" runner_rejects_nonsense;
+    case "runner: kv open-loop latency end-to-end" runner_kv_open_loop;
+    case "runner: kv closed loop on the skip list" runner_kv_closed_loop_deterministic_counts;
+    case "runner: kv records reclamation pauses" runner_kv_records_pause;
     case "experiments: micro sweep end-to-end" experiments_micro_sweep;
     case "experiments: scales define sizes" experiments_sizes;
   ]

@@ -19,7 +19,14 @@
 #      recycled, freed-set parity, block-level era verdicts firing,
 #      zero stale stamps and zero splice moves (run from _build so the
 #      committed repo-root baseline is not overwritten)
-#   8. typestate suite guard: the negative-compilation cases under
+#   8. KV smoke test: the bench's KV-service figure (--fig kv) must
+#      emit a parseable BENCH_kv.json whose cells carry the open-loop
+#      latency fields (p50/p99/p999/max and the max reclamation-pass
+#      pause) as finite non-negative numbers in order, with samples
+#      recorded and the sanitized run violation-free (fixed seed: the
+#      figure pins Runner's default seed; run from _build so the
+#      committed repo-root baseline is not overwritten)
+#   9. typestate suite guard: the negative-compilation cases under
 #      test/typestate (run as part of step 2) must still exist in
 #      force — at least four violation categories, each with a
 #      recorded type error
@@ -36,7 +43,8 @@ dune build @fmt
 json_smoke=_build/popbench_smoke.json
 churn_smoke=_build/popbench_churn_smoke.json
 seg_smoke_dir=_build/seg_smoke
-trap 'rm -f "$json_smoke" "$churn_smoke"; rm -rf "$seg_smoke_dir"' EXIT
+kv_smoke_dir=_build/kv_smoke
+trap 'rm -f "$json_smoke" "$churn_smoke"; rm -rf "$seg_smoke_dir" "$kv_smoke_dir"' EXIT
 ./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
   --json "$json_smoke" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -140,6 +148,40 @@ else
     exit 1
   fi
   echo "seg smoke: ok (grep only; python3 unavailable)"
+fi
+mkdir -p "$kv_smoke_dir"
+(cd "$kv_smoke_dir" && "$bench_exe" --fig kv --json > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$kv_smoke_dir/BENCH_kv.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cells = json.load(f)
+assert isinstance(cells, list) and cells, "expected a non-empty JSON array"
+for cell in cells:
+    assert cell["kv"], "cell not in KV mode"
+    assert cell["lat_count"] > 0, "no latency samples recorded"
+    for k in ("p50", "p99", "p999", "max", "max_pause"):
+        v = cell.get(k)
+        assert isinstance(v, (int, float)), "%s is not a finite number (null cell?)" % k
+        assert v >= 0, "%s negative: %r" % (k, v)
+    assert cell["p50"] <= cell["p99"] <= cell["p999"] <= cell["max"], \
+        "latency percentiles out of order"
+    assert cell["consistent"], "KV cell inconsistent"
+    assert cell["smr"]["violations"] == 0, "sanitizer flagged a KV cell"
+print("kv smoke: ok (%d cells, worst p999 %.1f us)"
+      % (len(cells), max(c["p999"] for c in cells)))
+EOF
+else
+  grep -q '"p999"' "$kv_smoke_dir/BENCH_kv.json"
+  grep -q '"max_pause"' "$kv_smoke_dir/BENCH_kv.json"
+  grep -q '"kv": true' "$kv_smoke_dir/BENCH_kv.json"
+  for k in p50 p99 p999 max max_pause; do
+    if grep -q "\"$k\": null" "$kv_smoke_dir/BENCH_kv.json"; then
+      echo "kv smoke: FAIL (null $k)" >&2
+      exit 1
+    fi
+  done
+  echo "kv smoke: ok (grep only; python3 unavailable)"
 fi
 # The typestate negative-compilation suite already ran under `dune
 # runtest`; guard it against going vacuous (cases deleted or .expected
