@@ -772,6 +772,16 @@ let emit_json fig results =
     Printf.printf "wrote %s (%d cells)\n" path (List.length results)
   end
 
+(* Tournament cells arrive pre-labelled ("scenario/scheme"): the same
+   scheme appears once per scenario, so the ds/smr/tN label above would
+   collide across scenarios. *)
+let emit_labelled_json fig labelled =
+  if !json_out then begin
+    let path = Printf.sprintf "BENCH_%s.json" fig in
+    Runner.write_json path labelled;
+    Printf.printf "wrote %s (%d cells)\n" path (List.length labelled)
+  end
+
 let emit_micro_json rows =
   if !json_out then begin
     let path = "BENCH_micro.json" in
@@ -856,8 +866,9 @@ let emit_seg_json (pass_cells, era_cells, churn_cells) =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--fig micro|1|...|11|rob|churn|over|latency|seg|kv|ablation|all] \
-     [--full] [--json]";
+    "usage: main.exe [--fig \
+     micro|1|...|11|rob|churn|over|latency|seg|kv|tournament|ablation|all] [--full] \
+     [--json]";
   exit 2
 
 let () =
@@ -882,7 +893,7 @@ let () =
   let sc = if !full then Experiments.full else Experiments.quick in
   let known =
     [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "churn"; "over"; "latency";
-      "seg"; "kv"; "ablation"; "all" ]
+      "seg"; "kv"; "tournament"; "ablation"; "all" ]
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
@@ -896,6 +907,8 @@ let () =
   if want [ "churn" ] then emit_json "churn" (Experiments.fig_churn sc);
   if want [ "seg" ] then emit_seg_json (fig_seg sc);
   if want [ "kv" ] then emit_json "kv" (Experiments.fig_kv sc);
+  if want [ "tournament" ] then
+    emit_labelled_json "tournament" (Experiments.fig_tournament sc);
   if want [ "over" ] then fig_oversubscription sc;
   if want [ "latency" ] then fig_signal_latency sc;
   if want [ "ablation" ] then fig_ablation sc;

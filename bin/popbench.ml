@@ -21,7 +21,9 @@ let smr_conv =
         Error
           (`Msg
              (Printf.sprintf
-                "unknown SMR %S (nr|hp|hp-asym|he|ebr|ibr|nbr|hp-pop|he-pop|epoch-pop|hyaline)" s))
+                "unknown SMR %S \
+                 (nr|hp|hp-asym|he|ebr|ibr|nbr|hp-pop|he-pop|epoch-pop|hyaline|hyaline-1|hyaline-1s|cadence)"
+                s))
   in
   Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Dispatch.smr_name a))
 
@@ -173,6 +175,15 @@ let run_figure fig fullscale =
   if List.mem fig [ "churn"; "all" ] then ignore (Experiments.fig_churn sc);
   if List.mem fig [ "kv"; "all" ] then ignore (Experiments.fig_kv sc)
 
+let run_tournament smrs scenarios fullscale json =
+  let sc = if fullscale then Experiments.full else Experiments.quick in
+  let cells = Experiments.fig_tournament ?smrs ?scenarios sc in
+  match json with
+  | None -> ()
+  | Some file ->
+      Runner.write_json file cells;
+      Printf.printf "wrote %s (%d cells)\n" file (List.length cells)
+
 let cmd =
   let ds = Arg.(value & opt ds_conv Dispatch.HML & info [ "ds" ] ~doc:"Data structure.") in
   let smr = Arg.(value & opt smr_conv Dispatch.EPOCHPOP & info [ "smr" ] ~doc:"SMR algorithm.") in
@@ -303,18 +314,45 @@ let cmd =
   let fig =
     Arg.(value & opt (some string) None & info [ "fig" ] ~doc:"Run a figure sweep instead.")
   in
+  let tournament =
+    Arg.(
+      value & flag
+      & info [ "tournament" ]
+          ~doc:
+            "Run the adversarial robustness tournament (scenario matrix x scheme roster, \
+             all cells sanitized) instead of a single cell; combine with --smrs, \
+             --scenarios, --full and --json.")
+  in
+  let tournament_smrs =
+    Arg.(
+      value
+      & opt (some (list smr_conv)) None
+      & info [ "smrs" ] ~docv:"SMR,..."
+          ~doc:"Restrict the tournament roster to these schemes (default: full roster).")
+  in
+  let tournament_scenarios =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "scenarios" ] ~docv:"NAME,..."
+          ~doc:
+            "Restrict the tournament to these scenarios \
+             (stall-poll|stall-deaf|crash|churn|oversub|kv-skew; default: all six).")
+  in
   let fullscale = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale figure sweep.") in
   let main ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm lrr kv
       zipf rate stall_for stall_polling churn_counts churn_start churn_period ping_timeout
       suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize csv json fig
-      fullscale =
-    match fig with
-    | Some f -> run_figure f fullscale
-    | None ->
-        run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
-          lrr kv zipf rate stall_for stall_polling churn_counts churn_start churn_period
-          ping_timeout suspect_after probe_cap segment_size drop_ping delay_poll seed sanitize
-          csv json
+      tournament smrs scenarios fullscale =
+    if tournament then run_tournament smrs scenarios fullscale json
+    else
+      match fig with
+      | Some f -> run_figure f fullscale
+      | None ->
+          run_cell ds smr threads duration key_range ins del reclaim reclaim_scale epochf popm
+            lrr kv zipf rate stall_for stall_polling churn_counts churn_start churn_period
+            ping_timeout suspect_after probe_cap segment_size drop_ping delay_poll seed
+            sanitize csv json
   in
   Cmd.v
     (Cmd.info "popbench" ~doc:"Publish-on-ping reclamation benchmark")
@@ -322,6 +360,7 @@ let cmd =
       const main $ ds $ smr $ threads $ duration $ key_range $ ins $ del $ reclaim
       $ reclaim_scale $ epochf $ popm $ lrr $ kv $ zipf $ rate $ stall_for $ stall_polling
       $ churn_counts $ churn_start $ churn_period $ ping_timeout $ suspect_after $ probe_cap
-      $ segment_size $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ fullscale)
+      $ segment_size $ drop_ping $ delay_poll $ seed $ sanitize $ csv $ json $ fig $ tournament
+      $ tournament_smrs $ tournament_scenarios $ fullscale)
 
 let () = exit (Cmd.eval cmd)

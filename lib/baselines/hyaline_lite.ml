@@ -7,12 +7,12 @@ let name = "hyaline"
 type 'a batch = { nodes : 'a Heap.node array; refs : int Atomic.t }
 
 (* A thread's slot: whether it is inside an operation, and the batches
-   charged to it while active. Replaced wholesale by CAS/exchange. *)
-type 'a slot_state = { active : bool; charged : 'a batch list }
+   enlisted to it while active. Replaced wholesale by CAS/exchange. *)
+type 'a slot_state = { active : bool; enlisted : 'a batch list }
 
-let idle = { active = false; charged = [] }
+let idle = { active = false; enlisted = [] }
 
-let entered = { active = true; charged = [] }
+let entered = { active = true; enlisted = [] }
 
 type 'a t = {
   cfg : Smr_config.t;
@@ -40,18 +40,18 @@ let create cfg hub heap =
 let register g ~tid =
   { g; tid; port = Softsignal.register g.hub ~tid; rl = Reclaimer.register g.eng ~tid ~scratch_slots:1 }
 
-let release ctx batch =
+let traverse ctx batch =
   if Atomic.fetch_and_add batch.refs (-1) = 1 then Reclaimer.free_array ctx.rl batch.nodes
 
 let start_op ctx =
   let old = Atomic.exchange ctx.g.slots.(ctx.tid) entered in
   (* Leftover charges can only exist if end_op was skipped; drain them so
      the batch accounting stays exact. *)
-  List.iter (release ctx) old.charged
+  List.iter (traverse ctx) old.enlisted
 
 let end_op ctx =
   let old = Atomic.exchange ctx.g.slots.(ctx.tid) idle in
-  List.iter (release ctx) old.charged
+  List.iter (traverse ctx) old.enlisted
 
 let poll ctx = Softsignal.poll ctx.port
 
@@ -62,8 +62,8 @@ let check ctx n = Heap.check_access ctx.g.heap n
 let alloc ctx = Heap.alloc ctx.g.heap ~tid:ctx.tid ~birth_era:0
 
 (* Charge the batch to every thread observed active. The creator token
-   (initial count 1) keeps the count positive until distribution ends. *)
-let distribute ctx batch =
+   (initial count 1) keeps the count positive until adjustment ends. *)
+let adjust ctx batch =
   let g = ctx.g in
   for tid = 0 to g.cfg.max_threads - 1 do
     let cell = g.slots.(tid) in
@@ -71,7 +71,7 @@ let distribute ctx batch =
       let cur = Atomic.get cell in
       if cur.active then begin
         ignore (Atomic.fetch_and_add batch.refs 1);
-        if Atomic.compare_and_set cell cur { cur with charged = batch :: cur.charged } then ()
+        if Atomic.compare_and_set cell cur { cur with enlisted = batch :: cur.enlisted } then ()
         else begin
           (* Undo: count stays >= 1 thanks to the creator token. *)
           ignore (Atomic.fetch_and_add batch.refs (-1));
@@ -81,14 +81,14 @@ let distribute ctx batch =
     in
     try_charge ()
   done;
-  release ctx batch
+  traverse ctx batch
 
 let reclaim ctx =
   Counters.reclaim_pass ctx.g.c ~tid:ctx.tid;
-  (* The pass here is drain + distribute (frees happen lazily on
-     release), so that whole span is this scheme's reclamation pause. *)
+  (* The pass here is drain + adjust (frees happen lazily on
+     traverse), so that whole span is this scheme's reclamation pause. *)
   let t0 = Clock.now () in
-  distribute ctx { nodes = Reclaimer.take_all ctx.rl; refs = Atomic.make 1 };
+  adjust ctx { nodes = Reclaimer.take_all ctx.rl; refs = Atomic.make 1 };
   Counters.note_pause ctx.g.c ~tid:ctx.tid (int_of_float (Clock.elapsed t0 *. 1e9))
 
 let retire ctx n =
@@ -103,8 +103,8 @@ let flush ctx = if not (Reclaimer.is_empty ctx.rl) then reclaim ctx
 
 let deregister ctx =
   end_op ctx;
-  (* The undistributed local batch goes to the orphanage; a peer's next
-     [take_all] folds it into its own batch and distributes it. *)
+  (* The unadjusted local batch goes to the orphanage; a peer's next
+     [take_all] folds it into its own batch and adjusts it. *)
   Reclaimer.donate ctx.rl;
   Softsignal.deregister ctx.port
 

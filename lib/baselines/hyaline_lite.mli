@@ -1,16 +1,34 @@
-(** Batch-reference-counting reclamation in the Hyaline/Crystalline
-    family (Nikolaev & Ravindran) — the appendix-E comparator.
+(** Simplified batch-reference-counting reclamation in the
+    Hyaline/Crystalline family (Nikolaev & Ravindran) — the appendix-E
+    comparator, kept as the warm-up next to the faithful
+    {!Hyaline_one}/{!Hyaline_one_s}.
 
-    Retired nodes are grouped into batches. When a batch is formed, it is
-    enqueued onto every currently active thread's slot and its reference
-    count is set to the number of enqueues (plus the creator's token);
-    each thread decrements the batches queued on it when it finishes its
-    operation, and whoever drops a batch to zero frees its nodes. Reads
-    are bare loads — EBR-class read cost — and the per-operation price is
-    two atomic exchanges on the thread's own slot.
+    Retired nodes are grouped into batches. When a batch is formed it is
+    enlisted onto every currently active thread's slot with an {e eager}
+    creator-token protocol: the count starts at 1 (the retirer's token),
+    each successful enlist adds 1 immediately, and the retirer drops its
+    token when enlistment ends. Each thread TRAVERSEs the batches
+    enlisted on it when it finishes its operation, and whoever drops a
+    batch to zero frees its nodes. Reads are bare loads — EBR-class read
+    cost — and the per-operation price is two atomic exchanges on the
+    thread's own slot.
 
-    Fidelity vs. real Crystalline: this is lock-free, not wait-free, and
-    has no robust eras — a stalled active thread holds the batches queued
-    on it (DESIGN.md documents the simplification). *)
+    How the three Hyalines in this repo differ:
+    - [Hyaline_lite] (this module, name ["hyaline"]): eager creator
+      token, one +1 RMW per active slot during enlistment plus an
+      undo -1 on every lost CAS.
+    - {!Hyaline_one} (["hyaline-1"]): the paper's deferred-adjustment
+      protocol — the count starts at 0 and receives one [+adjs]
+      adjustment after enlistment, with the retirer freeing when the
+      adjustment itself lands on 0. Same observable behaviour on any
+      shared trace (the equivalence is pinned by tests), fewer RMWs on
+      the batch counter.
+    - {!Hyaline_one_s} (["hyaline-1s"]): Hyaline-1 plus published
+      birth-era guards, the robust member of the family.
+
+    Fidelity vs. real Crystalline: lite and -1 are lock-free, not
+    wait-free, and have no robust eras — a stalled active thread holds
+    the batches enlisted on it (DESIGN.md §10 documents the hierarchy);
+    -1S closes the robustness gap. *)
 
 include Pop_core.Smr.S

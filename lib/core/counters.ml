@@ -21,6 +21,7 @@ type t = {
   orphans_adopted : Striped.t;
   orphan_stripe_contention : Striped.t;
   pause_ns : Striped.t;
+  unreclaimed_hw : Striped.t;
 }
 
 let create n =
@@ -45,6 +46,7 @@ let create n =
     orphans_adopted = Striped.create n;
     orphan_stripe_contention = Striped.create n;
     pause_ns = Striped.create n;
+    unreclaimed_hw = Striped.create n;
   }
 
 let retire t ~tid = Striped.incr t.retired tid
@@ -94,6 +96,16 @@ let orphan_adopt t ~tid n = if n > 0 then Striped.add t.orphans_adopted tid n
 
 let unreclaimed t = Striped.sum t.retired - Striped.sum t.freed
 
+(* High-watermark of the racy retired-minus-freed sum, sampled by each
+   thread at the entry of its own reclamation passes (single-writer max
+   into its own stripe, like [note_pause]). Scan-time sampling is the
+   honest choice: it is exactly when a scheme decides what it cannot yet
+   free, so a stalled reservation shows up as a growing watermark while
+   a healthy scheme's stays near its reclaim threshold. *)
+let note_unreclaimed t ~tid =
+  let now = unreclaimed t in
+  if now > Striped.get t.unreclaimed_hw tid then Striped.set t.unreclaimed_hw tid now
+
 let snapshot ?hs t ~hub ~epoch =
   let retired = Striped.sum t.retired and freed = Striped.sum t.freed in
   let suspects, quarantine_rounds =
@@ -131,5 +143,9 @@ let snapshot ?hs t ~hub ~epoch =
     max_pause_ns = max 0 (Striped.max_value t.pause_ns);
     epoch;
     unreclaimed = retired - freed;
+    (* The watermark can lag the live value (it is only refreshed at
+       pass entry), so fold the snapshot-time figure in too. *)
+    max_unreclaimed =
+      max (retired - freed) (max 0 (Striped.max_value t.unreclaimed_hw));
     violations = 0;
   }

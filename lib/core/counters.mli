@@ -83,6 +83,12 @@ val orphan_adopt : t -> tid:int -> int -> unit
 val unreclaimed : t -> int
 (** Retired minus freed, racily summed. *)
 
+val note_unreclaimed : t -> tid:int -> unit
+(** Sample the racy {!unreclaimed} sum into [tid]'s high-watermark
+    stripe (single-writer max, like {!note_pause}). Call at the entry of
+    each reclamation pass; the snapshot reports the max over all threads
+    as {!Smr_stats.t.max_unreclaimed}. *)
+
 val snapshot :
   ?hs:Handshake.t -> t -> hub:Pop_runtime.Softsignal.t -> epoch:int -> Smr_stats.t
 (** [?hs] supplies the handshake whose failure-detector counters

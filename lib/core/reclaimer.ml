@@ -428,6 +428,7 @@ let adopt l =
 
 let take_all l =
   ignore (adopt l);
+  Counters.note_unreclaimed l.r.c ~tid:l.tid;
   let total = pending l in
   let out = Array.make total (Heap.sentinel l.r.heap) in
   let k = ref 0 in
@@ -457,7 +458,9 @@ let take_all l =
   Counters.seg_nodes_add l.r.c ~tid:l.tid (-total);
   out
 
-let note_skip l = Counters.scan_skip l.r.c ~tid:l.tid
+let note_skip l =
+  Counters.note_unreclaimed l.r.c ~tid:l.tid;
+  Counters.scan_skip l.r.c ~tid:l.tid
 
 let count_pass l = function
   | Plain -> Counters.reclaim_pass l.r.c ~tid:l.tid
@@ -522,6 +525,7 @@ let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~kee
      departed thread's garbage is vetted by whichever survivor scans
      next instead of waiting for the adopter's own retires. *)
   ignore (adopt l);
+  Counters.note_unreclaimed l.r.c ~tid:l.tid;
   let gen = Atomic.get l.r.gen in
   if (not force) && l.snap_gen = gen && l.open_seg.nodes < l.r.threshold then begin
     (* Served from the cache: the covered list already survived this
@@ -580,6 +584,7 @@ let scan ?(force = false) ?(fill = true) ?block_keep ~kind ~collect ~except ~kee
 
 let scan_plain ~kind ~keep l =
   ignore (adopt l);
+  Counters.note_unreclaimed l.r.c ~tid:l.tid;
   count_pass l kind;
   let t0 = Clock.now () in
   (* Epoch-style passes don't use the snapshot: filter both lists in

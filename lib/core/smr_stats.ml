@@ -24,6 +24,7 @@ type t = {
   max_pause_ns : int;
   epoch : int;
   unreclaimed : int;
+  max_unreclaimed : int;
   violations : int;
 }
 
@@ -54,6 +55,7 @@ let zero =
     max_pause_ns = 0;
     epoch = 0;
     unreclaimed = 0;
+    max_unreclaimed = 0;
     violations = 0;
   }
 
@@ -90,12 +92,14 @@ let to_alist
       max_pause_ns;
       epoch;
       unreclaimed;
+      max_unreclaimed;
       violations;
     } =
   [
     ("retired", retired);
     ("freed", freed);
     ("unreclaimed", unreclaimed);
+    ("max_unreclaimed", max_unreclaimed);
     ("reclaim_passes", reclaim_passes);
     ("pop_passes", pop_passes);
     ("scan_skips", scan_skips);

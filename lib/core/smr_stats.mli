@@ -81,6 +81,13 @@ type t = {
           after. *)
   epoch : int;  (** Current global epoch (0 for non-epoch schemes). *)
   unreclaimed : int;  (** Nodes currently sitting in retire lists. *)
+  max_unreclaimed : int;
+      (** High-watermark of [unreclaimed], sampled at the entry of each
+          reclamation pass (and again at snapshot time). This is the
+          bounded-garbage score of the robustness tournament: a scheme
+          that keeps reclaiming under stalls holds it near its reclaim
+          threshold, while one pinned by a frozen reservation (EBR under
+          a stalled reader) watches it grow with run length. *)
   violations : int;
       (** Protocol violations recorded by the {!Smr_check} sanitizer
           (always 0 when the scheme is not wrapped — see

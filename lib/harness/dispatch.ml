@@ -14,6 +14,8 @@ type smr_kind =
   | HEPOP
   | EPOCHPOP
   | HYALINE
+  | HYALINE1
+  | HYALINE1S
   | CADENCE
   | UNSAFE
 
@@ -21,7 +23,8 @@ let all_ds = [ HML; LL; HMHT; DGT; ABT ]
 
 let all_ds_ext = all_ds @ [ SL ]
 
-let all_smr = [ NR; HP; HPASYM; HE; EBR; IBR; NBR; HPPOP; HEPOP; EPOCHPOP; HYALINE; CADENCE ]
+let all_smr =
+  [ NR; HP; HPASYM; HE; EBR; IBR; NBR; HPPOP; HEPOP; EPOCHPOP; HYALINE; HYALINE1; HYALINE1S; CADENCE ]
 
 let paper_smrs = [ NR; HP; HPASYM; HE; EBR; IBR; NBR; HPPOP; HEPOP; EPOCHPOP ]
 
@@ -45,6 +48,8 @@ let smr_name = function
   | HEPOP -> "he-pop"
   | EPOCHPOP -> "epoch-pop"
   | HYALINE -> "hyaline"
+  | HYALINE1 -> "hyaline-1"
+  | HYALINE1S -> "hyaline-1s"
   | CADENCE -> "cadence"
   | UNSAFE -> "unsafe-free"
 
@@ -71,6 +76,8 @@ let smr_of_string s =
   | "he-pop" | "hepop" -> Some HEPOP
   | "epoch-pop" | "epochpop" -> Some EPOCHPOP
   | "hyaline" | "crystalline" -> Some HYALINE
+  | "hyaline-1" | "hyaline1" -> Some HYALINE1
+  | "hyaline-1s" | "hyaline1s" -> Some HYALINE1S
   | "cadence" | "qsense" -> Some CADENCE
   | "unsafe" | "unsafe-free" -> Some UNSAFE
   | _ -> None
@@ -87,6 +94,8 @@ let base_smr_module : smr_kind -> (module Pop_core.Smr.S) = function
   | HEPOP -> (module Pop_core.Hazard_era_pop)
   | EPOCHPOP -> (module Pop_core.Epoch_pop)
   | HYALINE -> (module Pop_baselines.Hyaline_lite)
+  | HYALINE1 -> (module Pop_baselines.Hyaline_one)
+  | HYALINE1S -> (module Pop_baselines.Hyaline_one_s)
   | CADENCE -> (module Pop_baselines.Cadence)
   | UNSAFE -> (module Pop_baselines.Unsafe_free)
 

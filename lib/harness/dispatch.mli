@@ -13,7 +13,9 @@ type smr_kind =
   | HPPOP
   | HEPOP
   | EPOCHPOP
-  | HYALINE
+  | HYALINE  (** The simplified {!Pop_baselines.Hyaline_lite} warm-up. *)
+  | HYALINE1  (** Hyaline-1: deferred-adjustment batch refcounts. *)
+  | HYALINE1S  (** Hyaline-1S: Hyaline-1 + the robust birth-era guard. *)
   | CADENCE
   | UNSAFE
 

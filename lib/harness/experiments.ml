@@ -396,3 +396,159 @@ let fig_deaf sc =
            ])
          cells);
   List.map snd cells
+
+(* ------------------------------------------------------------------ *)
+(* Robustness tournament: every scheme crossed with every adversarial  *)
+(* scenario, scored on throughput, bounded garbage and recovery time.  *)
+(* ------------------------------------------------------------------ *)
+
+let tournament_smrs =
+  Dispatch.[ EBR; IBR; HE; HP; HPPOP; HEPOP; EPOCHPOP; HYALINE; HYALINE1; HYALINE1S ]
+
+(* Each scenario is (name, one-line description, cfg builder). All cells
+   run sanitized so the committed JSON doubles as a safety check, and
+   every disruption ends before the run does so [recovery_ns] measures
+   an actual recovery rather than a truncated one. *)
+let tournament_scenarios sc =
+  let duration = max 1.0 sc.duration in
+  let threads = List.fold_left max 2 sc.threads_list in
+  let many = max 4 threads in
+  let cores = Domain.recommended_domain_count () in
+  let oversub = min 16 (max 8 (2 * cores)) in
+  let base ?(ds = Dispatch.HML) ?(th = threads) smr =
+    { (base_cfg sc ds smr th) with duration; sanitize = true }
+  in
+  (* Disruption cells run a hot, small structure with small batches: the
+     robustness bound of the era-guarded schemes is per *batch* for the
+     Hyalines (a batch is pinned iff it contains one node born before
+     the freeze), so the nodes born pre-disruption must drain from the
+     live set well within the run for the bounded-garbage contrast
+     against EBR to be visible at simulator throughput. *)
+  let hot cfg = { cfg with Runner.key_range = 512; reclaim_freq = 64 } in
+  let stall polling =
+    Some
+      {
+        Runner.stall_tid = 0;
+        stall_after = 0.2 *. duration;
+        stall_for = 0.5 *. duration;
+        stall_polling = polling;
+      }
+  in
+  [
+    ( "stall-poll",
+      Printf.sprintf
+        "one of %d threads stalls mid-operation for half the run but keeps serving \
+         pings (hot hml, size 512, batch 64)"
+        threads,
+      fun smr -> hot { (base smr) with stall = stall true } );
+    ( "stall-deaf",
+      "the stalled thread also goes deaf to pings, so every handshake against it \
+       must time out",
+      fun smr -> hot { (base smr) with stall = stall false; ping_timeout_spins = 24 } );
+    ( "crash",
+      Printf.sprintf
+        "two of %d workers die mid-operation: reservations stay raised, retire \
+         buffers are abandoned, soft-signal slots stay deaf forever"
+        many,
+      fun smr ->
+        hot
+          {
+            (base ~th:many smr) with
+            churn =
+              Some
+                {
+                  Runner.exits = 0;
+                  crashes = 2;
+                  joins = 0;
+                  churn_start = 0.2 *. duration;
+                  churn_period = 0.1 *. duration;
+                };
+            ping_timeout_spins = 24;
+          } );
+    ( "churn",
+      Printf.sprintf
+        "%d workers; 2 exit cleanly (donating retire buffers), 2 crash, 2 fresh \
+         workers join on recycled tids"
+        many,
+      fun smr ->
+        hot
+          {
+            (base ~th:many smr) with
+            churn =
+              Some
+                {
+                  Runner.exits = 2;
+                  crashes = 2;
+                  joins = 2;
+                  churn_start = 0.15 *. duration;
+                  churn_period = 0.1 *. duration;
+                };
+            ping_timeout_spins = 24;
+          } );
+    ( "oversub",
+      Printf.sprintf
+        "%d threads on %d cores: POP reclaimers must wait for descheduled threads \
+         to be scheduled and publish"
+        oversub cores,
+      fun smr -> base ~th:oversub smr );
+    ( "kv-skew",
+      Printf.sprintf
+        "open-loop KV service on the hash table: zipf theta=%.2f, %.0f ops/s \
+         aggregate, latency from scheduled arrival"
+        sc.kv_theta sc.kv_rate,
+      fun smr ->
+        {
+          (base ~ds:Dispatch.HMHT smr) with
+          kv = true;
+          kv_mix = Workload.kv_default;
+          zipf_theta = sc.kv_theta;
+          arrival_rate = sc.kv_rate;
+        } );
+  ]
+
+let fig_tournament ?(smrs = tournament_smrs) ?scenarios sc =
+  let matrix = tournament_scenarios sc in
+  let matrix =
+    match scenarios with
+    | None -> matrix
+    | Some names -> List.filter (fun (n, _, _) -> List.mem n names) matrix
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (name, note, mk) ->
+      Report.section (Printf.sprintf "Tournament / %s: %s" name note);
+      let cells = List.map (fun smr -> (smr, Runner.run (mk smr))) smrs in
+      Report.table
+        ~header:
+          [
+            "algo";
+            "Mops";
+            "pre-Mops";
+            "recov ms";
+            "rec?";
+            "max garb";
+            "final garb";
+            "viol";
+            "uaf";
+          ]
+        ~rows:
+          (List.map
+             (fun (smr, (r : Runner.result)) ->
+               [
+                 Dispatch.smr_name smr ^ flag r;
+                 Report.fmt_mops r.mops;
+                 Report.fmt_mops r.pre_mops;
+                 Printf.sprintf "%.1f" (float_of_int r.recovery_ns /. 1e6);
+                 (if r.recovered then "y" else "n");
+                 Report.fmt_count r.max_unreclaimed;
+                 Report.fmt_count r.final_unreclaimed;
+                 string_of_int r.smr.violations;
+                 string_of_int r.uaf;
+               ])
+             cells);
+      List.iter
+        (fun (smr, r) ->
+          acc := (Printf.sprintf "%s/%s" name (Dispatch.smr_name smr), r) :: !acc)
+        cells)
+    matrix;
+  List.rev !acc

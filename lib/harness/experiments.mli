@@ -83,6 +83,27 @@ val fig_kv : scale -> Runner.result list
     sanitized, so the committed JSON doubles as a safety check
     ([violations] and [uaf] must be 0). *)
 
+val tournament_smrs : Dispatch.smr_kind list
+(** The default tournament entrants: the paper's ping-based algorithms,
+    the classic baselines and all three Hyalines. *)
+
+val fig_tournament :
+  ?smrs:Dispatch.smr_kind list ->
+  ?scenarios:string list ->
+  scale ->
+  (string * Runner.result) list
+(** The adversarial robustness tournament: a seeded scenario matrix —
+    [stall-poll], [stall-deaf], [crash], [churn], [oversub], [kv-skew]
+    — crossed with every scheme in [smrs] (default {!tournament_smrs}).
+    Every cell runs sanitized; each is scored on throughput, bounded
+    garbage ([max_unreclaimed]) and recovery time ([recovery_ns]: from
+    disruption end until throughput regains 90% of its pre-disruption
+    rate). Returns [("scenario/scheme", result)] pairs ready for
+    {!Runner.write_json}, whose per-cell ["scenario"] descriptor makes
+    the emitted file self-describing. [scenarios] filters the matrix by
+    name (unknown names are ignored) — the tier-1 smoke runs a 2-scheme
+    x 3-scenario slice this way. *)
+
 val fig_deaf : scale -> Runner.result list
 (** Adversarial variant of {!fig_robustness} for the bounded handshake:
     one thread goes deaf (stalls without polling) until the end of the

@@ -39,6 +39,7 @@ type cfg = {
   ping_timeout_spins : int;
   suspect_after : int;
   probe_backoff_cap : int;
+  spin_yield_after : int;
   segment_size : int;
   drop_ping : float;
   delay_poll : float;
@@ -73,6 +74,7 @@ let default_cfg =
     ping_timeout_spins = 64;
     suspect_after = 3;
     probe_backoff_cap = 64;
+    spin_yield_after = (Pop_core.Smr_config.default ()).spin_yield_after;
     segment_size = 64;
     drop_ping = 0.0;
     delay_poll = 0.0;
@@ -91,6 +93,9 @@ type result = {
   update_ops : int;
   mops : float;
   read_mops : float;
+  pre_mops : float;
+  recovery_ns : int;
+  recovered : bool;
   max_live : int;
   max_unreclaimed : int;
   final_unreclaimed : int;
@@ -140,7 +145,27 @@ let smr_config cfg ~max_threads =
     segment_rescan = (Pop_core.Smr_config.default ()).segment_rescan;
     suspect_after = cfg.suspect_after;
     probe_backoff_cap = cfg.probe_backoff_cap;
+    spin_yield_after = cfg.spin_yield_after;
   }
+
+(* Bounded spin-wait for the harness's own busy loops (start barrier,
+   ready barrier, open-loop idling). A bare [Domain.cpu_relax] loop is
+   fine when every domain has a core, but oversubscribed (domains >
+   cores) it burns whole scheduling quanta and starves the very workers
+   — and ping handlers — it is waiting on. After [budget] relaxes the
+   wait escalates to short timed sleeps, which actually cede the core.
+   [poll] runs every iteration so a waiting worker keeps serving
+   soft-signal pings even while ahead of its open-loop schedule. *)
+let spin_wait ~budget ?(poll = fun () -> ()) cond =
+  let spins = ref 0 in
+  while not (cond ()) do
+    poll ();
+    if !spins < budget then begin
+      incr spins;
+      Domain.cpu_relax ()
+    end
+    else Unix.sleepf 5e-5
+  done
 
 let ds_config cfg =
   {
@@ -194,6 +219,12 @@ let run cfg =
      a slot is reusable by a join. *)
   let commands = Array.init cfg.threads (fun _ -> Atomic.make 0) in
   let wstatus = Array.init cfg.threads (fun _ -> Atomic.make 0) in
+  (* Monotone per-slot op counters read by the sampling loop, so the
+     recovery score can compare throughput before and after a
+     disruption without waiting for Domain.join. Fetch-and-add keeps a
+     slot monotone across churn reuse (a joining worker continues the
+     count its predecessor left). *)
+  let progress = Array.init cfg.threads (fun _ -> Atomic.make 0) in
   let worker tid () =
     let ctx = S.register set ~tid in
     let rng = Rng.make (cfg.seed + (7919 * (tid + 1))) in
@@ -217,9 +248,7 @@ let run cfg =
       | _ -> ()
     in
     Atomic.incr ready;
-    while not (Atomic.get start) do
-      Domain.cpu_relax ()
-    done;
+    spin_wait ~budget:cfg.spin_yield_after (fun () -> Atomic.get start);
     t0 := Clock.now ();
     if cfg.kv then begin
       (* KV-service loop, latency-instrumented. Open loop when
@@ -239,10 +268,9 @@ let run cfg =
         if open_loop then begin
           next_arrival := !next_arrival +. Workload.exp_interval rng ~rate;
           (* Ahead of schedule: idle (still serving pings) until due. *)
-          while Clock.elapsed !t0 < !next_arrival && not (Atomic.get stop) do
-            S.poll ctx;
-            Domain.cpu_relax ()
-          done
+          spin_wait ~budget:cfg.spin_yield_after
+            ~poll:(fun () -> S.poll ctx)
+            (fun () -> Clock.elapsed !t0 >= !next_arrival || Atomic.get stop)
         end;
         let op_start = Clock.elapsed !t0 in
         (match op with
@@ -272,6 +300,7 @@ let run cfg =
         let since = if open_loop then !next_arrival else op_start in
         Histogram.record_s lat (finished -. since);
         incr ops;
+        Atomic.incr progress.(tid);
         S.poll ctx;
         quit := Atomic.get commands.(tid)
       done
@@ -297,6 +326,7 @@ let run cfg =
             if S.delete ctx k then decr net;
             incr updates);
         incr ops;
+        Atomic.incr progress.(tid);
         S.poll ctx;
         quit := Atomic.get commands.(tid)
       done;
@@ -319,9 +349,7 @@ let run cfg =
     { ops = !ops; reads = !reads; updates = !updates; net_inserts = !net; fate; lat }
   in
   let domains = Array.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
-  while Atomic.get ready < cfg.threads do
-    Domain.cpu_relax ()
-  done;
+  spin_wait ~budget:cfg.spin_yield_after (fun () -> Atomic.get ready >= cfg.threads);
   (* Churn scheduler state (all main-thread-only): a seeded shuffle of
      the configured events, fired one per [churn_period] from
      [churn_start]. An event with no eligible slot (a join before any
@@ -421,9 +449,14 @@ let run cfg =
   (* Sampling loop: track peak memory while the workload runs, and fire
      due churn events. *)
   let max_live = ref 0 and max_unreclaimed = ref 0 in
+  (* (elapsed, total ops) history, newest first, for recovery scoring. *)
+  let samples = ref [] in
+  let churn_done = ref None in
   let sample () =
     max_live := max !max_live (S.heap_live set);
-    max_unreclaimed := max !max_unreclaimed (S.smr_unreclaimed set)
+    max_unreclaimed := max !max_unreclaimed (S.smr_unreclaimed set);
+    let total = Array.fold_left (fun a p -> a + Atomic.get p) 0 progress in
+    samples := (Clock.elapsed t_start, total) :: !samples
   in
   while Clock.elapsed t_start < cfg.duration do
     Unix.sleepf 0.01;
@@ -439,6 +472,7 @@ let run cfg =
         (match fire_first [] !pending with
         | Some rest ->
             pending := rest;
+            if rest = [] then churn_done := Some (Clock.elapsed t_start);
             next_due := !next_due +. c.churn_period
         | None -> ())
     | _ -> ());
@@ -462,6 +496,47 @@ let run cfg =
     | () -> (true, "")
     | exception Failure msg -> (false, msg)
   in
+  (* Recovery scoring: pre-disruption throughput is the mean rate up to
+     the last 10 ms sample taken before the disruption began;
+     recovery is the first post-disruption instant whose trailing
+     ~30 ms window regains 90% of that rate. A disruption that outlives
+     the run (a deaf stall pinned to the stop flag) reports
+     [recovered = false] with a zero — still finite — recovery time. *)
+  let disruption =
+    match (cfg.stall, cfg.churn) with
+    | Some sp, _ -> Some (sp.stall_after, sp.stall_after +. sp.stall_for)
+    | None, Some c ->
+        Some (c.churn_start, match !churn_done with Some t -> t | None -> elapsed)
+    | None, None -> None
+  in
+  let samples_chrono = Array.of_list (List.rev !samples) in
+  let pre_mops, recovery_ns, recovered =
+    match disruption with
+    | None -> (0.0, 0, true)
+    | Some (d_start, d_end) ->
+        let pre_rate =
+          Array.fold_left
+            (fun acc (t, n) ->
+              if t <= d_start && t > 0.0 then float_of_int n /. t else acc)
+            0.0 samples_chrono
+        in
+        if pre_rate <= 0.0 then (0.0, 0, true)
+        else if d_end >= elapsed then (pre_rate /. 1e6, 0, false)
+        else begin
+          let w = 3 in
+          let found = ref None in
+          for i = w to Array.length samples_chrono - 1 do
+            let t1, n1 = samples_chrono.(i) and t0, n0 = samples_chrono.(i - w) in
+            if Option.is_none !found && t0 >= d_end && t1 > t0 then
+              if float_of_int (n1 - n0) /. (t1 -. t0) >= 0.9 *. pre_rate then
+                found := Some t1
+          done;
+          match !found with
+          | Some t -> (pre_rate /. 1e6, max 0 (int_of_float ((t -. d_end) *. 1e9)), true)
+          | None ->
+              (pre_rate /. 1e6, max 0 (int_of_float ((elapsed -. d_end) *. 1e9)), false)
+        end
+  in
   {
     r_cfg = cfg;
     total_ops;
@@ -469,6 +544,9 @@ let run cfg =
     update_ops;
     mops = float_of_int total_ops /. elapsed /. 1e6;
     read_mops = float_of_int read_ops /. elapsed /. 1e6;
+    pre_mops;
+    recovery_ns;
+    recovered;
     max_live = !max_live;
     max_unreclaimed = !max_unreclaimed;
     final_unreclaimed = S.smr_unreclaimed set;
@@ -515,11 +593,49 @@ let json_escape s =
    fail the tier1 smoke assertions, not masquerade as a throughput. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 
+(* The scenario descriptor makes each emitted row self-describing: every
+   parameter needed to reproduce the cell from the committed JSON alone
+   (disruption shape, load shape, seed) travels with the measurement. *)
+let scenario_json r =
+  let b = Buffer.create 256 in
+  let field name value = Buffer.add_string b (Printf.sprintf "\"%s\": %s, " name value) in
+  Buffer.add_string b "{";
+  field "seed" (string_of_int r.r_cfg.seed);
+  field "threads" (string_of_int r.r_cfg.threads);
+  field "cores" (string_of_int (Domain.recommended_domain_count ()));
+  field "oversubscribed"
+    (if r.r_cfg.threads > Domain.recommended_domain_count () then "true" else "false");
+  (match r.r_cfg.stall with
+  | None -> field "stall" "null"
+  | Some sp ->
+      field "stall"
+        (Printf.sprintf "{\"tid\": %d, \"after\": %s, \"for\": %s, \"polling\": %b}"
+           sp.stall_tid (json_float sp.stall_after) (json_float sp.stall_for)
+           sp.stall_polling));
+  (match r.r_cfg.churn with
+  | None -> field "churn" "null"
+  | Some c ->
+      field "churn"
+        (Printf.sprintf
+           "{\"exits\": %d, \"crashes\": %d, \"joins\": %d, \"start\": %s, \"period\": %s}"
+           c.exits c.crashes c.joins (json_float c.churn_start)
+           (json_float c.churn_period)));
+  field "kv" (if r.r_cfg.kv then "true" else "false");
+  field "zipf_theta" (json_float r.r_cfg.zipf_theta);
+  field "arrival_rate" (json_float r.r_cfg.arrival_rate);
+  field "duration" (json_float r.r_cfg.duration);
+  field "ping_timeout_spins" (string_of_int r.r_cfg.ping_timeout_spins);
+  field "spin_yield_after" (string_of_int r.r_cfg.spin_yield_after);
+  Buffer.add_string b
+    (Printf.sprintf "\"sanitize\": %b}" r.r_cfg.sanitize);
+  Buffer.contents b
+
 let to_json ?(label = "") r =
   let b = Buffer.create 1024 in
   let field name value = Buffer.add_string b (Printf.sprintf "\"%s\": %s, " name value) in
   Buffer.add_string b "{";
   field "label" (Printf.sprintf "\"%s\"" (json_escape label));
+  field "scenario" (scenario_json r);
   field "ds" (Printf.sprintf "\"%s\"" (json_escape (Dispatch.ds_name r.r_cfg.ds)));
   field "smr" (Printf.sprintf "\"%s\"" (json_escape (Dispatch.smr_name r.r_cfg.smr)));
   field "threads" (string_of_int r.r_cfg.threads);
@@ -528,6 +644,9 @@ let to_json ?(label = "") r =
   field "reclaim_scale" (string_of_int r.r_cfg.reclaim_scale);
   field "mops" (json_float r.mops);
   field "read_mops" (json_float r.read_mops);
+  field "pre_mops" (json_float r.pre_mops);
+  field "recovery_ns" (string_of_int r.recovery_ns);
+  field "recovered" (if r.recovered then "true" else "false");
   field "kv" (if r.r_cfg.kv then "true" else "false");
   field "zipf_theta" (json_float r.r_cfg.zipf_theta);
   field "rate" (json_float r.r_cfg.arrival_rate);

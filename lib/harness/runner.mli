@@ -66,6 +66,12 @@ type cfg = {
   probe_backoff_cap : int;
       (** Cap on the exponential re-probe backoff of quarantined peers;
           see {!Pop_core.Smr_config.t.probe_backoff_cap}. *)
+  spin_yield_after : int;
+      (** Spin budget for the harness's own busy waits (start/ready
+          barriers, open-loop idling) before they escalate from
+          [Domain.cpu_relax] to timed sleeps; see
+          {!Pop_core.Smr_config.t.spin_yield_after}. Keeps
+          oversubscription cells from starving ping polling. *)
   segment_size : int;
       (** Retire-buffer segment-block capacity; see
           {!Pop_core.Smr_config.t.segment_size}. *)
@@ -104,6 +110,19 @@ type result = {
   update_ops : int;
   mops : float;  (** Million operations per second, all threads. *)
   read_mops : float;
+  pre_mops : float;
+      (** Mean throughput up to the last 10 ms sample before the
+          disruption (stall or churn window) began; 0 when the run had
+          no disruption or no pre-disruption sample. *)
+  recovery_ns : int;
+      (** Nanoseconds from disruption end until aggregate throughput
+          (over a trailing ~30 ms sample window) regained 90% of
+          [pre_mops]. 0 when the run had no disruption; when
+          [recovered] is false it is the (finite) time from disruption
+          end to run end — or 0 if the disruption outlived the run. *)
+  recovered : bool;
+      (** Whether the 90% threshold was reached before the run ended
+          (vacuously true without a disruption). *)
   max_live : int;  (** Peak heap nodes alive (reachable + garbage). *)
   max_unreclaimed : int;  (** Peak retire-list backlog. *)
   final_unreclaimed : int;
@@ -133,7 +152,11 @@ val consistent : result -> bool
 (** Sizes match, invariants hold, and no UAF / double free occurred. *)
 
 val to_json : ?label:string -> result -> string
-(** One result as a flat JSON object: throughput ([mops]), memory peaks
+(** One result as a flat JSON object: a self-describing ["scenario"]
+    descriptor (seed, threads vs cores, stall/churn shapes, load shape
+    — everything needed to reproduce the cell from the emitted file
+    alone), throughput ([mops]), recovery scores ([pre_mops],
+    [recovery_ns], [recovered]), memory peaks
     ([max_unreclaimed]), safety counters ([uaf], [double_free]),
     latency percentiles in microseconds ([p50]/[p99]/[p999]/[max],
     zeros outside KV mode) with the worst reclamation-pass pause

@@ -219,6 +219,142 @@ let hyaline_idle_world_frees_immediately () =
       Hyaline_rig.retire_n ctx 4;
       Alcotest.(check int) "no active threads: freed" 0 (Pop_baselines.Hyaline_lite.unreclaimed g))
 
+(* --- Hyaline family edge cases, shared by lite / -1 / -1S ---
+
+   Pinned *before* judging the full Hyaline against the lite warm-up:
+   empty batches (flush with nothing pending must not form or adjust
+   anything), single-node batches (reclaim_freq = 1 degenerates every
+   batch to one node), and retiring into an adopted orphanage (a
+   departing thread's donation must ride the adopter's next batch). *)
+
+module Hyaline_family (R : Smr.S) = struct
+  module Rig = Smr_rig (R)
+
+  let empty_batch () =
+    Rig.run (fun _rig g ctx ->
+        R.flush ctx;
+        R.flush ctx;
+        let s = R.stats g in
+        Alcotest.(check int) "no pass on empty flush" 0 s.Smr_stats.reclaim_passes;
+        Alcotest.(check int) "nothing freed" 0 s.Smr_stats.freed;
+        Alcotest.(check int) "nothing pending" 0 (R.unreclaimed g))
+
+  (* [held]: how many of the three singleton batches the active holder
+     pins. 3 for lite/-1; 1 for -1S, whose era guard lets every batch
+     born after the holder's published era slide past it (each
+     singleton reclaim bumps the global era, so only the first batch is
+     coeval with the holder). *)
+  let single_node_batches ~held () =
+    Rig.run ~reclaim_freq:1 (fun rig g ctx0 ->
+        let ctx1 = R.register g ~tid:1 in
+        (* No holder: each retire forms and frees a one-node batch. *)
+        Rig.retire_n ctx0 2;
+        Alcotest.(check int) "singletons freed immediately" 0 (R.unreclaimed g);
+        (* Active holder: each one-node batch is charged individually. *)
+        R.start_op ctx1;
+        Rig.retire_n ctx0 3;
+        Alcotest.(check int) "singleton batches held" held (R.unreclaimed g);
+        R.end_op ctx1;
+        Alcotest.(check int) "all freed when holder leaves" 0 (R.unreclaimed g);
+        Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+        R.deregister ctx1)
+
+  let retire_during_adopt () =
+    Rig.run ~max_threads:3 (fun rig g ctx0 ->
+        R.start_op ctx0 (* the holder every formed batch is charged to *);
+        let ctx1 = R.register g ~tid:1 in
+        Rig.retire_n ctx1 2 (* below threshold: stays pending *);
+        R.deregister ctx1 (* donates the 2 pending nodes *);
+        let ctx2 = R.register g ~tid:2 in
+        (* ctx2's threshold-tripping batch adopts the orphans: they ride
+           the same batch and obey the same charge. *)
+        Rig.retire_n ctx2 4;
+        let s = R.stats g in
+        Alcotest.(check int) "orphans donated" 2 s.Smr_stats.orphans_donated;
+        Alcotest.(check int) "orphans adopted" 2 s.Smr_stats.orphans_adopted;
+        Alcotest.(check int) "whole batch incl. orphans held" 6 (R.unreclaimed g);
+        R.end_op ctx0;
+        Alcotest.(check int) "orphans freed with the batch" 0 (R.unreclaimed g);
+        Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+        R.deregister ctx2)
+end
+
+module Lite_family = Hyaline_family (Pop_baselines.Hyaline_lite)
+module One_family = Hyaline_family (Pop_baselines.Hyaline_one)
+module One_s_family = Hyaline_family (Pop_baselines.Hyaline_one_s)
+
+(* Lite/full equivalence: on any shared single-threaded trace the lite
+   creator-token protocol and Hyaline-1's deferred adjustment must agree
+   on every observable pending count — they differ only in how the batch
+   counter is driven, never in when a batch becomes free. *)
+let hyaline_trace (module R : Smr.S) seed =
+  let rig = make_rig () in
+  let g = R.create rig.cfg rig.hub rig.heap in
+  let ctx0 = R.register g ~tid:0 in
+  let ctx1 = R.register g ~tid:1 in
+  let rng = Rng.make seed in
+  let active = ref false in
+  let obs = ref [] in
+  for _ = 1 to 200 do
+    (match Rng.int rng 4 with
+    | 0 ->
+        if !active then R.end_op ctx1 else R.start_op ctx1;
+        active := not !active
+    | 1 | 2 -> R.retire ctx0 (R.alloc ctx0)
+    | _ -> R.flush ctx0);
+    obs := R.unreclaimed g :: !obs
+  done;
+  if !active then R.end_op ctx1;
+  R.flush ctx0;
+  obs := R.unreclaimed g :: !obs;
+  List.rev !obs
+
+let hyaline_lite_full_equivalence () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "trace seed %d" seed)
+        (hyaline_trace (module Pop_baselines.Hyaline_lite) seed)
+        (hyaline_trace (module Pop_baselines.Hyaline_one) seed))
+    [ 1; 7; 42; 1234 ]
+
+(* The deliberate 1S divergence: a holder whose published era predates
+   every node in a batch is skipped, so garbage born after a thread
+   froze is freed out from under it — the robustness bound Hyaline-1
+   lacks. *)
+module One_rig = Smr_rig (Pop_baselines.Hyaline_one)
+module One_s_rig = Smr_rig (Pop_baselines.Hyaline_one_s)
+
+let hyaline_1s_era_guard_skips_frozen_holder () =
+  One_s_rig.run (fun rig g ctx0 ->
+      let open Pop_baselines in
+      let ctx1 = Hyaline_one_s.register g ~tid:1 in
+      Hyaline_one_s.start_op ctx1 (* publishes era 1, then freezes *);
+      (* Batch 1: born at era 1 = ctx1's era, so it is charged. *)
+      One_s_rig.retire_n ctx0 4;
+      Alcotest.(check int) "coeval batch held" 4 (Hyaline_one_s.unreclaimed g);
+      (* Batch 2: born at era 2 > ctx1's frozen era 1 — skipped, freed
+         despite the frozen-but-active holder. *)
+      One_s_rig.retire_n ctx0 4;
+      Alcotest.(check int) "younger batch freed past frozen holder" 4
+        (Hyaline_one_s.unreclaimed g);
+      Hyaline_one_s.end_op ctx1;
+      Alcotest.(check int) "coeval batch freed on leave" 0 (Hyaline_one_s.unreclaimed g);
+      Alcotest.(check int) "no UAF" 0 (Heap.uaf_count rig.heap);
+      Hyaline_one_s.deregister ctx1)
+
+let hyaline_1_frozen_holder_pins_everything () =
+  One_rig.run (fun _rig g ctx0 ->
+      let open Pop_baselines in
+      let ctx1 = Hyaline_one.register g ~tid:1 in
+      Hyaline_one.start_op ctx1;
+      One_rig.retire_n ctx0 8;
+      (* No era guard: both batches stay charged to the frozen holder. *)
+      Alcotest.(check int) "everything pinned" 8 (Hyaline_one.unreclaimed g);
+      Hyaline_one.end_op ctx1;
+      Alcotest.(check int) "released on leave" 0 (Hyaline_one.unreclaimed g);
+      Hyaline_one.deregister ctx1)
+
 (* --- EBR: pinned epoch blocks reclamation; rescan guard --- *)
 
 module Ebr_rig = Smr_rig (Pop_baselines.Ebr)
@@ -379,6 +515,20 @@ let suite =
       case "nbr: write set bounded by max_hp" nbr_write_set_bounded;
       case "hyaline: batch held by active thread" hyaline_batch_held_by_active_thread;
       case "hyaline: idle world frees immediately" hyaline_idle_world_frees_immediately;
+      case "hyaline: empty batch is a no-op" Lite_family.empty_batch;
+      case "hyaline: single-node batches" (Lite_family.single_node_batches ~held:3);
+      case "hyaline: retire during adopt" Lite_family.retire_during_adopt;
+      case "hyaline-1: empty batch is a no-op" One_family.empty_batch;
+      case "hyaline-1: single-node batches" (One_family.single_node_batches ~held:3);
+      case "hyaline-1: retire during adopt" One_family.retire_during_adopt;
+      case "hyaline-1s: empty batch is a no-op" One_s_family.empty_batch;
+      case "hyaline-1s: single-node batches" (One_s_family.single_node_batches ~held:1);
+      case "hyaline-1s: retire during adopt" One_s_family.retire_during_adopt;
+      case "hyaline lite = hyaline-1 on shared traces" hyaline_lite_full_equivalence;
+      case "hyaline-1s: era guard skips frozen holder"
+        hyaline_1s_era_guard_skips_frozen_holder;
+      case "hyaline-1: frozen holder pins everything"
+        hyaline_1_frozen_holder_pins_everything;
       case "ebr: pinned epoch blocks reclamation" ebr_pinned_epoch_blocks;
       case "cadence: ticks gate frees" cadence_tick_gates_frees;
       case "cadence: periodic rounds without reclaiming"

@@ -85,6 +85,8 @@ let all_safe_smrs : (string * (module Smr.S)) list =
     ("he-pop", (module Hazard_era_pop));
     ("epoch-pop", (module Epoch_pop));
     ("hyaline", (module Pop_baselines.Hyaline_lite));
+    ("hyaline-1", (module Pop_baselines.Hyaline_one));
+    ("hyaline-1s", (module Pop_baselines.Hyaline_one_s));
     ("cadence", (module Pop_baselines.Cadence));
   ]
 

@@ -26,7 +26,13 @@
 #      recorded and the sanitized run violation-free (fixed seed: the
 #      figure pins Runner's default seed; run from _build so the
 #      committed repo-root baseline is not overwritten)
-#   9. typestate suite guard: the negative-compilation cases under
+#   9. tournament smoke test: a fixed-seed 2-scheme x 3-scenario slice
+#      of the robustness tournament (sanitized) must emit parseable
+#      JSON where every cell carries a scenario descriptor, a finite
+#      max_unreclaimed high-watermark and finite recovery scores
+#      (pre_mops / recovery_ns / recovered), with zero sanitizer
+#      violations and zero UAF everywhere
+#  10. typestate suite guard: the negative-compilation cases under
 #      test/typestate (run as part of step 2) must still exist in
 #      force — at least four violation categories, each with a
 #      recorded type error
@@ -44,7 +50,8 @@ json_smoke=_build/popbench_smoke.json
 churn_smoke=_build/popbench_churn_smoke.json
 seg_smoke_dir=_build/seg_smoke
 kv_smoke_dir=_build/kv_smoke
-trap 'rm -f "$json_smoke" "$churn_smoke"; rm -rf "$seg_smoke_dir" "$kv_smoke_dir"' EXIT
+tournament_smoke=_build/popbench_tournament_smoke.json
+trap 'rm -f "$json_smoke" "$churn_smoke" "$tournament_smoke"; rm -rf "$seg_smoke_dir" "$kv_smoke_dir"' EXIT
 ./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
   --json "$json_smoke" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -182,6 +189,60 @@ else
     fi
   done
   echo "kv smoke: ok (grep only; python3 unavailable)"
+fi
+./_build/default/bin/popbench.exe --tournament --smrs ebr,hyaline-1s \
+  --scenarios stall-poll,crash,kv-skew --json "$tournament_smoke" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$tournament_smoke" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cells = json.load(f)
+assert len(cells) == 6, "expected 2 schemes x 3 scenarios, got %d cells" % len(cells)
+scenarios = set()
+for c in cells:
+    label = c["label"]
+    scenarios.add(label.split("/")[0])
+    assert isinstance(c.get("scenario"), dict), "%s: scenario descriptor missing" % label
+    assert c["scenario"]["sanitize"], "%s: tournament cell not sanitized" % label
+    for k in ("max_unreclaimed", "recovery_ns", "pre_mops"):
+        v = c.get(k)
+        assert isinstance(v, (int, float)), "%s: %s not a finite number" % (label, k)
+        assert v >= 0, "%s: %s negative: %r" % (label, k, v)
+    assert isinstance(c.get("recovered"), bool), "%s: recovered flag missing" % label
+    assert c["smr"]["violations"] == 0, "%s: sanitizer flagged the cell" % label
+    assert c["uaf"] == 0, "%s: use-after-free detected" % label
+    assert c["double_free"] == 0, "%s: double free detected" % label
+    assert c["consistent"], "%s: cell inconsistent" % label
+assert scenarios == {"stall-poll", "crash", "kv-skew"}, \
+    "scenario labels drifted: %s" % sorted(scenarios)
+stalled = [c for c in cells if c["label"].startswith("stall-poll/")]
+assert all(c["scenario"]["stall"] is not None for c in stalled), \
+    "stall cells carry no stall shape in their descriptor"
+print("tournament smoke: ok (%d cells, scenarios %s)"
+      % (len(cells), ",".join(sorted(scenarios))))
+EOF
+else
+  grep -q '"label": "stall-poll/' "$tournament_smoke"
+  grep -q '"label": "crash/' "$tournament_smoke"
+  grep -q '"label": "kv-skew/' "$tournament_smoke"
+  grep -q '"max_unreclaimed"' "$tournament_smoke"
+  grep -q '"recovery_ns"' "$tournament_smoke"
+  grep -q '"scenario"' "$tournament_smoke"
+  for k in max_unreclaimed recovery_ns pre_mops; do
+    if grep -q "\"$k\": null" "$tournament_smoke"; then
+      echo "tournament smoke: FAIL (null $k)" >&2
+      exit 1
+    fi
+  done
+  if grep -q '"uaf": [1-9]' "$tournament_smoke"; then
+    echo "tournament smoke: FAIL (use-after-free)" >&2
+    exit 1
+  fi
+  if grep -q '"violations": [1-9]' "$tournament_smoke"; then
+    echo "tournament smoke: FAIL (sanitizer violations)" >&2
+    exit 1
+  fi
+  echo "tournament smoke: ok (grep only; python3 unavailable)"
 fi
 # The typestate negative-compilation suite already ran under `dune
 # runtest`; guard it against going vacuous (cases deleted or .expected
