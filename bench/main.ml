@@ -334,7 +334,7 @@ type seg_cell = {
    used to cost before the block-list watermark. *)
 let seg_cell ~rounds ~covered ~uncovered =
   let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 1 lsl 30 } in
-  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) () in
   let c = Counters.create 2 in
   let eng = Reclaimer.create scfg ~heap ~counters:c in
   let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
@@ -479,7 +479,7 @@ type era_cell = {
    per-node probes. Fresh-pass cost must stay flat as C grows 16x. *)
 let era_cell ~rounds ~covered ~uncovered =
   let scfg = { (Smr_config.default ~max_threads:2 ()) with reclaim_freq = 1 lsl 30 } in
-  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) () in
   let c = Counters.create 2 in
   let eng = Reclaimer.create scfg ~heap ~counters:c in
   let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
@@ -638,7 +638,7 @@ type churn_cell = {
 let churn_cell ~donors ~total =
   let threads = 16 in
   let scfg = { (Smr_config.default ~max_threads:threads ()) with reclaim_freq = 1 lsl 30 } in
-  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
   let c = Counters.create threads in
   let eng = Reclaimer.create scfg ~heap ~counters:c in
   let hub = Softsignal.create ~max_threads:1 in
@@ -744,6 +744,182 @@ let fig_seg sc =
   let era_cells = fig_seg_era_span sc in
   let churn_cells = fig_seg_donor_churn sc in
   (pass_cells, era_cells, churn_cells)
+
+(* ------------------------------------------------------------------ *)
+(* Constant-time allocator (PR 10): ns/op vs thread count               *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_cell = {
+  al_threads : int;
+  al_ops : int;
+  al_ns_per_op : float;
+  al_grabs : int;
+  al_returns : int;
+  al_pool_blocks : int;
+  al_uaf : int;
+  al_double_free : int;
+}
+
+let alloc_cell_of heap ~threads ~ops ~dt =
+  {
+    al_threads = threads;
+    al_ops = ops;
+    al_ns_per_op = dt *. 1e9 /. float_of_int ops;
+    al_grabs = Heap.block_grabs heap;
+    al_returns = Heap.block_returns heap;
+    al_pool_blocks = Heap.pool_blocks heap;
+    al_uaf = Heap.uaf_count heap;
+    al_double_free = Heap.double_free_count heap;
+  }
+
+(* Fixed total work split across T thread contexts (single-core replay,
+   same discipline as the donor-churn sweep): an op is one [alloc] or
+   one [free], and total ops are identical at every T. A balanced
+   context allocates a block-sized batch and frees it straight back, so
+   it cycles its own two local blocks and never touches the shared
+   pool: ns/op must stay flat as T grows, with grabs = returns = 0. *)
+let alloc_balanced_cell ~threads ~total =
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
+  let batch = Heap.block_size heap in
+  let scratch = Array.make batch (Heap.sentinel heap) in
+  let cycle tid =
+    for i = 0 to batch - 1 do
+      scratch.(i) <- Heap.alloc heap ~tid ~birth_era:0
+    done;
+    for i = 0 to batch - 1 do
+      Heap.free heap ~tid scratch.(i)
+    done
+  in
+  let rounds = max 1 (total / (2 * batch * threads)) in
+  (* One unmeasured round per context grows the pools once; the measured
+     phase then recycles the same nodes. *)
+  for tid = 0 to threads - 1 do
+    cycle tid
+  done;
+  let t0 = Pop_runtime.Clock.now () in
+  for _ = 1 to rounds do
+    for tid = 0 to threads - 1 do
+      cycle tid
+    done
+  done;
+  let dt = Pop_runtime.Clock.elapsed t0 in
+  alloc_cell_of heap ~threads ~ops:(2 * batch * threads * rounds) ~dt
+
+(* Producer/consumer imbalance: the first half of the contexts only
+   allocate, the second half free whole batches back with [free_block].
+   Producer pools run dry and grab blocks from the shared pool;
+   consumer pools overflow and return them — the block circulation the
+   shared pool exists for (grabs and returns must both be nonzero for
+   T >= 2). T = 1 degenerates to one context playing both roles and
+   stays local. *)
+let alloc_imbalanced_cell ~threads ~total =
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
+  let batch = Heap.block_size heap in
+  let producers = max 1 (threads / 2) in
+  let consumer p = if threads = 1 then 0 else producers + (p mod (threads - producers)) in
+  let scratch = Array.make batch (Heap.sentinel heap) in
+  let hand p =
+    for i = 0 to batch - 1 do
+      scratch.(i) <- Heap.alloc heap ~tid:p ~birth_era:0
+    done;
+    Heap.free_block heap ~tid:(consumer p) scratch
+  in
+  let rounds = max 1 (total / (2 * batch * producers)) in
+  for p = 0 to producers - 1 do
+    hand p
+  done;
+  let t0 = Pop_runtime.Clock.now () in
+  for _ = 1 to rounds do
+    for p = 0 to producers - 1 do
+      hand p
+    done
+  done;
+  let dt = Pop_runtime.Clock.elapsed t0 in
+  alloc_cell_of heap ~threads ~ops:(2 * batch * producers * rounds) ~dt
+
+(* Reclaimer-in-the-loop churn: every context retires a batch from its
+   own pool and donates it; one adopter's keep-none pass adopts the
+   stripes and frees everything back through the engine's block paths
+   ([free_block] only). Nodes circulate donor pool -> shared pool ->
+   adopter pool, so orphan adoption rides the same block hand-off. An
+   op is one retire-to-free node trip. *)
+let alloc_churn_cell ~threads ~total =
+  let scfg = { (Smr_config.default ~max_threads:threads ()) with reclaim_freq = 1 lsl 30 } in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
+  let c = Counters.create threads in
+  let eng = Reclaimer.create scfg ~heap ~counters:c in
+  let locals = Array.init threads (fun tid -> Reclaimer.register eng ~tid ~scratch_slots:8) in
+  let adopter = locals.(0) in
+  let batch = 64 in
+  let round () =
+    Array.iteri
+      (fun tid l ->
+        for _ = 1 to batch do
+          Reclaimer.retire l (Heap.alloc heap ~tid ~birth_era:0)
+        done;
+        Reclaimer.donate l)
+      locals;
+    ignore (Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) adopter)
+  in
+  let rounds = max 1 (total / (batch * threads)) in
+  round ();
+  let t0 = Pop_runtime.Clock.now () in
+  for _ = 1 to rounds do
+    round ()
+  done;
+  let dt = Pop_runtime.Clock.elapsed t0 in
+  alloc_cell_of heap ~threads ~ops:(batch * threads * rounds) ~dt
+
+let fig_alloc sc =
+  Report.section
+    "Constant-time allocator: ns per alloc/free op vs thread count (fixed total work;      balanced contexts never touch the shared pool, imbalance circulates whole blocks)";
+  let total = if sc.Experiments.duration > 1.0 then 1 lsl 19 else 1 lsl 17 in
+  let ts = [ 1; 2; 4; 8 ] in
+  (* Best-of-5 with repetitions interleaved across T, like the
+     donor-churn sweep: each cell is one millisecond-scale wall
+     measurement on a noisy single-core box. *)
+  let sweep cell =
+    let best = Hashtbl.create 4 in
+    for _ = 1 to 5 do
+      List.iter
+        (fun t ->
+          let c = cell ~threads:t ~total in
+          match Hashtbl.find_opt best t with
+          | Some prev when prev.al_ns_per_op <= c.al_ns_per_op -> ()
+          | _ -> Hashtbl.replace best t c)
+        ts
+    done;
+    List.map (Hashtbl.find best) ts
+  in
+  ignore (alloc_balanced_cell ~threads:2 ~total:(total / 4));
+  let balanced = sweep alloc_balanced_cell in
+  let imbalanced = sweep alloc_imbalanced_cell in
+  let churn = sweep alloc_churn_cell in
+  let table name cells =
+    Report.section (Printf.sprintf "alloc: %s" name);
+    Report.table
+      ~header:
+        [ "threads"; "ops"; "ns/op"; "block grabs"; "block returns"; "pool blocks"; "uaf";
+          "dfree" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               string_of_int r.al_threads;
+               string_of_int r.al_ops;
+               Printf.sprintf "%.1f" r.al_ns_per_op;
+               string_of_int r.al_grabs;
+               string_of_int r.al_returns;
+               string_of_int r.al_pool_blocks;
+               string_of_int r.al_uaf;
+               string_of_int r.al_double_free;
+             ])
+           cells)
+  in
+  table "balanced (alloc/free pairs, local blocks only)" balanced;
+  table "imbalanced (producers alloc, consumers free_block)" imbalanced;
+  table "churn (retire + donate/adopt through the reclaimer)" churn;
+  (balanced, imbalanced, churn)
 
 let fig_ablation sc =
   ablation_fence sc;
@@ -864,10 +1040,44 @@ let emit_seg_json (pass_cells, era_cells, churn_cells) =
       (List.length era_cells) (List.length churn_cells)
   end
 
+(* BENCH_alloc.json: three thread sweeps under one keyed object, same
+   shape discipline as BENCH_seg.json. *)
+let emit_alloc_json (balanced, imbalanced, churn) =
+  if !json_out then begin
+    let path = "BENCH_alloc.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let array key cells =
+          Printf.fprintf oc "  \"%s\": [\n" key;
+          List.iteri
+            (fun i r ->
+              if i > 0 then output_string oc ",\n";
+              Printf.fprintf oc
+                "    {\"threads\": %d, \"ops\": %d, \"ns_per_op\": %.2f, \
+                 \"block_grabs\": %d, \"block_returns\": %d, \"pool_blocks\": %d, \
+                 \"uaf\": %d, \"double_free\": %d}"
+                r.al_threads r.al_ops r.al_ns_per_op r.al_grabs r.al_returns
+                r.al_pool_blocks r.al_uaf r.al_double_free)
+            cells;
+          output_string oc "\n  ]"
+        in
+        output_string oc "{\n";
+        array "balanced" balanced;
+        output_string oc ",\n";
+        array "imbalanced" imbalanced;
+        output_string oc ",\n";
+        array "churn" churn;
+        output_string oc "\n}\n");
+    Printf.printf "wrote %s (%d+%d+%d cells)\n" path (List.length balanced)
+      (List.length imbalanced) (List.length churn)
+  end
+
 let usage () =
   prerr_endline
     "usage: main.exe [--fig \
-     micro|1|...|11|rob|churn|over|latency|seg|kv|tournament|ablation|all] [--full] \
+     micro|1|...|11|rob|churn|over|latency|seg|alloc|kv|tournament|ablation|all] [--full] \
      [--json]";
   exit 2
 
@@ -893,7 +1103,7 @@ let () =
   let sc = if !full then Experiments.full else Experiments.quick in
   let known =
     [ "micro"; "1"; "2"; "3"; "4"; "5"; "9"; "10"; "11"; "rob"; "churn"; "over"; "latency";
-      "seg"; "kv"; "tournament"; "ablation"; "all" ]
+      "seg"; "alloc"; "kv"; "tournament"; "ablation"; "all" ]
   in
   if not (List.mem !fig known) then usage ();
   let want tags = List.mem !fig ("all" :: tags) in
@@ -906,6 +1116,7 @@ let () =
   if want [ "rob" ] then emit_json "rob" (Experiments.fig_robustness sc);
   if want [ "churn" ] then emit_json "churn" (Experiments.fig_churn sc);
   if want [ "seg" ] then emit_seg_json (fig_seg sc);
+  if want [ "alloc" ] then emit_alloc_json (fig_alloc sc);
   if want [ "kv" ] then emit_json "kv" (Experiments.fig_kv sc);
   if want [ "tournament" ] then
     emit_labelled_json "tournament" (Experiments.fig_tournament sc);

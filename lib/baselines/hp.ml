@@ -93,4 +93,4 @@ let deregister ctx =
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:0
+let stats g = Counters.snapshot ~heap:g.heap g.c ~hub:g.hub ~epoch:0

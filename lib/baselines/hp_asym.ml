@@ -125,4 +125,4 @@ let deregister ctx =
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot ~hs:g.hs g.c ~hub:g.hub ~epoch:0
+let stats g = Counters.snapshot ~heap:g.heap ~hs:g.hs g.c ~hub:g.hub ~epoch:0

@@ -159,4 +159,4 @@ let deregister ctx =
 
 let unreclaimed g = Counters.unreclaimed g.c
 
-let stats g = Counters.snapshot g.c ~hub:g.hub ~epoch:(Atomic.get g.era)
+let stats g = Counters.snapshot ~heap:g.heap g.c ~hub:g.hub ~epoch:(Atomic.get g.era)

@@ -106,12 +106,18 @@ let note_unreclaimed t ~tid =
   let now = unreclaimed t in
   if now > Striped.get t.unreclaimed_hw tid then Striped.set t.unreclaimed_hw tid now
 
-let snapshot ?hs t ~hub ~epoch =
+let snapshot ?hs ?heap t ~hub ~epoch =
   let retired = Striped.sum t.retired and freed = Striped.sum t.freed in
   let suspects, quarantine_rounds =
     match hs with
     | None -> (0, 0)
     | Some hs -> (Handshake.suspect_count hs, Handshake.quarantine_round_count hs)
+  in
+  let block_grabs, block_returns, pool_blocks =
+    match heap with
+    | None -> (0, 0, 0)
+    | Some h ->
+        (Pop_sim.Heap.block_grabs h, Pop_sim.Heap.block_returns h, Pop_sim.Heap.pool_blocks h)
   in
   let seg_slots = Striped.sum t.seg_slots and seg_nodes = Striped.sum t.seg_nodes in
   {
@@ -140,6 +146,9 @@ let snapshot ?hs t ~hub ~epoch =
     orphans_donated = Striped.sum t.orphans_donated;
     orphans_adopted = Striped.sum t.orphans_adopted;
     orphan_stripe_contention = Striped.sum t.orphan_stripe_contention;
+    block_grabs;
+    block_returns;
+    pool_blocks;
     max_pause_ns = max 0 (Striped.max_value t.pause_ns);
     epoch;
     unreclaimed = retired - freed;

@@ -90,7 +90,15 @@ val note_unreclaimed : t -> tid:int -> unit
     as {!Smr_stats.t.max_unreclaimed}. *)
 
 val snapshot :
-  ?hs:Handshake.t -> t -> hub:Pop_runtime.Softsignal.t -> epoch:int -> Smr_stats.t
+  ?hs:Handshake.t ->
+  ?heap:'a Pop_sim.Heap.t ->
+  t ->
+  hub:Pop_runtime.Softsignal.t ->
+  epoch:int ->
+  Smr_stats.t
 (** [?hs] supplies the handshake whose failure-detector counters
     ([suspects]/[quarantine_rounds]) the snapshot should report; omit it
-    for schemes without a ping round (the fields read 0). *)
+    for schemes without a ping round (the fields read 0). [?heap]
+    supplies the simulated heap whose allocator hand-off counters
+    ([block_grabs]/[block_returns]/[pool_blocks]) the snapshot should
+    report; every scheme passes its own heap here. *)

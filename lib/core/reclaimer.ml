@@ -120,6 +120,13 @@ type 'a local = {
   reserved : Id_set.t;
   scratch : int array;
   mutable scratch_len : int;
+  doomed : 'a Heap.node array;
+      (* Per-pass partition scratch: [Scan_block] filtering collects the
+         non-kept nodes of one block here and frees them with a single
+         {!Heap.free_block} call, so even the per-node fallback path
+         issues no per-node frees. Capacity is one segment block;
+         scrubbed back to the sentinel after every flush so it never
+         pins a freed node. *)
   mutable snap_gen : int;
       (* Generation observed when the snapshot was collected; -1 before
          the first fresh pass. *)
@@ -145,6 +152,7 @@ let register r ~tid ~scratch_slots =
     reserved = Id_set.create ~capacity:scratch_slots;
     scratch = Array.make (max 1 scratch_slots) 0;
     scratch_len = 0;
+    doomed = Array.make (max 1 r.seg_size) (Heap.sentinel r.heap);
     snap_gen = -1;
     moves = 0;
     adopt_cursor = tid mod Array.length r.orphans;
@@ -214,6 +222,19 @@ let recycle_block l b =
   l.free_len <- l.free_len + 1;
   Counters.seg_slots_add l.r.c ~tid:l.tid (-l.r.seg_size);
   Counters.segment_recycle l.r.c ~tid:l.tid
+
+(* Free the first [d] nodes parked in the doomed scratch as one
+   whole-block call and scrub the scratch behind them. This is the only
+   way engine filtering returns nodes to the heap: block-granularity
+   hand-off even on the per-node [Scan_block] fallback (the smrlint
+   [heap-free-loop] rule pins the absence of per-node free loops). *)
+let flush_doomed l ~dummy d =
+  if d > 0 then begin
+    Heap.free_block l.r.heap ~tid:l.tid ~len:d l.doomed;
+    for i = 0 to d - 1 do
+      l.doomed.(i) <- dummy
+    done
+  end
 
 let append_block bl b =
   b.next <- None;
@@ -285,11 +306,13 @@ let filter_blist ?block_keep l bl keep =
         | Free_block ->
             Counters.block_skip l.r.c ~tid:l.tid;
             for i = 0 to b.len - 1 do
-              let n = b.slots.(i) in
-              check_stamp l b n;
-              Heap.free l.r.heap ~tid:l.tid n;
-              incr freed
+              check_stamp l b b.slots.(i)
             done;
+            (* The whole block goes back in one call; [recycle_block]
+               scrubs the slots right after, so the segment array never
+               pins the now-pooled nodes. *)
+            Heap.free_block l.r.heap ~tid:l.tid ~len:b.len b.slots;
+            freed := !freed + b.len;
             let next = b.next in
             (match prev with None -> bl.head <- next | Some p -> p.next <- next);
             (match next with None -> bl.tail <- prev | Some _ -> ());
@@ -298,6 +321,7 @@ let filter_blist ?block_keep l bl keep =
             walk prev next
         | Scan_block ->
             let j = ref 0 in
+            let d = ref 0 in
             let saved_min_birth = b.min_birth and saved_max_retire = b.max_retire in
             reset_stamps b;
             for i = 0 to b.len - 1 do
@@ -313,10 +337,12 @@ let filter_blist ?block_keep l bl keep =
                 incr j
               end
               else begin
-                Heap.free l.r.heap ~tid:l.tid n;
-                incr freed
+                l.doomed.(!d) <- n;
+                incr d
               end
             done;
+            flush_doomed l ~dummy !d;
+            freed := !freed + !d;
             for i = !j to b.len - 1 do
               b.slots.(i) <- dummy
             done;
@@ -349,8 +375,10 @@ let retire_now l n =
 
 let free_unpublished l n = Heap.free l.r.heap ~tid:l.tid n
 
+(* Hyaline's batch release: the drained array goes back to the heap as
+   one whole-block call, not [Array.length] per-node frees. *)
 let free_array l nodes =
-  Array.iter (fun n -> Heap.free l.r.heap ~tid:l.tid n) nodes;
+  Heap.free_block l.r.heap ~tid:l.tid nodes;
   Counters.free l.r.c ~tid:l.tid (Array.length nodes)
 
 let pending l = l.covered.nodes + l.open_seg.nodes
@@ -500,22 +528,24 @@ let rescan_covered ?block_keep l ~quota ~keep ~freed ~touched =
         | Free_block ->
             Counters.block_skip l.r.c ~tid:l.tid;
             for i = 0 to b.len - 1 do
-              let n = b.slots.(i) in
-              check_stamp l b n;
-              Heap.free l.r.heap ~tid:l.tid n;
-              incr freed
+              check_stamp l b b.slots.(i)
             done;
+            Heap.free_block l.r.heap ~tid:l.tid ~len:b.len b.slots;
+            freed := !freed + b.len;
             recycle_block l b
         | Scan_block ->
+            let d = ref 0 in
             for i = 0 to b.len - 1 do
               let n = b.slots.(i) in
               check_stamp l b n;
               if keep n then push_node l l.covered n
               else begin
-                Heap.free l.r.heap ~tid:l.tid n;
-                incr freed
+                l.doomed.(!d) <- n;
+                incr d
               end
             done;
+            flush_doomed l ~dummy:(Heap.sentinel l.r.heap) !d;
+            freed := !freed + !d;
             recycle_block l b)
   done
 

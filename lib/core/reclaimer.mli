@@ -138,7 +138,10 @@ val free_unpublished : 'a local -> 'a Heap.node -> unit
     it was never counted retired). *)
 
 val free_array : 'a local -> 'a Heap.node array -> unit
-(** Free a drained batch and count the frees (Hyaline's release). *)
+(** Free a drained batch and count the frees (Hyaline's release). The
+    whole array goes back through {!Pop_sim.Heap.free_block} in one
+    call — like every engine filtering path, it issues zero per-node
+    frees ({!Pop_sim.Heap.node_free_calls} pins this). *)
 
 val pending : 'a local -> int
 

@@ -21,6 +21,9 @@ type t = {
   orphans_donated : int;
   orphans_adopted : int;
   orphan_stripe_contention : int;
+  block_grabs : int;
+  block_returns : int;
+  pool_blocks : int;
   max_pause_ns : int;
   epoch : int;
   unreclaimed : int;
@@ -52,6 +55,9 @@ let zero =
     orphans_donated = 0;
     orphans_adopted = 0;
     orphan_stripe_contention = 0;
+    block_grabs = 0;
+    block_returns = 0;
+    pool_blocks = 0;
     max_pause_ns = 0;
     epoch = 0;
     unreclaimed = 0;
@@ -89,6 +95,9 @@ let to_alist
       orphans_donated;
       orphans_adopted;
       orphan_stripe_contention;
+      block_grabs;
+      block_returns;
+      pool_blocks;
       max_pause_ns;
       epoch;
       unreclaimed;
@@ -120,6 +129,9 @@ let to_alist
     ("orphans_donated", orphans_donated);
     ("orphans_adopted", orphans_adopted);
     ("orphan_stripe_contention", orphan_stripe_contention);
+    ("block_grabs", block_grabs);
+    ("block_returns", block_returns);
+    ("pool_blocks", pool_blocks);
     ("max_pause_ns", max_pause_ns);
     ("epoch", epoch);
     ("violations", violations);

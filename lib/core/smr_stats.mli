@@ -72,6 +72,20 @@ type t = {
           and either fell back to blocking (donor) or skipped the stripe
           (adopter). With per-donor stripes this stays near 0; the old
           single-lock orphanage would count every collision here. *)
+  block_grabs : int;
+      (** Whole free-node blocks threads popped from the heap's shared
+          block pool (the Blelloch–Wei allocator's refill hand-off). 0
+          while every thread's allocations are satisfied by its own two
+          local chains; nonzero exactly when memory circulates between
+          threads (producer/consumer imbalance, orphan adoption). *)
+  block_returns : int;
+      (** Whole free-node blocks threads pushed back to the shared pool
+          (a thread's two local chains were full). Block-granularity by
+          construction: [block_returns * Heap.block_size] bounds the
+          shared-pool traffic the free path ever generated. *)
+  pool_blocks : int;
+      (** Blocks currently parked in the heap's shared pool at snapshot
+          time (maintained count, racy). *)
   max_pause_ns : int;
       (** Wall-clock nanoseconds of the longest single reclamation pass
           any thread has run — the worst pause an operation can absorb

@@ -21,7 +21,7 @@ module Make (T : Smr_typed.S) = struct
 
   let make_base scfg dcfg hub payload =
     Ds_config.validate dcfg;
-    let heap = Heap.create ~max_threads:scfg.Smr_config.max_threads ~payload in
+    let heap = Heap.create ~max_threads:scfg.Smr_config.max_threads ~payload () in
     { heap; smr = T.create scfg hub heap; scfg; dcfg }
 
   (* Run one operation: start/end bracketing plus restart-on-neutralize.

@@ -3,7 +3,9 @@
 module Heap = Pop_sim.Heap
 open Tu
 
-let make () = Heap.create ~max_threads:2 ~payload:(fun id -> ref id)
+let make () = Heap.create ~max_threads:2 ~payload:(fun id -> ref id) ()
+
+let local_free h ~tid = (Heap.pool_stats h ~tid).Heap.local_free
 
 let alloc_is_live () =
   let h = make () in
@@ -29,20 +31,20 @@ let freelist_recycles () =
   let n = Heap.alloc h ~tid:0 ~birth_era:1 in
   let id = n.Heap.id in
   Heap.free h ~tid:0 n;
-  Alcotest.(check int) "freelist holds it" 1 (Heap.freelist_length h ~tid:0);
+  Alcotest.(check int) "pool holds it" 1 (local_free h ~tid:0);
   let n' = Heap.alloc h ~tid:0 ~birth_era:9 in
   Alcotest.(check bool) "same node recycled" true (n == n');
   Alcotest.(check int) "id stable across incarnations" id n'.Heap.id;
   Alcotest.(check bool) "live again" true (Heap.is_live n');
   Alcotest.(check int) "birth era restamped" 9 n'.Heap.birth_era;
-  Alcotest.(check int) "freelist empty" 0 (Heap.freelist_length h ~tid:0)
+  Alcotest.(check int) "pool empty" 0 (local_free h ~tid:0)
 
 let freelists_are_per_thread () =
   let h = make () in
   let n = Heap.alloc h ~tid:0 ~birth_era:0 in
   Heap.free h ~tid:1 n;
-  Alcotest.(check int) "tid 0 empty" 0 (Heap.freelist_length h ~tid:0);
-  Alcotest.(check int) "tid 1 holds it" 1 (Heap.freelist_length h ~tid:1);
+  Alcotest.(check int) "tid 0 empty" 0 (local_free h ~tid:0);
+  Alcotest.(check int) "tid 1 holds it" 1 (local_free h ~tid:1);
   let n' = Heap.alloc h ~tid:1 ~birth_era:0 in
   Alcotest.(check bool) "recycled by freeing thread" true (n == n')
 
@@ -64,7 +66,7 @@ let double_free_detected () =
   Heap.free h ~tid:0 n;
   Alcotest.(check int) "double free counted" 1 (Heap.double_free_count h);
   Alcotest.(check int) "second free ignored" 1 (Heap.freed_total h);
-  Alcotest.(check int) "freelist unchanged" 1 (Heap.freelist_length h ~tid:0)
+  Alcotest.(check int) "pool unchanged" 1 (local_free h ~tid:0)
 
 let uaf_detected () =
   let h = make () in
@@ -89,55 +91,250 @@ let payload_by_id () =
   let n = Heap.alloc h ~tid:0 ~birth_era:0 in
   Alcotest.(check int) "payload factory got the id" n.Heap.id !(n.Heap.payload)
 
-(* Model test: a random alloc/free trace preserves accounting and
-   parity, and a node is never handed out twice concurrently. *)
+(* --- Blelloch–Wei block hand-off --- *)
+
+(* With block_size 4, the ninth free on one thread fills both local
+   chains (4 + 4) and spills the spare to the shared pool whole; an
+   allocation-only thread then grabs that block back instead of minting
+   fresh nodes. This is the producer/consumer circulation the shared
+   pool exists for. *)
+let blocks_hand_off_between_threads () =
+  let h = Heap.create ~block_size:4 ~max_threads:2 ~payload:(fun _ -> ()) () in
+  let nodes = Array.init 9 (fun _ -> Heap.alloc h ~tid:0 ~birth_era:0) in
+  Array.iter (fun n -> Heap.free h ~tid:0 n) nodes;
+  Alcotest.(check int) "one block spilled" 1 (Heap.block_returns h);
+  Alcotest.(check int) "shared pool holds it" 1 (Heap.pool_blocks h);
+  Alcotest.(check int) "spiller keeps the rest" 5 (local_free h ~tid:0);
+  let n = Heap.alloc h ~tid:1 ~birth_era:0 in
+  Alcotest.(check int) "consumer's block grabbed" 1 (Heap.block_grabs h);
+  Alcotest.(check int) "shared pool drained" 0 (Heap.pool_blocks h);
+  Alcotest.(check bool) "recycled, not fresh" true
+    (Array.exists (fun m -> m == n) nodes);
+  Alcotest.(check int) "grabbed block minus the pop" 3 (local_free h ~tid:1);
+  Alcotest.(check int) "grab counted to the grabbing pool" 1
+    (Heap.pool_stats h ~tid:1).Heap.pool_grabs
+
+(* A balanced thread never touches the shared pool: its allocs and
+   frees cycle through the active chain alone. *)
+let balanced_thread_stays_local () =
+  let h = Heap.create ~block_size:4 ~max_threads:2 ~payload:(fun _ -> ()) () in
+  for _ = 1 to 100 do
+    let n = Heap.alloc h ~tid:0 ~birth_era:0 in
+    Heap.free h ~tid:0 n
+  done;
+  Alcotest.(check int) "no block returned" 0 (Heap.block_returns h);
+  Alcotest.(check int) "no block grabbed" 0 (Heap.block_grabs h);
+  Alcotest.(check int) "shared pool empty" 0 (Heap.pool_blocks h)
+
+let free_block_batches () =
+  let h = Heap.create ~block_size:4 ~max_threads:2 ~payload:(fun _ -> ()) () in
+  let arr = Array.init 7 (fun _ -> Heap.alloc h ~tid:0 ~birth_era:0) in
+  Heap.free_block h ~tid:0 ~len:6 arr;
+  Alcotest.(check int) "six freed" 6 (Heap.freed_total h);
+  Alcotest.(check int) "freed in bulk" 6 (Heap.bulk_freed_total h);
+  Alcotest.(check int) "zero per-node free calls" 0 (Heap.node_free_calls h);
+  Alcotest.(check bool) "slot past len untouched" true (Heap.is_live arr.(6));
+  Alcotest.(check int) "parked locally" 6 (local_free h ~tid:0);
+  (* A second free of the same prefix is 6 double frees, all absorbed. *)
+  Heap.free_block h ~tid:0 ~len:6 arr;
+  Alcotest.(check int) "double frees counted" 6 (Heap.double_free_count h);
+  Alcotest.(check int) "nothing re-freed" 6 (Heap.freed_total h)
+
+(* Drain every free node back out through [alloc] and check each id
+   surfaces exactly once and never collides with a live id — the
+   conservation half of the BW invariant: no node is ever resident in
+   two blocks (a duplicate would surface twice or trip the alloc parity
+   assert). Local chains are drained per-tid first (exactly
+   [local_free] pops, which cannot touch the shared pool), then tid 0
+   grabs and empties every shared block. *)
+let drain_distinct h ~nthreads live_ids =
+  let seen = Hashtbl.create 64 in
+  let take tid k =
+    for _ = 1 to k do
+      let n = Heap.alloc h ~tid ~birth_era:0 in
+      if Hashtbl.mem seen n.Heap.id then Alcotest.failf "id %d resident twice" n.Heap.id;
+      if Hashtbl.mem live_ids n.Heap.id then
+        Alcotest.failf "id %d both live and free" n.Heap.id;
+      Hashtbl.add seen n.Heap.id ()
+    done
+  in
+  for tid = 0 to nthreads - 1 do
+    take tid (Heap.pool_stats h ~tid).Heap.local_free
+  done;
+  take 0 (Heap.pool_blocks h * Heap.block_size h);
+  Alcotest.(check int) "allocator fully drained" 0 (Heap.free_nodes h)
+
+(* Conservation property over random multi-tid alloc/free/free_block
+   traces: accounting matches the trace, no UAF/double-free, and the
+   final drain surfaces every pooled node exactly once. Frees land on a
+   different tid than the alloc often enough to exercise the spill/grab
+   hand-off (block_size 4 keeps blocks circulating even in short
+   traces). *)
 let heap_trace_model =
-  QCheck2.Test.make ~name:"heap trace model" ~count:200
-    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 99))
+  QCheck2.Test.make ~name:"heap conservation model" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 999))
     (fun script ->
-      let h = make () in
+      let nthreads = 3 in
+      let h = Heap.create ~block_size:4 ~max_threads:nthreads ~payload:(fun _ -> ()) () in
       let live = Hashtbl.create 16 in
       let allocs = ref 0 and frees = ref 0 in
+      let pick_live k =
+        let out = ref [] in
+        (try
+           Hashtbl.iter
+             (fun id n ->
+               if List.length !out >= k then raise Exit;
+               out := (id, n) :: !out)
+             live
+         with Exit -> ());
+        !out
+      in
       List.iter
         (fun x ->
-          if x mod 3 <> 0 || Hashtbl.length live = 0 then begin
-            let n = Heap.alloc h ~tid:(x mod 2) ~birth_era:x in
-            if not (Heap.is_live n) then failwith "alloc returned dead node";
-            if Hashtbl.mem live n.Pop_sim.Heap.id then failwith "node handed out twice";
-            Hashtbl.add live n.Pop_sim.Heap.id n;
-            incr allocs
-          end
-          else begin
-            let pick = ref None in
-            (try
-               Hashtbl.iter
-                 (fun id n ->
-                   pick := Some (id, n);
-                   raise Exit)
-                 live
-             with Exit -> ());
-            let id, n = Option.get !pick in
-            Hashtbl.remove live id;
-            Heap.free h ~tid:(x mod 2) n;
-            incr frees
-          end)
+          let tid = x mod nthreads in
+          match (x / 10) mod 5 with
+          | 2 when Hashtbl.length live > 0 ->
+              let id, n = List.hd (pick_live 1) in
+              Hashtbl.remove live id;
+              Heap.free h ~tid n;
+              incr frees
+          | 3 when Hashtbl.length live > 0 ->
+              let batch = pick_live (1 + (x mod 7)) in
+              let arr = Array.of_list (List.map snd batch) in
+              List.iter (fun (id, _) -> Hashtbl.remove live id) batch;
+              Heap.free_block h ~tid arr;
+              frees := !frees + Array.length arr
+          | _ ->
+              let n = Heap.alloc h ~tid ~birth_era:x in
+              if not (Heap.is_live n) then failwith "alloc returned dead node";
+              if Hashtbl.mem live n.Heap.id then failwith "node handed out twice";
+              Hashtbl.add live n.Heap.id n;
+              incr allocs)
         script;
-      Heap.allocated_total h = !allocs
-      && Heap.freed_total h = !frees
-      && Heap.live_nodes h = Hashtbl.length live
-      && Heap.uaf_count h = 0
-      && Heap.double_free_count h = 0)
+      let ok =
+        Heap.allocated_total h = !allocs
+        && Heap.freed_total h = !frees
+        && Heap.live_nodes h = Hashtbl.length live
+        && Heap.uaf_count h = 0
+        && Heap.double_free_count h = 0
+      in
+      drain_distinct h ~nthreads live;
+      ok)
+
+(* Cross-domain conservation: producers only allocate, consumers only
+   free what producers hand over — the workload that used to grow one
+   freelist without bound. Afterwards every node is accounted for and
+   the drain surfaces each exactly once. *)
+let cross_domain_circulation () =
+  let nthreads = 4 in
+  let per_producer = 2000 in
+  let h = Heap.create ~block_size:8 ~max_threads:nthreads ~payload:(fun _ -> ()) () in
+  let xfer = Atomic.make [] in
+  let produced = Atomic.make 0 in
+  let consumed = Atomic.make 0 in
+  let producer tid () =
+    for i = 1 to per_producer do
+      let n = Heap.alloc h ~tid ~birth_era:i in
+      let rec push () =
+        let old = Atomic.get xfer in
+        if not (Atomic.compare_and_set xfer old (n :: old)) then push ()
+      in
+      push ();
+      Atomic.incr produced;
+      if i mod 32 = 0 then Domain.cpu_relax ()
+    done
+  in
+  let consumer tid () =
+    let total = 2 * per_producer in
+    while Atomic.get consumed < total do
+      let batch =
+        let rec grab () =
+          let old = Atomic.get xfer in
+          match old with
+          | [] -> []
+          | _ -> if Atomic.compare_and_set xfer old [] then old else grab ()
+        in
+        grab ()
+      in
+      (match batch with
+      | [] -> Domain.cpu_relax ()
+      | nodes ->
+          let arr = Array.of_list nodes in
+          Heap.free_block h ~tid arr;
+          ignore (Atomic.fetch_and_add consumed (Array.length arr)))
+    done
+  in
+  let ds =
+    [|
+      Domain.spawn (producer 0); Domain.spawn (producer 1);
+      Domain.spawn (consumer 2); Domain.spawn (consumer 3);
+    |]
+  in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "all produced" (2 * per_producer) (Heap.allocated_total h);
+  Alcotest.(check int) "all consumed" (2 * per_producer) (Heap.freed_total h);
+  Alcotest.(check int) "nothing live" 0 (Heap.live_nodes h);
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count h);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count h);
+  Alcotest.(check int) "bulk-freed only" (2 * per_producer) (Heap.bulk_freed_total h);
+  drain_distinct h ~nthreads (Hashtbl.create 1)
+
+(* --- GC pinning --- *)
+
+(* A pool-resident node must not pin its scrubbed payload contents: the
+   node (and its payload ref cell) are recycled by design, but whatever
+   the data structure dropped before freeing has no owner left. Tracks
+   a payload that lands in a shared-pool block (the spilled spare) as
+   well as the locally parked case. *)
+let pooled_nodes_do_not_pin_scrubbed_payload () =
+  let h = Heap.create ~block_size:4 ~max_threads:1 ~payload:(fun _ -> ref None) () in
+  let w = Weak.create 1 in
+  (fun () ->
+    let nodes = Array.init 9 (fun _ -> Heap.alloc h ~tid:0 ~birth_era:0) in
+    let big = String.make 4096 'x' in
+    nodes.(4).Heap.payload := Some big;
+    Weak.set w 0 (Some big);
+    Array.iter
+      (fun n ->
+        n.Heap.payload := None;
+        Heap.free h ~tid:0 n)
+      nodes)
+    ();
+  Alcotest.(check int) "tracked node spilled to the shared pool" 1 (Heap.pool_blocks h);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "scrubbed payload not pinned by pool" false (Weak.check w 0)
+
+(* [free_block] must not retain the caller's array: the nodes chain into
+   the pool intrusively, the array dies with the caller. *)
+let free_block_array_not_retained () =
+  let h = Heap.create ~block_size:4 ~max_threads:1 ~payload:(fun _ -> ()) () in
+  let w = Weak.create 1 in
+  (fun () ->
+    let arr = Array.init 8 (fun _ -> Heap.alloc h ~tid:0 ~birth_era:0) in
+    Weak.set w 0 (Some arr);
+    Heap.free_block h ~tid:0 arr)
+    ();
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "batch array not retained" false (Weak.check w 0)
 
 let suite =
   [
     case "alloc produces live stamped node" alloc_is_live;
     case "free flips parity and accounts" free_flips_parity;
-    case "freelist recycles same node, stable id" freelist_recycles;
-    case "freelists are per-thread" freelists_are_per_thread;
+    case "pool recycles same node, stable id" freelist_recycles;
+    case "local pools are per-thread" freelists_are_per_thread;
     case "ids unique across threads" ids_unique_across_threads;
     case "double free detected and ignored" double_free_detected;
     case "use-after-free detected" uaf_detected;
     case "sentinels are permanent and distinct" sentinels_permanent;
     case "payload factory receives id" payload_by_id;
+    case "blocks hand off between threads" blocks_hand_off_between_threads;
+    case "balanced thread stays local" balanced_thread_stays_local;
+    case "free_block batches, no per-node calls" free_block_batches;
+    case "cross-domain block circulation" cross_domain_circulation;
+    case "pooled nodes do not pin scrubbed payloads" pooled_nodes_do_not_pin_scrubbed_payload;
+    case "free_block array not retained" free_block_array_not_retained;
     QCheck_alcotest.to_alcotest heap_trace_model;
   ]

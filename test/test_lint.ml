@@ -98,6 +98,33 @@ let retire_vec () =
   Alcotest.(check bool) "other Vec calls accepted" false
     (flags "retire-vec" "lib/baselines/a.ml" "let n = Vec.length l.retired")
 
+let heap_free_loop () =
+  let for_loop =
+    "let drain l b =\n  for i = 0 to b.len - 1 do\n    Heap.free l.r.heap ~tid:l.tid b.slots.(i)\n  done"
+  in
+  let iter_loop = "let drain l ns = Array.iter (fun n -> Heap.free l.r.heap ~tid:l.tid n) ns" in
+  let block_free =
+    "let drain l b =\n  for i = 0 to 3 do\n    Heap.free_block l.r.heap ~tid:l.tid b.(i)\n  done"
+  in
+  let single = "let retire_now l n = Heap.free l.r.heap ~tid:l.tid n" in
+  Alcotest.(check bool) "for-loop body flagged" true
+    (flags "heap-free-loop" "lib/core/a.ml" for_loop);
+  Alcotest.(check bool) "Array.iter closure flagged" true
+    (flags "heap-free-loop" "lib/baselines/a.ml" iter_loop);
+  Alcotest.(check bool) "free_block in a loop accepted" false
+    (flags "heap-free-loop" "lib/core/a.ml" block_free);
+  Alcotest.(check bool) "single free outside loops accepted" false
+    (flags "heap-free-loop" "lib/core/a.ml" single);
+  Alcotest.(check bool) "free after a closed loop accepted" false
+    (flags "heap-free-loop" "lib/core/a.ml"
+       "let f l ns =\n  for i = 0 to 3 do ignore ns.(i) done;\n  Heap.free l.r.heap ~tid:l.tid ns.(0)");
+  Alcotest.(check bool) "the heap implementation is exempt" false
+    (flags "heap-free-loop" "lib/simheap/heap.ml" for_loop);
+  Alcotest.(check bool) "tests are exempt (they exercise the per-node API)" false
+    (flags "heap-free-loop" "test/a.ml" for_loop);
+  Alcotest.(check bool) "benches are exempt" false
+    (flags "heap-free-loop" "bench/main.ml" for_loop)
+
 let raw_smr () =
   let sig_use = "module Make (R : Smr.S) : Set_intf.SET = struct" in
   let call_use = "let go ctx = Pop_core.Smr.wrap ctx" in
@@ -214,6 +241,7 @@ let suite =
     case "rule: node-eq heuristic" node_eq;
     case "rule: direct-free scoping" direct_free;
     case "rule: retire-vec scoping" retire_vec;
+    case "rule: heap-free-loop scoping" heap_free_loop;
     case "rule: raw-smr-in-dslib scoping" raw_smr;
     case "rule: era-per-node scoping" era_per_node;
     case "diagnostics carry file:line" diagnostics_have_positions;

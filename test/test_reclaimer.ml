@@ -29,7 +29,7 @@ let make ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp ?segment_size ?segmen
   let cfg =
     cfg ?reclaim_freq ?reclaim_scale ?max_threads ?max_hp ?segment_size ?segment_rescan ()
   in
-  let heap = Heap.create ~max_threads:cfg.Smr_config.max_threads ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:cfg.Smr_config.max_threads ~payload:(fun _ -> ()) () in
   let c = Counters.create cfg.Smr_config.max_threads in
   let eng = Reclaimer.create cfg ~heap ~counters:c in
   (heap, c, eng, Reclaimer.register eng ~tid:0 ~scratch_slots:64)
@@ -57,7 +57,7 @@ let keep_reserved rl n = Id_set.mem (Reclaimer.snapshot rl) n.Heap.id
 let adaptive_threshold () =
   let mk ~reclaim_freq ~reclaim_scale =
     let cfg = cfg ~reclaim_freq ~reclaim_scale ~max_threads:3 ~max_hp:5 () in
-    let heap = Heap.create ~max_threads:3 ~payload:(fun _ -> ()) in
+    let heap = Heap.create ~max_threads:3 ~payload:(fun _ -> ()) () in
     Reclaimer.create cfg ~heap ~counters:(Counters.create 3)
   in
   Alcotest.(check int) "scale off: flat freq" 7
@@ -321,7 +321,7 @@ let donate_adopt_zero_moves () =
 let concurrent_donate_adopt () =
   let threads = 4 in
   let cfg = cfg ~max_threads:threads ~reclaim_freq:1_000_000 ~segment_size:8 () in
-  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
   let c = Counters.create threads in
   let eng = Reclaimer.create cfg ~heap ~counters:c in
   let m = 500 in
@@ -450,7 +450,7 @@ let stamp_maintenance_property =
     QCheck2.Gen.(list_size (int_range 1 80) (pair (int_range 0 99) (int_range 0 15)))
     (fun ops ->
       let cfg = cfg ~reclaim_freq:1_000_000 ~segment_size:4 () in
-      let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) in
+      let heap = Heap.create ~max_threads:2 ~payload:(fun _ -> ()) () in
       let c = Counters.create 2 in
       let eng = Reclaimer.create cfg ~heap ~counters:c in
       let rl = Reclaimer.register eng ~tid:0 ~scratch_slots:8 in
@@ -569,6 +569,50 @@ let era_mixed_block_fallback () =
     (Reclaimer.debug_stamp_errors rl);
   Alcotest.(check int) "no stale stamps" 0 (stats c).Smr_stats.stale_stamps
 
+(* Every engine free path hands nodes back at block granularity: the
+   per-node filter (Scan_block partition), the era fast path
+   (Free_block), and the Hyaline drain ([free_array]) must all go
+   through [Heap.free_block]. [Heap.node_free_calls] counts per-node
+   [Heap.free] API calls and pins the claim at exactly zero; only
+   [retire_now]/[free_unpublished] (not exercised here) may use it. *)
+let engine_frees_whole_blocks () =
+  let heap, _c, eng, rl = make ~reclaim_freq:1_000_000 ~segment_size:4 () in
+  let retire ~birth ~retire_era =
+    let n = Heap.alloc heap ~tid:0 ~birth_era:birth in
+    n.Heap.retire_era <- retire_era;
+    Reclaimer.retire rl n
+  in
+  (* Per-node filter path: a keep-none scan_plain over mixed blocks. *)
+  for _ = 1 to 10 do
+    retire ~birth:0 ~retire_era:0
+  done;
+  let freed = Reclaimer.scan_plain ~kind:Reclaimer.Plain ~keep:(fun _ -> false) rl in
+  Alcotest.(check int) "filter path drains" 10 freed;
+  (* Era fast path: two homogeneous doomed blocks settled on one probe. *)
+  for i = 0 to 7 do
+    retire ~birth:10 ~retire_era:(20 + i)
+  done;
+  Reclaimer.invalidate eng;
+  let freed =
+    Reclaimer.scan_eras ~force:true ~kind:Reclaimer.Plain
+      ~collect:(fun scratch ->
+        scratch.(0) <- 5;
+        1)
+      ~except:(-1) rl
+  in
+  Alcotest.(check int) "era path drains" 8 freed;
+  (* Hyaline path: drain the buffer and free the array wholesale. *)
+  for _ = 1 to 6 do
+    retire ~birth:0 ~retire_era:0
+  done;
+  let drained = Reclaimer.take_all rl in
+  Alcotest.(check int) "drained" 6 (Array.length drained);
+  Reclaimer.free_array rl drained;
+  Alcotest.(check int) "all frees were batched" 24 (Heap.bulk_freed_total heap);
+  Alcotest.(check int) "zero per-node Heap.free calls" 0 (Heap.node_free_calls heap);
+  Alcotest.(check int) "no double free" 0 (Heap.double_free_count heap);
+  Alcotest.(check int) "no uaf" 0 (Heap.uaf_count heap)
+
 (* --- sharded orphanage --- *)
 
 (* Distinct donors park in distinct stripes and one adopter still
@@ -577,7 +621,7 @@ let era_mixed_block_fallback () =
 let sharded_orphanage_drains () =
   let threads = 4 in
   let cfg = cfg ~max_threads:threads ~reclaim_freq:1_000_000 ~segment_size:8 () in
-  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) in
+  let heap = Heap.create ~max_threads:threads ~payload:(fun _ -> ()) () in
   let c = Counters.create threads in
   let eng = Reclaimer.create cfg ~heap ~counters:c in
   let m = 100 in
@@ -629,5 +673,6 @@ let suite =
     QCheck_alcotest.to_alcotest stamp_maintenance_property;
     case "reclaimer: era fast path settles whole blocks" era_block_fast_path;
     case "reclaimer: mixed block falls back to per-node era probes" era_mixed_block_fallback;
+    case "reclaimer: engine frees at block granularity only" engine_frees_whole_blocks;
     case "reclaimer: sharded orphanage drains exactly once" sharded_orphanage_drains;
   ]

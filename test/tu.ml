@@ -28,7 +28,7 @@ let make_rig ?(max_threads = 2) ?(reclaim_freq = 4) ?(epoch_freq = 2) () =
   {
     cfg;
     hub = Softsignal.create ~max_threads;
-    heap = Heap.create ~max_threads ~payload:(fun _ -> ());
+    heap = Heap.create ~max_threads ~payload:(fun _ -> ()) ();
   }
 
 (* Instantiate an SMR over a fresh rig and run [f rig g ctx0]. A

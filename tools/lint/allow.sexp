@@ -1,4 +1,5 @@
 ; smrlint grandfather list: (rule path) pairs, one finding each.
 ; Keep this shrinking - new code must pass clean.
 ((direct-free test/test_heap.ml)   ; the heap's own unit tests exercise free directly
+ (direct-free bench/main.ml)       ; the allocator sweep measures the raw alloc/free path
  (missing-mli lib/core/smr.ml))   ; signature-only module (exception + module type S)

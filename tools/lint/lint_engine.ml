@@ -346,6 +346,52 @@ let rules =
     };
   ]
 
+(* ------------------------------------------------------------------ *)
+(* File-level rules (stateful across lines)                            *)
+
+(* heap-free-loop: a [Heap.free] call issued from inside a lexical
+   loop — a for/while body (do..done nesting tracked across lines) or
+   an [*.iter]-style traversal on the same line. Per-node free loops
+   over block contents defeat the allocator's block-granularity
+   hand-off; drained segment blocks and batches go back through
+   [Heap.free_block] in one call. Single-node frees (retire_now,
+   free_unpublished) remain legal, as does the heap's own
+   implementation. Scoped to lib/ outside lib/simheap: tests and
+   benches exercise the per-node API on purpose. *)
+let heap_free_loop_applies path =
+  ml_file path && under "lib" path && not (under "lib/simheap" path)
+
+let heap_free_loop_msg =
+  "per-node Heap.free loop over block contents; free drained blocks and batches \
+   through Heap.free_block (block-granularity hand-off), not node by node"
+
+let check_heap_free_loop lines =
+  let depth = ref 0 in
+  let diags = ref [] in
+  List.iteri
+    (fun idx line ->
+      let events = ref [] in
+      iter_token line "do" (fun i -> events := (i, `Enter) :: !events);
+      iter_token line "done" (fun i -> events := (i, `Leave) :: !events);
+      iter_token line "Heap.free" (fun i -> events := (i, `Free) :: !events);
+      let iterating =
+        has_token line "iter" || has_token line "iteri" || has_token line "map"
+        || has_token line "fold_left"
+      in
+      List.iter
+        (fun (_, ev) ->
+          match ev with
+          | `Enter -> incr depth
+          | `Leave -> depth := max 0 (!depth - 1)
+          | `Free -> if !depth > 0 || iterating then diags := idx + 1 :: !diags)
+        (List.sort (fun (a, _) (b, _) -> Int.compare a b) !events))
+    lines;
+  List.rev_map
+    (fun line -> (line, heap_free_loop_msg))
+    !diags
+
+let file_rules = [ ("heap-free-loop", heap_free_loop_applies, check_heap_free_loop) ]
+
 let check_source ~path contents =
   let stripped = strip contents in
   let lines = String.split_on_char '\n' stripped in
@@ -360,7 +406,17 @@ let check_source ~path contents =
           | None -> ())
         applicable)
     lines;
-  List.rev !diags
+  let file_diags =
+    List.concat_map
+      (fun (name, applies, check) ->
+        if applies path then
+          List.map (fun (line, message) -> { file = path; line; rule = name; message }) (check lines)
+        else [])
+      file_rules
+  in
+  List.sort
+    (fun a b -> if a.line <> b.line then Int.compare a.line b.line else String.compare a.rule b.rule)
+    (List.rev_append !diags file_diags)
 
 (* ------------------------------------------------------------------ *)
 (* Tree walking and the missing-mli rule                               *)

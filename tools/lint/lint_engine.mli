@@ -17,6 +17,12 @@
       untyped scheme interface) from [lib/]/[examples/] code outside
       scheme-land, [lib/check] and the [lib/harness/dispatch] bridge;
       everything else consumes {!Pop_core.Smr_typed.S};
+    - [heap-free-loop] — no per-node [Heap.free] issued from inside a
+      loop (a [for]/[while] body, or an [iter]/[map]/[fold]-style
+      traversal on the same line) in [lib/] outside [lib/simheap]:
+      block contents drained by the engine go back through
+      [Heap.free_block] in one call, preserving the allocator's
+      block-granularity hand-off;
     - [missing-mli] — every [lib/] module except [*_intf.ml] carries an
       interface file.
 

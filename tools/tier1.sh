@@ -36,6 +36,15 @@
 #      test/typestate (run as part of step 2) must still exist in
 #      force — at least four violation categories, each with a
 #      recorded type error
+#  11. allocator smoke test: the bench's constant-time-allocator
+#      figure (--fig alloc, a deterministic replay) must emit a
+#      parseable BENCH_alloc.json with its three thread sweeps
+#      (balanced, imbalanced, churn) sane: finite positive ns/op in
+#      every cell, balanced cells never touching the shared pool,
+#      block grabs AND returns nonzero wherever producer/consumer
+#      imbalance exists (threads >= 2), zero UAF and zero double
+#      frees everywhere (run from _build so the committed repo-root
+#      baseline is not overwritten)
 # When python3 is absent every python assertion falls back to greps
 # that check the load-bearing keys exist and no null snuck into a
 # numeric field — the gate must never pass vacuously.
@@ -50,8 +59,9 @@ json_smoke=_build/popbench_smoke.json
 churn_smoke=_build/popbench_churn_smoke.json
 seg_smoke_dir=_build/seg_smoke
 kv_smoke_dir=_build/kv_smoke
+alloc_smoke_dir=_build/alloc_smoke
 tournament_smoke=_build/popbench_tournament_smoke.json
-trap 'rm -f "$json_smoke" "$churn_smoke" "$tournament_smoke"; rm -rf "$seg_smoke_dir" "$kv_smoke_dir"' EXIT
+trap 'rm -f "$json_smoke" "$churn_smoke" "$tournament_smoke"; rm -rf "$seg_smoke_dir" "$kv_smoke_dir" "$alloc_smoke_dir"' EXIT
 ./_build/default/bin/popbench.exe --ds hml --smr epoch-pop -t 2 -d 0.2 \
   --json "$json_smoke" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -189,6 +199,49 @@ else
     fi
   done
   echo "kv smoke: ok (grep only; python3 unavailable)"
+fi
+mkdir -p "$alloc_smoke_dir"
+(cd "$alloc_smoke_dir" && "$bench_exe" --fig alloc --json > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$alloc_smoke_dir/BENCH_alloc.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert isinstance(doc, dict), "expected a keyed object of thread sweeps"
+for key in ("balanced", "imbalanced", "churn"):
+    assert doc.get(key), "missing or empty %s sweep" % key
+    for c in doc[key]:
+        v = c.get("ns_per_op")
+        assert isinstance(v, (int, float)) and v > 0, \
+            "%s t=%s: ns_per_op not a finite positive number" % (key, c.get("threads"))
+        assert c["uaf"] == 0, "%s t=%d: use-after-free" % (key, c["threads"])
+        assert c["double_free"] == 0, "%s t=%d: double free" % (key, c["threads"])
+for c in doc["balanced"]:
+    assert c["block_grabs"] == 0 and c["block_returns"] == 0, \
+        "balanced t=%d touched the shared pool" % c["threads"]
+imb = [c for c in doc["imbalanced"] if c["threads"] >= 2]
+assert imb, "no imbalanced cells with threads >= 2"
+for c in imb:
+    assert c["block_grabs"] > 0 and c["block_returns"] > 0, \
+        "imbalanced t=%d: no block circulation through the shared pool" % c["threads"]
+print("alloc smoke: ok (%d+%d+%d cells, %d blocks circulated under imbalance)"
+      % (len(doc["balanced"]), len(doc["imbalanced"]), len(doc["churn"]),
+         sum(c["block_grabs"] for c in imb)))
+EOF
+else
+  grep -q '"balanced"' "$alloc_smoke_dir/BENCH_alloc.json"
+  grep -q '"imbalanced"' "$alloc_smoke_dir/BENCH_alloc.json"
+  grep -q '"churn"' "$alloc_smoke_dir/BENCH_alloc.json"
+  grep -q '"block_grabs"' "$alloc_smoke_dir/BENCH_alloc.json"
+  if grep -q '"ns_per_op": null' "$alloc_smoke_dir/BENCH_alloc.json"; then
+    echo "alloc smoke: FAIL (null ns_per_op)" >&2
+    exit 1
+  fi
+  if grep -Eq '"uaf": [1-9]|"double_free": [1-9]' "$alloc_smoke_dir/BENCH_alloc.json"; then
+    echo "alloc smoke: FAIL (heap safety counter nonzero)" >&2
+    exit 1
+  fi
+  echo "alloc smoke: ok (grep only; python3 unavailable)"
 fi
 ./_build/default/bin/popbench.exe --tournament --smrs ebr,hyaline-1s \
   --scenarios stall-poll,crash,kv-skew --json "$tournament_smoke" > /dev/null
